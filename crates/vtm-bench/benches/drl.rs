@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the DRL hot paths: a policy forward pass, a PPO
+//! update over one episode of samples, and one full Algorithm-1 training
+//! episode of the incentive mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vtm_core::config::{DrlConfig, ExperimentConfig};
+use vtm_core::env::RewardMode;
+use vtm_core::mechanism::IncentiveMechanism;
+use vtm_rl::buffer::RolloutBuffer;
+use vtm_rl::env::{ActionSpace, Environment, Step};
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+
+struct Bandit;
+
+impl Environment for Bandit {
+    fn observation_dim(&self) -> usize {
+        12
+    }
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::scalar(5.0, 50.0)
+    }
+    fn reset(&mut self) -> Vec<f64> {
+        vec![0.1; 12]
+    }
+    fn step(&mut self, action: &[f64]) -> Step {
+        Step {
+            observation: vec![0.1; 12],
+            reward: -(action[0] - 25.0).powi(2) / 100.0,
+            done: true,
+        }
+    }
+}
+
+fn bench_policy_act(c: &mut Criterion) {
+    let cfg = PpoConfig::new(12, 1).with_seed(1);
+    let mut agent = PpoAgent::new(cfg, ActionSpace::scalar(5.0, 50.0));
+    let obs = vec![0.1; 12];
+    c.bench_function("ppo/act", |b| b.iter(|| agent.act(black_box(&obs))));
+    c.bench_function("ppo/act_deterministic", |b| {
+        b.iter(|| agent.act_deterministic(black_box(&obs)))
+    });
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let cfg = PpoConfig::new(12, 1).with_seed(2);
+    let mut agent = PpoAgent::new(cfg, ActionSpace::scalar(5.0, 50.0));
+    let mut env = Bandit;
+    let mut buffer = RolloutBuffer::new();
+    agent.collect_episodes(&mut env, 100, 1, &mut buffer);
+    let samples = buffer.process(0.95, 0.95, 0.0, true);
+    c.bench_function("ppo/update_100_samples", |b| {
+        b.iter(|| agent.update(black_box(&samples)))
+    });
+}
+
+fn bench_training_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism");
+    group.sample_size(10);
+    group.bench_function("algorithm1_one_episode", |b| {
+        let mut config = ExperimentConfig::paper_two_vmus();
+        config.drl = DrlConfig {
+            episodes: 1,
+            rounds_per_episode: 100,
+            ..DrlConfig::default()
+        };
+        let mut mechanism = IncentiveMechanism::with_reward_mode(config, RewardMode::Improvement);
+        b.iter(|| mechanism.train_episodes(1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_act, bench_ppo_update, bench_training_episode);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the game-theoretic hot paths: evaluating an
+//! outcome at a price, the closed-form equilibrium (with its active-set
+//! refinement) and the numerical golden-section equilibrium.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vtm_core::config::ExperimentConfig;
+use vtm_core::stackelberg::AotmStackelbergGame;
+
+fn bench_outcome_at_price(c: &mut Criterion) {
+    let game = AotmStackelbergGame::from_config(&ExperimentConfig::paper_two_vmus());
+    c.bench_function("outcome_at_price/2_vmus", |b| {
+        b.iter(|| game.outcome_at_price(black_box(25.0)))
+    });
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form_equilibrium");
+    for n in [2usize, 6, 20, 100] {
+        let game = AotmStackelbergGame::from_config(&ExperimentConfig::paper_n_vmus(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
+            b.iter(|| game.closed_form_equilibrium())
+        });
+    }
+    group.finish();
+}
+
+fn bench_numerical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numerical_equilibrium");
+    group.sample_size(20);
+    for n in [2usize, 6] {
+        let game = AotmStackelbergGame::from_config(&ExperimentConfig::paper_n_vmus(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &game, |b, game| {
+            b.iter(|| game.numerical_equilibrium())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_outcome_at_price, bench_closed_form, bench_numerical);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the simulator substrate: the channel model, the
+//! pre-copy migration pipeline, the event queue and a short end-to-end
+//! highway run driven by the Stackelberg allocator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vtm_core::allocator::{PricingRule, StackelbergAllocator};
+use vtm_core::config::MarketConfig;
+use vtm_sim::event::EventQueue;
+use vtm_sim::metaverse::{MetaverseConfig, MetaverseSim};
+use vtm_sim::migration::{simulate_precopy_migration, PreCopyConfig};
+use vtm_sim::radio::LinkBudget;
+use vtm_sim::twin::{TwinId, VehicularTwin};
+
+fn bench_link_and_migration(c: &mut Criterion) {
+    let link = LinkBudget::default();
+    c.bench_function("radio/rate_bps", |b| {
+        b.iter(|| link.rate_bps(black_box(10e6)))
+    });
+
+    let mut group = c.benchmark_group("precopy_migration");
+    for &size in &[100.0f64, 200.0, 400.0] {
+        let twin = VehicularTwin::with_size_and_alpha(TwinId(0), size, 5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(size as u64), &twin, |b, twin| {
+            b.iter(|| {
+                simulate_precopy_migration(twin, black_box(10e6), &link, &PreCopyConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_and_drain_1000", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at((i % 97) as f64, i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+}
+
+fn bench_highway_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metaverse");
+    group.sample_size(10);
+    group.bench_function("highway_300s_3vmus", |b| {
+        b.iter(|| {
+            let config = MetaverseConfig {
+                duration_s: 300.0,
+                ..MetaverseConfig::default()
+            };
+            let mut sim = MetaverseSim::highway_scenario(config, 3, 150.0, 5.0);
+            let mut allocator = StackelbergAllocator::new(
+                MarketConfig::default(),
+                LinkBudget::default(),
+                PricingRule::StackelbergPerMigration,
+            )
+            .with_min_bandwidth_mhz(2.0);
+            sim.run(&mut allocator)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_link_and_migration, bench_event_queue, bench_highway_run);
+criterion_main!(benches);

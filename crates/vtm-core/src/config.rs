@@ -1,0 +1,263 @@
+//! Experiment and system configuration mirroring the paper's §V-A settings.
+
+use serde::{Deserialize, Serialize};
+use vtm_sim::radio::LinkBudget;
+
+use crate::vmu::VmuProfile;
+
+/// Scale (in megabytes) of one "data unit" of twin size.
+///
+/// The paper's closed-form expressions reproduce its reported numbers (e.g.
+/// the MSP utility of 7.03 with two VMUs, the price rising from 25 to 34 as
+/// the unit cost goes from 5 to 9) only when the twin size `D_n` enters the
+/// equations normalised to hundreds of megabytes. This constant makes that
+/// normalisation explicit: a 200 MB twin has `D_n = 2.0` data units.
+pub const DATA_UNIT_MB: f64 = 100.0;
+
+/// Market-level parameters of the bandwidth-trading game.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Unit transmission cost `C` of bandwidth borne by the MSP.
+    pub unit_cost: f64,
+    /// Maximum total bandwidth `B_max` the MSP can sell (MHz).
+    pub max_bandwidth_mhz: f64,
+    /// Maximum unit selling price `p_max`.
+    pub max_price: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self {
+            unit_cost: 5.0,
+            max_bandwidth_mhz: 50.0,
+            max_price: 50.0,
+        }
+    }
+}
+
+impl MarketConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a bound is inconsistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.unit_cost > 0.0) {
+            return Err("unit cost must be positive".to_string());
+        }
+        if !(self.max_bandwidth_mhz > 0.0) {
+            return Err("maximum bandwidth must be positive".to_string());
+        }
+        if self.max_price <= self.unit_cost {
+            return Err(format!(
+                "maximum price ({}) must exceed the unit cost ({})",
+                self.max_price, self.unit_cost
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Hyper-parameters of the DRL solution (paper §V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrlConfig {
+    /// Observation history length `L` (past rounds of prices and demands).
+    pub history_length: usize,
+    /// Number of training episodes `E`.
+    pub episodes: usize,
+    /// Rounds per episode `K`.
+    pub rounds_per_episode: usize,
+    /// Optimisation epochs per update `M`.
+    pub update_epochs: usize,
+    /// Mini-batch size `|I|`.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Hidden layer widths of the actor and critic networks.
+    pub hidden_layers: Vec<usize>,
+    /// Reward discount factor γ.
+    pub discount: f64,
+    /// GAE λ (1.0 matches the paper's Eq. (18)).
+    pub gae_lambda: f64,
+    /// PPO clipping parameter ε.
+    pub clip_epsilon: f64,
+    /// Value-loss coefficient `c`.
+    pub value_loss_coef: f64,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for DrlConfig {
+    fn default() -> Self {
+        Self {
+            history_length: 4,
+            episodes: 500,
+            rounds_per_episode: 100,
+            update_epochs: 10,
+            batch_size: 20,
+            learning_rate: 1e-5,
+            hidden_layers: vec![64, 64],
+            discount: 0.95,
+            gae_lambda: 1.0,
+            clip_epsilon: 0.2,
+            value_loss_coef: 0.5,
+            entropy_coef: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+impl DrlConfig {
+    /// A configuration scaled down for fast tests and CI: fewer episodes and a
+    /// larger learning rate, otherwise the paper's structure.
+    pub fn fast() -> Self {
+        Self {
+            episodes: 60,
+            rounds_per_episode: 40,
+            learning_rate: 3e-4,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a parameter is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.history_length == 0 {
+            return Err("history length must be at least 1".to_string());
+        }
+        if self.episodes == 0 || self.rounds_per_episode == 0 {
+            return Err("episodes and rounds per episode must be positive".to_string());
+        }
+        if self.batch_size == 0 || self.update_epochs == 0 {
+            return Err("batch size and update epochs must be positive".to_string());
+        }
+        if !(self.learning_rate > 0.0) {
+            return Err("learning rate must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Full experiment configuration: VMUs, market, channel and DRL settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The participating VMUs.
+    pub vmus: Vec<VmuProfile>,
+    /// Market parameters (cost, caps).
+    pub market: MarketConfig,
+    /// Inter-RSU link budget determining the spectral efficiency.
+    pub link: LinkBudget,
+    /// DRL hyper-parameters.
+    pub drl: DrlConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper's two-VMU convergence scenario (§V-B, Fig. 2):
+    /// `α₁ = α₂ = 5`, `D₁ = 200 MB`, `D₂ = 100 MB`, `C = 5`.
+    pub fn paper_two_vmus() -> Self {
+        Self {
+            vmus: vec![
+                VmuProfile::new(0, 200.0, 5.0),
+                VmuProfile::new(1, 100.0, 5.0),
+            ],
+            market: MarketConfig::default(),
+            link: LinkBudget::default(),
+            drl: DrlConfig::default(),
+        }
+    }
+
+    /// The paper's VMU-scaling scenario (§V-B, Fig. 3(c)/(d)): `n` identical
+    /// VMUs with 100 MB twins and `α = 5`.
+    pub fn paper_n_vmus(n: usize) -> Self {
+        Self {
+            vmus: (0..n).map(|i| VmuProfile::new(i, 100.0, 5.0)).collect(),
+            market: MarketConfig::default(),
+            link: LinkBudget::default(),
+            drl: DrlConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message describing the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vmus.is_empty() {
+            return Err("at least one VMU is required".to_string());
+        }
+        self.market.validate()?;
+        self.drl.validate()?;
+        for vmu in &self.vmus {
+            vmu.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = ExperimentConfig::paper_two_vmus();
+        assert_eq!(cfg.vmus.len(), 2);
+        assert_eq!(cfg.market.unit_cost, 5.0);
+        assert_eq!(cfg.market.max_bandwidth_mhz, 50.0);
+        assert_eq!(cfg.market.max_price, 50.0);
+        assert_eq!(cfg.drl.history_length, 4);
+        assert_eq!(cfg.drl.episodes, 500);
+        assert_eq!(cfg.drl.rounds_per_episode, 100);
+        assert_eq!(cfg.drl.update_epochs, 10);
+        assert_eq!(cfg.drl.batch_size, 20);
+        assert_eq!(cfg.drl.hidden_layers, vec![64, 64]);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn n_vmu_scenario_scales() {
+        let cfg = ExperimentConfig::paper_n_vmus(6);
+        assert_eq!(cfg.vmus.len(), 6);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = ExperimentConfig::paper_two_vmus();
+        cfg.vmus.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ExperimentConfig::paper_two_vmus();
+        cfg.market.max_price = 1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ExperimentConfig::paper_two_vmus();
+        cfg.drl.history_length = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ExperimentConfig::paper_two_vmus();
+        cfg.drl.learning_rate = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fast_config_is_valid_and_smaller() {
+        let fast = DrlConfig::fast();
+        assert!(fast.validate().is_ok());
+        assert!(fast.episodes < DrlConfig::default().episodes);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = ExperimentConfig::paper_two_vmus();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,81 @@
+//! # vtm-core — the paper's contribution
+//!
+//! A from-scratch Rust implementation of *"Learning-based Incentive Mechanism
+//! for Task Freshness-aware Vehicular Twin Migration"* (ICDCS 2023,
+//! arXiv:2309.04929):
+//!
+//! * [`aotm`] — the Age of Twin Migration metric (Eq. (1)) and the immersion
+//!   function it drives,
+//! * [`vmu`] / [`msp`] — the followers' and leader's utilities and their
+//!   closed-form best responses (Theorems 1 and 2),
+//! * [`stackelberg`] — the AoTM Stackelberg game, its closed-form and
+//!   numerical equilibria under the constraints of Problem 2,
+//! * [`env`] — the POMDP pricing environment of §IV-A (history observations,
+//!   Eq. (12) reward),
+//! * [`mechanism`] — the learning-based incentive mechanism (Algorithm 1) with
+//!   PPO from [`vtm_rl`],
+//! * [`schemes`] — the random / greedy / fixed / equilibrium pricing baselines
+//!   of §V-B,
+//! * [`allocator`] — the bridge that lets the mechanism price migrations
+//!   inside the end-to-end simulator of [`vtm_sim`],
+//! * [`config`] — the experiment parameters of §V-A.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vtm_core::prelude::*;
+//!
+//! // The paper's two-VMU scenario: D = (200 MB, 100 MB), alpha = (5, 5), C = 5.
+//! let config = ExperimentConfig::paper_two_vmus();
+//! let game = AotmStackelbergGame::from_config(&config);
+//!
+//! // Complete-information Stackelberg equilibrium (Theorems 1-2).
+//! let equilibrium = game.closed_form_equilibrium();
+//! assert!((equilibrium.price - 25.0).abs() < 1.5);
+//! assert!(equilibrium.msp_utility > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod aotm;
+pub mod config;
+pub mod env;
+pub mod mechanism;
+pub mod msp;
+pub mod multi_msp;
+pub mod schemes;
+pub mod stackelberg;
+pub mod vmu;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::allocator::{PricingRule, StackelbergAllocator};
+    pub use crate::aotm::{
+        aotm, data_units_from_mb, immersion, immersion_from_bandwidth, spectral_efficiency,
+        AgeOfTwinMigration,
+    };
+    pub use crate::config::{DrlConfig, ExperimentConfig, MarketConfig, DATA_UNIT_MB};
+    pub use crate::env::{PricingEnv, RewardMode, RoundRecord};
+    pub use crate::mechanism::{
+        DrlPricing, EpisodeLog, EvaluationResult, IncentiveMechanism, TrainingHistory,
+    };
+    pub use crate::msp::Msp;
+    pub use crate::multi_msp::{CompetingMsp, CompetitionOutcome, MultiMspMarket};
+    pub use crate::schemes::{
+        run_scheme, EquilibriumPricing, FixedPricing, GreedyPricing, PricingScheme, RandomPricing,
+    };
+    pub use crate::stackelberg::{AotmStackelbergGame, EquilibriumOutcome};
+    pub use crate::vmu::VmuProfile;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let cfg = ExperimentConfig::paper_two_vmus();
+        assert_eq!(cfg.vmus.len(), 2);
+    }
+}

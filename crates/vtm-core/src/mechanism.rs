@@ -1,0 +1,430 @@
+//! The learning-based incentive mechanism (Algorithm 1).
+//!
+//! Under incomplete information the MSP cannot evaluate the closed-form
+//! equilibrium (it does not know the VMUs' `α_n` and `D_n`), so it learns its
+//! pricing policy with PPO from the observable history of posted prices and
+//! resulting demands. This module implements the training loop of Algorithm 1
+//! and the evaluation utilities the experiment harness uses to compare the
+//! learned policy against the baselines and against the complete-information
+//! Stackelberg equilibrium.
+
+use serde::{Deserialize, Serialize};
+
+use vtm_rl::buffer::{RolloutBuffer, Transition};
+use vtm_rl::env::Environment;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+
+use crate::config::ExperimentConfig;
+use crate::env::{PricingEnv, RewardMode};
+use crate::schemes::PricingScheme;
+use crate::stackelberg::{AotmStackelbergGame, EquilibriumOutcome};
+
+/// Per-episode training log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeLog {
+    /// Episode index (0-based).
+    pub episode: usize,
+    /// Undiscounted return: the sum of the Eq. (12) rewards over the episode
+    /// (this is the series of the paper's Fig. 2(a)).
+    pub episode_return: f64,
+    /// Mean MSP utility over the episode's rounds (Fig. 2(b)).
+    pub mean_msp_utility: f64,
+    /// MSP utility of the episode's final round.
+    pub final_msp_utility: f64,
+    /// Best MSP utility reached within the episode (`U_best` at episode end).
+    pub best_msp_utility: f64,
+    /// Mean posted price over the episode.
+    pub mean_price: f64,
+}
+
+/// Complete training history of the mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingHistory {
+    /// Per-episode logs in training order.
+    pub episodes: Vec<EpisodeLog>,
+}
+
+impl TrainingHistory {
+    /// The per-episode returns (Fig. 2(a) series).
+    pub fn returns(&self) -> Vec<f64> {
+        self.episodes.iter().map(|e| e.episode_return).collect()
+    }
+
+    /// The per-episode mean MSP utilities (Fig. 2(b) series).
+    pub fn msp_utilities(&self) -> Vec<f64> {
+        self.episodes.iter().map(|e| e.mean_msp_utility).collect()
+    }
+
+    /// Mean of a metric over the last `window` episodes (all if fewer).
+    pub fn tail_mean<F>(&self, window: usize, metric: F) -> f64
+    where
+        F: Fn(&EpisodeLog) -> f64,
+    {
+        if self.episodes.is_empty() {
+            return 0.0;
+        }
+        let start = self.episodes.len().saturating_sub(window);
+        let tail = &self.episodes[start..];
+        tail.iter().map(&metric).sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Result of evaluating a (deterministic) pricing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationResult {
+    /// Mean posted price over the evaluation rounds.
+    pub mean_price: f64,
+    /// Mean MSP utility over the evaluation rounds.
+    pub mean_msp_utility: f64,
+    /// Mean total bandwidth sold (MHz).
+    pub mean_total_bandwidth_mhz: f64,
+    /// Mean total VMU utility.
+    pub mean_total_vmu_utility: f64,
+    /// Outcome of the final evaluation round.
+    pub final_outcome: EquilibriumOutcome,
+    /// Ratio of the mean MSP utility to the complete-information equilibrium
+    /// utility (1.0 means the learned policy matches the Stackelberg optimum).
+    pub equilibrium_ratio: f64,
+}
+
+/// The learning-based incentive mechanism: the PPO agent, its environment and
+/// the game it prices.
+#[derive(Debug, Clone)]
+pub struct IncentiveMechanism {
+    config: ExperimentConfig,
+    env: PricingEnv,
+    agent: PpoAgent,
+    reward_mode: RewardMode,
+}
+
+impl IncentiveMechanism {
+    /// Builds the mechanism from an experiment configuration with the paper's
+    /// sparse improvement reward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Self::with_reward_mode(config, RewardMode::Improvement)
+    }
+
+    /// Builds the mechanism with an explicit reward mode (ablation E8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate.
+    pub fn with_reward_mode(config: ExperimentConfig, reward_mode: RewardMode) -> Self {
+        config
+            .validate()
+            .expect("experiment configuration must be valid");
+        let game = AotmStackelbergGame::from_config(&config);
+        let env = PricingEnv::new(
+            game,
+            config.drl.history_length,
+            config.drl.rounds_per_episode,
+            reward_mode,
+            config.drl.seed,
+        );
+        let obs_dim = env.observation_dim();
+        let mut ppo = PpoConfig::new(obs_dim, 1).with_seed(config.drl.seed);
+        ppo.hidden = config.drl.hidden_layers.clone();
+        ppo.actor_lr = config.drl.learning_rate;
+        ppo.critic_lr = config.drl.learning_rate * 10.0;
+        ppo.gamma = config.drl.discount;
+        ppo.gae_lambda = config.drl.gae_lambda;
+        ppo.clip_epsilon = config.drl.clip_epsilon;
+        ppo.value_loss_coef = config.drl.value_loss_coef;
+        ppo.entropy_coef = config.drl.entropy_coef;
+        ppo.update_epochs = config.drl.update_epochs;
+        ppo.minibatch_size = config.drl.batch_size;
+        let agent = PpoAgent::new(ppo, env.action_space());
+        Self {
+            config,
+            env,
+            agent,
+            reward_mode,
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The underlying game.
+    pub fn game(&self) -> &AotmStackelbergGame {
+        self.env.game()
+    }
+
+    /// The reward mode used for training.
+    pub fn reward_mode(&self) -> RewardMode {
+        self.reward_mode
+    }
+
+    /// Immutable access to the PPO agent (e.g. for inspection in tests).
+    pub fn agent(&self) -> &PpoAgent {
+        &self.agent
+    }
+
+    /// Runs Algorithm 1 for the configured number of episodes.
+    pub fn train(&mut self) -> TrainingHistory {
+        let episodes = self.config.drl.episodes;
+        self.train_episodes(episodes)
+    }
+
+    /// Runs Algorithm 1 for an explicit number of episodes (useful for tests
+    /// and for the ablation sweeps).
+    pub fn train_episodes(&mut self, episodes: usize) -> TrainingHistory {
+        let rounds = self.config.drl.rounds_per_episode;
+        let mut history = TrainingHistory::default();
+        for episode in 0..episodes {
+            let mut buffer = RolloutBuffer::new();
+            let mut obs = self.env.reset();
+            let mut episode_return = 0.0;
+            let mut utility_sum = 0.0;
+            let mut price_sum = 0.0;
+            let mut final_utility = 0.0;
+            for k in 0..rounds {
+                let sample = self.agent.act(&obs);
+                let step = self.env.step(&sample.env_action);
+                let outcome = self
+                    .env
+                    .last_outcome()
+                    .expect("step always records an outcome");
+                episode_return += step.reward;
+                utility_sum += outcome.msp_utility;
+                price_sum += outcome.price;
+                final_utility = outcome.msp_utility;
+                buffer.push(Transition {
+                    observation: obs,
+                    action: sample.raw_action,
+                    log_prob: sample.log_prob,
+                    value: sample.value,
+                    reward: step.reward,
+                    done: step.done || k + 1 == rounds,
+                });
+                obs = step.observation;
+            }
+            // One PPO update per episode over the episode's rollout, with
+            // M epochs of |I|-sized mini-batches (Algorithm 1, lines 10-13).
+            let samples = buffer.process(
+                self.config.drl.discount,
+                self.config.drl.gae_lambda,
+                0.0,
+                true,
+            );
+            self.agent.update(&samples);
+            history.episodes.push(EpisodeLog {
+                episode,
+                episode_return,
+                mean_msp_utility: utility_sum / rounds as f64,
+                final_msp_utility: final_utility,
+                best_msp_utility: self.env.best_utility(),
+                mean_price: price_sum / rounds as f64,
+            });
+        }
+        history
+    }
+
+    /// Evaluates the current (deterministic) policy for `rounds` rounds.
+    pub fn evaluate(&mut self, rounds: usize) -> EvaluationResult {
+        assert!(rounds > 0, "evaluation needs at least one round");
+        let mut obs = self.env.reset();
+        let mut prices = Vec::with_capacity(rounds);
+        let mut msp_utilities = Vec::with_capacity(rounds);
+        let mut bandwidths = Vec::with_capacity(rounds);
+        let mut vmu_utilities = Vec::with_capacity(rounds);
+        let mut final_outcome = None;
+        for _ in 0..rounds {
+            let action = self.agent.act_deterministic(&obs);
+            let step = self.env.step(&action);
+            let outcome = self
+                .env
+                .last_outcome()
+                .expect("step always records an outcome")
+                .clone();
+            prices.push(outcome.price);
+            msp_utilities.push(outcome.msp_utility);
+            bandwidths.push(outcome.total_bandwidth_mhz());
+            vmu_utilities.push(outcome.total_vmu_utility());
+            final_outcome = Some(outcome);
+            obs = step.observation;
+        }
+        let eq_utility = self.game().closed_form_equilibrium().msp_utility.max(1e-12);
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_msp_utility = mean(&msp_utilities);
+        EvaluationResult {
+            mean_price: mean(&prices),
+            mean_msp_utility,
+            mean_total_bandwidth_mhz: mean(&bandwidths),
+            mean_total_vmu_utility: mean(&vmu_utilities),
+            final_outcome: final_outcome.expect("rounds > 0"),
+            equilibrium_ratio: mean_msp_utility / eq_utility,
+        }
+    }
+
+    /// Wraps the trained policy as a [`PricingScheme`] so the experiment
+    /// harness can compare it uniformly with the baselines. The scheme posts
+    /// the policy's deterministic price given the mechanism's rolling
+    /// observation history.
+    pub fn into_scheme(mut self) -> DrlPricing {
+        let obs = self.env.reset();
+        DrlPricing {
+            mechanism: self,
+            observation: obs,
+        }
+    }
+}
+
+/// The trained DRL policy exposed as a [`PricingScheme`].
+#[derive(Debug, Clone)]
+pub struct DrlPricing {
+    mechanism: IncentiveMechanism,
+    observation: Vec<f64>,
+}
+
+impl DrlPricing {
+    /// Read access to the wrapped mechanism.
+    pub fn mechanism(&self) -> &IncentiveMechanism {
+        &self.mechanism
+    }
+}
+
+impl PricingScheme for DrlPricing {
+    fn name(&self) -> &str {
+        "drl-ppo"
+    }
+
+    fn propose_price(&mut self, _game: &AotmStackelbergGame) -> f64 {
+        let action = self.mechanism.agent.act_deterministic(&self.observation);
+        let (lo, hi) = self.mechanism.game().msp().price_bounds();
+        action[0].clamp(lo, hi)
+    }
+
+    fn observe_utility(&mut self, price: f64, _msp_utility: f64) {
+        // Advance the internal environment so the observation history follows
+        // the posted prices.
+        let step = self.mechanism.env.step(&[price]);
+        self.observation = step.observation;
+        if step.done {
+            self.observation = self.mechanism.env.reset();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.observation = self.mechanism.env.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DrlConfig;
+    use crate::schemes::run_scheme;
+
+    fn fast_config() -> ExperimentConfig {
+        ExperimentConfig {
+            drl: DrlConfig {
+                episodes: 30,
+                rounds_per_episode: 30,
+                learning_rate: 3e-4,
+                seed: 42,
+                ..DrlConfig::default()
+            },
+            ..ExperimentConfig::paper_two_vmus()
+        }
+    }
+
+    #[test]
+    fn construction_wires_dimensions() {
+        let mech = IncentiveMechanism::new(fast_config());
+        assert_eq!(mech.config().vmus.len(), 2);
+        assert_eq!(mech.reward_mode(), RewardMode::Improvement);
+        assert!(mech.agent().parameter_count() > 0);
+    }
+
+    #[test]
+    fn training_produces_history_of_requested_length() {
+        let mut mech = IncentiveMechanism::new(fast_config());
+        let history = mech.train_episodes(5);
+        assert_eq!(history.episodes.len(), 5);
+        assert_eq!(history.returns().len(), 5);
+        assert_eq!(history.msp_utilities().len(), 5);
+        for log in &history.episodes {
+            assert!(log.episode_return >= 0.0);
+            assert!(log.episode_return <= 30.0 + 1e-9);
+            assert!(log.mean_msp_utility.is_finite());
+            assert!(log.best_msp_utility >= log.mean_msp_utility - 1e-9 || log.best_msp_utility > 0.0);
+            assert!((5.0..=50.0).contains(&log.mean_price));
+        }
+    }
+
+    #[test]
+    fn tail_mean_summarises_recent_episodes() {
+        let history = TrainingHistory {
+            episodes: (0..10)
+                .map(|i| EpisodeLog {
+                    episode: i,
+                    episode_return: i as f64,
+                    mean_msp_utility: i as f64,
+                    final_msp_utility: i as f64,
+                    best_msp_utility: i as f64,
+                    mean_price: 10.0,
+                })
+                .collect(),
+        };
+        assert!((history.tail_mean(2, |e| e.episode_return) - 8.5).abs() < 1e-12);
+        assert!((history.tail_mean(100, |e| e.episode_return) - 4.5).abs() < 1e-12);
+        assert_eq!(TrainingHistory::default().tail_mean(3, |e| e.episode_return), 0.0);
+    }
+
+    #[test]
+    fn training_with_dense_reward_approaches_equilibrium() {
+        let mut config = fast_config();
+        config.drl.episodes = 80;
+        config.drl.rounds_per_episode = 40;
+        let mut mech = IncentiveMechanism::with_reward_mode(config, RewardMode::NormalizedUtility);
+        let eq = mech.game().closed_form_equilibrium();
+        let _history = mech.train();
+        let eval = mech.evaluate(20);
+        assert!(
+            eval.equilibrium_ratio > 0.6,
+            "learned policy reaches only {:.2} of the equilibrium utility (price {} vs {})",
+            eval.equilibrium_ratio,
+            eval.mean_price,
+            eq.price
+        );
+        assert!(eval.mean_total_bandwidth_mhz > 0.0);
+        assert!(eval.mean_msp_utility > 0.0);
+    }
+
+    #[test]
+    fn evaluation_reports_consistent_aggregates() {
+        let mut mech = IncentiveMechanism::new(fast_config());
+        let eval = mech.evaluate(10);
+        assert!(eval.mean_price >= 5.0 && eval.mean_price <= 50.0);
+        assert!(eval.equilibrium_ratio.is_finite());
+        assert_eq!(eval.final_outcome.demands_mhz.len(), 2);
+    }
+
+    #[test]
+    fn drl_scheme_interoperates_with_run_scheme() {
+        let mut mech = IncentiveMechanism::new(fast_config());
+        mech.train_episodes(3);
+        let game = mech.game().clone();
+        let mut scheme = mech.into_scheme();
+        assert_eq!(scheme.name(), "drl-ppo");
+        let utilities = run_scheme(&mut scheme, &game, 15);
+        assert_eq!(utilities.len(), 15);
+        assert!(utilities.iter().all(|u| u.is_finite()));
+        scheme.reset();
+        assert!(scheme.mechanism().config().vmus.len() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn evaluation_requires_rounds() {
+        let mut mech = IncentiveMechanism::new(fast_config());
+        let _ = mech.evaluate(0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Multi-MSP price competition — the paper's stated future-work extension.
+//!
+//! The paper's conclusion announces an extension "to scenarios with multiple
+//! MSPs and VMUs". This module provides that extension: several MSPs (each
+//! with its own unit cost and bandwidth cap) simultaneously post prices, each
+//! VMU purchases from the MSP offering it the highest utility (the cheapest
+//! one, since the channel is identical) and best-responds with Eq. (8), and
+//! the MSPs adapt their prices by iterated best response. With two or more
+//! MSPs of equal cost the competition drives prices towards the cost
+//! (Bertrand-style), eroding the monopoly profit the single-MSP Stackelberg
+//! game sustains — which quantifies how much the paper's monopoly assumption
+//! matters.
+
+use serde::{Deserialize, Serialize};
+use vtm_game::optimize::golden_section_max;
+use vtm_sim::radio::LinkBudget;
+
+use crate::vmu::VmuProfile;
+
+/// One competing Metaverse Service Provider.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompetingMsp {
+    /// Identifier of the MSP.
+    pub id: usize,
+    /// Unit transmission cost `C_j`.
+    pub unit_cost: f64,
+    /// Maximum price `p_max,j` this MSP may post.
+    pub max_price: f64,
+    /// Maximum total bandwidth this MSP can sell (MHz).
+    pub max_bandwidth_mhz: f64,
+}
+
+impl CompetingMsp {
+    /// Creates a competing MSP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is not positive, the price cap does not exceed the
+    /// cost, or the bandwidth cap is not positive.
+    pub fn new(id: usize, unit_cost: f64, max_price: f64, max_bandwidth_mhz: f64) -> Self {
+        assert!(unit_cost > 0.0, "unit cost must be positive");
+        assert!(max_price > unit_cost, "max price must exceed the unit cost");
+        assert!(max_bandwidth_mhz > 0.0, "bandwidth cap must be positive");
+        Self {
+            id,
+            unit_cost,
+            max_price,
+            max_bandwidth_mhz,
+        }
+    }
+}
+
+/// Outcome of the multi-MSP price competition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompetitionOutcome {
+    /// Final posted price of every MSP (indexed like the MSP list).
+    pub prices: Vec<f64>,
+    /// For every VMU, the index of the MSP it purchases from.
+    pub assignments: Vec<usize>,
+    /// Bandwidth purchased by every VMU (MHz).
+    pub demands_mhz: Vec<f64>,
+    /// Utility of every MSP.
+    pub msp_utilities: Vec<f64>,
+    /// Utility of every VMU.
+    pub vmu_utilities: Vec<f64>,
+    /// Number of best-response sweeps performed before convergence (or the
+    /// iteration cap).
+    pub iterations: usize,
+    /// Whether the price profile converged (no MSP moved its price by more
+    /// than the tolerance in the final sweep).
+    pub converged: bool,
+}
+
+impl CompetitionOutcome {
+    /// Total bandwidth sold across all MSPs (MHz).
+    pub fn total_bandwidth_mhz(&self) -> f64 {
+        self.demands_mhz.iter().sum()
+    }
+
+    /// Total profit of all MSPs.
+    pub fn total_msp_utility(&self) -> f64 {
+        self.msp_utilities.iter().sum()
+    }
+}
+
+/// A market with several competing MSPs and a shared population of VMUs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiMspMarket {
+    msps: Vec<CompetingMsp>,
+    vmus: Vec<VmuProfile>,
+    link: LinkBudget,
+}
+
+impl MultiMspMarket {
+    /// Creates a market.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no MSPs or no VMUs, or a VMU profile is invalid.
+    pub fn new(msps: Vec<CompetingMsp>, vmus: Vec<VmuProfile>, link: LinkBudget) -> Self {
+        assert!(!msps.is_empty(), "the market needs at least one MSP");
+        assert!(!vmus.is_empty(), "the market needs at least one VMU");
+        for vmu in &vmus {
+            vmu.validate().expect("VMU profiles must be valid");
+        }
+        Self { msps, vmus, link }
+    }
+
+    /// The competing MSPs.
+    pub fn msps(&self) -> &[CompetingMsp] {
+        &self.msps
+    }
+
+    /// The VMUs.
+    pub fn vmus(&self) -> &[VmuProfile] {
+        &self.vmus
+    }
+
+    /// Given a posted price profile, assigns every VMU to the MSP that
+    /// maximises its utility (ties broken towards the lower MSP index) and
+    /// returns `(assignments, demands)`.
+    pub fn assign_vmus(&self, prices: &[f64]) -> (Vec<usize>, Vec<f64>) {
+        assert_eq!(prices.len(), self.msps.len(), "one price per MSP required");
+        let mut assignments = Vec::with_capacity(self.vmus.len());
+        let mut demands = Vec::with_capacity(self.vmus.len());
+        for vmu in &self.vmus {
+            let mut best = (0usize, f64::NEG_INFINITY, 0.0f64);
+            for (j, &price) in prices.iter().enumerate() {
+                let demand = vmu.best_response(price, &self.link);
+                let utility = vmu.utility(demand, price, &self.link);
+                if utility > best.1 + 1e-12 {
+                    best = (j, utility, demand);
+                }
+            }
+            assignments.push(best.0);
+            demands.push(best.2);
+        }
+        (assignments, demands)
+    }
+
+    /// Utility of MSP `j` under a price profile (its margin times the demand
+    /// of the VMUs assigned to it, truncated at its bandwidth cap by
+    /// proportional scaling).
+    pub fn msp_utility(&self, j: usize, prices: &[f64]) -> f64 {
+        let (assignments, demands) = self.assign_vmus(prices);
+        let msp = &self.msps[j];
+        let total: f64 = assignments
+            .iter()
+            .zip(demands.iter())
+            .filter(|(&a, _)| a == j)
+            .map(|(_, &d)| d)
+            .sum();
+        let sold = total.min(msp.max_bandwidth_mhz);
+        (prices[j] - msp.unit_cost) * sold
+    }
+
+    /// Runs iterated best-response price competition.
+    ///
+    /// Each sweep lets every MSP in turn re-optimise its own price (by
+    /// golden-section search over `[C_j, p_max,j]`) holding the others fixed;
+    /// the process stops when no price moves by more than `tolerance` or
+    /// after `max_iterations` sweeps.
+    pub fn solve_price_competition(
+        &self,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> CompetitionOutcome {
+        let mut prices: Vec<f64> = self.msps.iter().map(|m| m.max_price).collect();
+        let mut converged = false;
+        let mut iterations = 0;
+        for _ in 0..max_iterations {
+            iterations += 1;
+            let mut max_move = 0.0f64;
+            for j in 0..self.msps.len() {
+                let msp = &self.msps[j];
+                let mut trial = prices.clone();
+                let best = golden_section_max(
+                    |p| {
+                        trial[j] = p;
+                        self.msp_utility(j, &trial)
+                    },
+                    msp.unit_cost,
+                    msp.max_price,
+                    1e-6,
+                    200,
+                )
+                .map(|m| m.argmax)
+                .unwrap_or(msp.unit_cost);
+                max_move = max_move.max((best - prices[j]).abs());
+                prices[j] = best;
+            }
+            if max_move <= tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let (assignments, demands) = self.assign_vmus(&prices);
+        let msp_utilities: Vec<f64> = (0..self.msps.len())
+            .map(|j| self.msp_utility(j, &prices))
+            .collect();
+        let vmu_utilities: Vec<f64> = self
+            .vmus
+            .iter()
+            .zip(assignments.iter().zip(demands.iter()))
+            .map(|(vmu, (&a, &d))| vmu.utility(d, prices[a], &self.link))
+            .collect();
+        CompetitionOutcome {
+            prices,
+            assignments,
+            demands_mhz: demands,
+            msp_utilities,
+            vmu_utilities,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, MarketConfig};
+    use crate::stackelberg::AotmStackelbergGame;
+
+    fn vmus() -> Vec<VmuProfile> {
+        vec![
+            VmuProfile::new(0, 200.0, 5.0),
+            VmuProfile::new(1, 100.0, 5.0),
+            VmuProfile::new(2, 150.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn single_msp_competition_recovers_the_monopoly_price() {
+        let market = MultiMspMarket::new(
+            vec![CompetingMsp::new(0, 5.0, 50.0, 50.0)],
+            vec![VmuProfile::new(0, 200.0, 5.0), VmuProfile::new(1, 100.0, 5.0)],
+            LinkBudget::default(),
+        );
+        let outcome = market.solve_price_competition(50, 1e-6);
+        let monopoly = AotmStackelbergGame::new(
+            MarketConfig::default(),
+            vec![VmuProfile::new(0, 200.0, 5.0), VmuProfile::new(1, 100.0, 5.0)],
+            LinkBudget::default(),
+        )
+        .closed_form_equilibrium();
+        assert!(outcome.converged);
+        assert!(
+            (outcome.prices[0] - monopoly.price).abs() < 0.1,
+            "single-MSP competition price {} vs monopoly {}",
+            outcome.prices[0],
+            monopoly.price
+        );
+        assert!((outcome.total_msp_utility() - monopoly.msp_utility).abs() < 0.05);
+    }
+
+    #[test]
+    fn duopoly_prices_fall_below_the_monopoly_price() {
+        let market = MultiMspMarket::new(
+            vec![
+                CompetingMsp::new(0, 5.0, 50.0, 50.0),
+                CompetingMsp::new(1, 5.0, 50.0, 50.0),
+            ],
+            vmus(),
+            LinkBudget::default(),
+        );
+        let outcome = market.solve_price_competition(100, 1e-4);
+        let monopoly = AotmStackelbergGame::new(MarketConfig::default(), vmus(), LinkBudget::default())
+            .closed_form_equilibrium();
+        for &p in &outcome.prices {
+            assert!(
+                p <= monopoly.price + 1e-6,
+                "competitive price {p} should not exceed the monopoly price {}",
+                monopoly.price
+            );
+        }
+        // Competition benefits the VMUs relative to the monopoly.
+        let competitive_vmu_total: f64 = outcome.vmu_utilities.iter().sum();
+        assert!(competitive_vmu_total >= monopoly.total_vmu_utility() - 1e-9);
+    }
+
+    #[test]
+    fn vmus_choose_the_cheaper_msp() {
+        let market = MultiMspMarket::new(
+            vec![
+                CompetingMsp::new(0, 5.0, 50.0, 50.0),
+                CompetingMsp::new(1, 5.0, 50.0, 50.0),
+            ],
+            vmus(),
+            LinkBudget::default(),
+        );
+        let (assignments, demands) = market.assign_vmus(&[10.0, 30.0]);
+        assert!(assignments.iter().all(|&a| a == 0));
+        assert!(demands.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn asymmetric_costs_let_the_cheaper_msp_win_the_market() {
+        let market = MultiMspMarket::new(
+            vec![
+                CompetingMsp::new(0, 5.0, 50.0, 50.0),
+                CompetingMsp::new(1, 9.0, 50.0, 50.0),
+            ],
+            vmus(),
+            LinkBudget::default(),
+        );
+        let outcome = market.solve_price_competition(100, 1e-4);
+        // Every VMU buys from the MSP whose posted price gives it the higher
+        // utility (i.e. the cheaper one), prices stay within each MSP's
+        // bounds, and somebody sells bandwidth.
+        let cheaper = if outcome.prices[0] <= outcome.prices[1] { 0 } else { 1 };
+        assert!(outcome.assignments.iter().all(|&a| a == cheaper));
+        for (msp, &p) in market.msps().iter().zip(outcome.prices.iter()) {
+            assert!(p >= msp.unit_cost - 1e-9 && p <= msp.max_price + 1e-9);
+        }
+        assert!(outcome.total_bandwidth_mhz() > 0.0);
+        assert!(outcome.iterations >= 1);
+        // Under competition nobody loses money.
+        assert!(outcome.msp_utilities.iter().all(|&u| u >= -1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MSP")]
+    fn empty_msp_list_rejected() {
+        let _ = MultiMspMarket::new(vec![], vmus(), LinkBudget::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "max price must exceed the unit cost")]
+    fn bad_msp_rejected() {
+        let _ = CompetingMsp::new(0, 10.0, 10.0, 50.0);
+    }
+
+    #[test]
+    fn outcome_serialises() {
+        let market = MultiMspMarket::new(
+            vec![CompetingMsp::new(0, 5.0, 50.0, 50.0)],
+            vec![VmuProfile::new(0, 100.0, 5.0)],
+            LinkBudget::default(),
+        );
+        let outcome = market.solve_price_competition(10, 1e-4);
+        let json = serde_json::to_string(&outcome).unwrap();
+        assert!(json.contains("prices"));
+        let _cfg = ExperimentConfig::paper_two_vmus();
+    }
+}

@@ -1,0 +1,181 @@
+//! Equilibrium verification.
+//!
+//! Definition 1 of the paper states that a strategy profile is a Stackelberg
+//! equilibrium iff neither the leader nor any follower can improve its utility
+//! by a unilateral deviation. These helpers verify that property numerically
+//! by scanning a grid of deviations, which the integration tests use to
+//! certify both the closed-form solution and the learning-based one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stackelberg::{solve_follower_equilibrium, SolveOptions, StackelbergGame};
+
+/// Outcome of a numerical equilibrium verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquilibriumReport {
+    /// Largest utility gain the leader could obtain by deviating (non-positive
+    /// within tolerance when the profile is an equilibrium).
+    pub leader_best_gain: f64,
+    /// Leader action achieving [`EquilibriumReport::leader_best_gain`].
+    pub leader_best_deviation: f64,
+    /// Largest utility gain any follower could obtain by deviating.
+    pub follower_best_gain: f64,
+    /// `(follower index, strategy)` achieving the best follower gain.
+    pub follower_best_deviation: (usize, f64),
+    /// Number of deviation candidates evaluated.
+    pub candidates_checked: usize,
+}
+
+impl EquilibriumReport {
+    /// Whether the profile is an (approximate) Stackelberg equilibrium: no
+    /// deviation improves any player's utility by more than `tolerance`.
+    pub fn is_equilibrium(&self, tolerance: f64) -> bool {
+        self.leader_best_gain <= tolerance && self.follower_best_gain <= tolerance
+    }
+}
+
+/// Verifies a candidate `(leader_action, follower_strategies)` profile.
+///
+/// Leader deviations are evaluated with followers re-solving their subgame
+/// (the Stackelberg notion of leader deviation); follower deviations are
+/// unilateral with everyone else held fixed (the Nash notion inside the
+/// follower stage). `grid` controls how many candidate deviations per player
+/// are evaluated.
+pub fn verify_equilibrium<G: StackelbergGame>(
+    game: &G,
+    leader_action: f64,
+    follower_strategies: &[f64],
+    grid: usize,
+    options: &SolveOptions,
+) -> EquilibriumReport {
+    assert!(grid >= 2, "verification grid must have at least 2 points");
+    assert_eq!(
+        follower_strategies.len(),
+        game.num_followers(),
+        "strategy profile length must match the number of followers"
+    );
+    let base_leader_utility = game.leader_utility(leader_action, follower_strategies);
+    let (lo, hi) = game.leader_action_bounds();
+    let mut leader_best_gain = f64::NEG_INFINITY;
+    let mut leader_best_deviation = leader_action;
+    let mut candidates = 0usize;
+    for i in 0..grid {
+        let p = lo + (hi - lo) * i as f64 / (grid - 1) as f64;
+        let profile = solve_follower_equilibrium(game, p, options);
+        let gain = game.leader_utility(p, &profile) - base_leader_utility;
+        candidates += 1;
+        if gain > leader_best_gain {
+            leader_best_gain = gain;
+            leader_best_deviation = p;
+        }
+    }
+
+    let mut follower_best_gain = f64::NEG_INFINITY;
+    let mut follower_best_deviation = (0usize, 0.0f64);
+    for f in 0..game.num_followers() {
+        let base = game.follower_utility(f, leader_action, follower_strategies[f], follower_strategies);
+        let (blo, bhi) = game.follower_strategy_bounds(f);
+        for i in 0..grid {
+            let b = blo + (bhi - blo) * i as f64 / (grid - 1) as f64;
+            let mut deviated = follower_strategies.to_vec();
+            deviated[f] = b;
+            game.project_followers(leader_action, &mut deviated);
+            let gain =
+                game.follower_utility(f, leader_action, deviated[f], &deviated) - base;
+            candidates += 1;
+            if gain > follower_best_gain {
+                follower_best_gain = gain;
+                follower_best_deviation = (f, b);
+            }
+        }
+    }
+    if game.num_followers() == 0 {
+        follower_best_gain = 0.0;
+    }
+
+    EquilibriumReport {
+        leader_best_gain,
+        leader_best_deviation,
+        follower_best_gain,
+        follower_best_deviation,
+        candidates_checked: candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stackelberg::{solve_stackelberg, SolveOptions};
+
+    struct Monopoly {
+        a: f64,
+        c: f64,
+        n: usize,
+    }
+
+    impl StackelbergGame for Monopoly {
+        fn num_followers(&self) -> usize {
+            self.n
+        }
+        fn leader_action_bounds(&self) -> (f64, f64) {
+            (self.c, self.a)
+        }
+        fn follower_strategy_bounds(&self, _f: usize) -> (f64, f64) {
+            (0.0, self.a)
+        }
+        fn follower_utility(&self, _f: usize, p: f64, own: f64, _others: &[f64]) -> f64 {
+            (self.a - p) * own - 0.5 * own * own
+        }
+        fn leader_utility(&self, p: f64, followers: &[f64]) -> f64 {
+            followers.iter().map(|b| (p - self.c) * b).sum()
+        }
+    }
+
+    #[test]
+    fn solved_game_verifies_as_equilibrium() {
+        let game = Monopoly { a: 10.0, c: 2.0, n: 2 };
+        let opts = SolveOptions::default();
+        let sol = solve_stackelberg(&game, &opts).unwrap();
+        let report = verify_equilibrium(
+            &game,
+            sol.leader_action,
+            &sol.follower_strategies,
+            201,
+            &opts,
+        );
+        assert!(report.is_equilibrium(1e-2), "{report:?}");
+        assert!(report.candidates_checked > 0);
+    }
+
+    #[test]
+    fn non_equilibrium_is_rejected() {
+        let game = Monopoly { a: 10.0, c: 2.0, n: 2 };
+        let opts = SolveOptions::default();
+        // Price far below optimum with followers not best-responding.
+        let report = verify_equilibrium(&game, 2.5, &[0.1, 0.1], 101, &opts);
+        assert!(!report.is_equilibrium(1e-2));
+        assert!(report.leader_best_gain > 0.0 || report.follower_best_gain > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy profile length")]
+    fn profile_length_mismatch_panics() {
+        let game = Monopoly { a: 10.0, c: 2.0, n: 2 };
+        let opts = SolveOptions::default();
+        let _ = verify_equilibrium(&game, 3.0, &[1.0], 11, &opts);
+    }
+
+    #[test]
+    fn report_serialises() {
+        let report = EquilibriumReport {
+            leader_best_gain: 0.0,
+            leader_best_deviation: 1.0,
+            follower_best_gain: 0.0,
+            follower_best_deviation: (0, 1.0),
+            candidates_checked: 10,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("leader_best_gain"));
+        assert!(report.is_equilibrium(1e-9));
+    }
+}

@@ -1,0 +1,74 @@
+//! # vtm-game — game-theory substrate
+//!
+//! Leader–follower (Stackelberg) game abstractions and the scalar concave
+//! optimisation routines needed to solve and verify them, written for the
+//! reproduction of *"Learning-based Incentive Mechanism for Task
+//! Freshness-aware Vehicular Twin Migration"* (ICDCS 2023).
+//!
+//! The paper's §III formulates a two-stage game: the Metaverse Service
+//! Provider (leader) posts a bandwidth price, Vehicular Metaverse Users
+//! (followers) respond with bandwidth demands, and backward induction yields a
+//! unique Stackelberg equilibrium. This crate provides:
+//!
+//! * [`optimize`] — golden-section search, bisection on a decreasing
+//!   derivative, grid search, numerical derivatives and concavity checks,
+//! * [`stackelberg`] — the [`StackelbergGame`](stackelberg::StackelbergGame)
+//!   trait, follower-equilibrium iteration and the two-stage solver,
+//! * [`equilibrium`] — numerical verification that a profile satisfies
+//!   Definition 1 of the paper (no profitable unilateral deviation).
+//!
+//! # Example
+//!
+//! ```
+//! use vtm_game::prelude::*;
+//!
+//! /// Leader sets a price in [1, 10]; a single follower demands `10 - p`.
+//! struct Toy;
+//! impl StackelbergGame for Toy {
+//!     fn num_followers(&self) -> usize { 1 }
+//!     fn leader_action_bounds(&self) -> (f64, f64) { (1.0, 10.0) }
+//!     fn follower_strategy_bounds(&self, _: usize) -> (f64, f64) { (0.0, 10.0) }
+//!     fn follower_utility(&self, _: usize, p: f64, b: f64, _: &[f64]) -> f64 {
+//!         (10.0 - p) * b - 0.5 * b * b
+//!     }
+//!     fn leader_utility(&self, p: f64, followers: &[f64]) -> f64 {
+//!         followers.iter().map(|b| (p - 1.0) * b).sum()
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let solution = solve_stackelberg(&Toy, &SolveOptions::default())?;
+//! assert!((solution.leader_action - 5.5).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equilibrium;
+pub mod optimize;
+pub mod stackelberg;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::equilibrium::{verify_equilibrium, EquilibriumReport};
+    pub use crate::optimize::{
+        bisect_decreasing_root, golden_section_max, grid_search_max, is_concave_on,
+        numerical_derivative, numerical_second_derivative, Maximum, OptimizeError,
+    };
+    pub use crate::stackelberg::{
+        solve_follower_equilibrium, solve_stackelberg, SolveOptions, StackelbergGame,
+        StackelbergSolution,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let opts = SolveOptions::default();
+        assert!(opts.max_leader_iterations > 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Scalar optimisation routines for concave utility maximisation.
+//!
+//! The Stackelberg analysis in the paper relies on the strict concavity of the
+//! follower and leader utilities (Theorems 1 and 2). This module provides the
+//! numerical counterparts used to (a) cross-check the closed-form solutions
+//! and (b) solve variants for which no closed form exists (e.g. when the
+//! aggregate bandwidth cap binds).
+
+use std::fmt;
+
+/// Error produced by the scalar optimisation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The search interval was empty or inverted.
+    InvalidInterval {
+        /// Lower bound supplied by the caller.
+        lo: f64,
+        /// Upper bound supplied by the caller.
+        hi: f64,
+    },
+    /// The objective returned a non-finite value at the given point.
+    NonFiniteObjective {
+        /// Point at which the objective failed.
+        at: f64,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid search interval [{lo}, {hi}]")
+            }
+            OptimizeError::NonFiniteObjective { at } => {
+                write!(f, "objective returned a non-finite value at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Result of a scalar maximisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maximum {
+    /// Argument that maximises the objective.
+    pub argmax: f64,
+    /// Objective value at [`Maximum::argmax`].
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// Maximises a unimodal (e.g. strictly concave) function on `[lo, hi]` using
+/// golden-section search.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::InvalidInterval`] when `lo >= hi` or either bound
+/// is not finite, and [`OptimizeError::NonFiniteObjective`] when the objective
+/// produces NaN/infinity.
+pub fn golden_section_max<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    max_iters: usize,
+) -> Result<Maximum, OptimizeError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(OptimizeError::InvalidInterval { lo, hi });
+    }
+    let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0; // 1/phi
+    let mut a = lo;
+    let mut b = hi;
+    let mut evaluations = 0usize;
+    let mut eval = |x: f64, evals: &mut usize| -> Result<f64, OptimizeError> {
+        *evals += 1;
+        let v = f(x);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(OptimizeError::NonFiniteObjective { at: x })
+        }
+    };
+
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = eval(c, &mut evaluations)?;
+    let mut fd = eval(d, &mut evaluations)?;
+
+    let mut iters = 0usize;
+    while (b - a).abs() > tolerance && iters < max_iters {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = eval(c, &mut evaluations)?;
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = eval(d, &mut evaluations)?;
+        }
+        iters += 1;
+    }
+    let mid = 0.5 * (a + b);
+    let fmid = eval(mid, &mut evaluations)?;
+    // Also compare against the original endpoints so constrained optima at a
+    // boundary are not missed.
+    let flo = eval(lo, &mut evaluations)?;
+    let fhi = eval(hi, &mut evaluations)?;
+    let mut best = Maximum {
+        argmax: mid,
+        value: fmid,
+        evaluations,
+    };
+    if flo > best.value {
+        best.argmax = lo;
+        best.value = flo;
+    }
+    if fhi > best.value {
+        best.argmax = hi;
+        best.value = fhi;
+    }
+    best.evaluations = evaluations;
+    Ok(best)
+}
+
+/// Finds the root of a monotonically *decreasing* function on `[lo, hi]` by
+/// bisection. This matches the first-order condition of a strictly concave
+/// utility: its derivative is decreasing, so the utility's interior maximiser
+/// is the derivative's unique root.
+///
+/// If the function does not change sign on the interval, the bound with the
+/// smaller absolute function value is returned (which corresponds to a
+/// boundary-constrained maximiser for a concave objective).
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::InvalidInterval`] when `lo >= hi` or a bound is
+/// not finite, and [`OptimizeError::NonFiniteObjective`] when the function
+/// produces NaN/infinity.
+pub fn bisect_decreasing_root<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tolerance: f64,
+    max_iters: usize,
+) -> Result<f64, OptimizeError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(OptimizeError::InvalidInterval { lo, hi });
+    }
+    let check = |x: f64, v: f64| -> Result<f64, OptimizeError> {
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(OptimizeError::NonFiniteObjective { at: x })
+        }
+    };
+    let mut a = lo;
+    let mut b = hi;
+    let fa = check(a, f(a))?;
+    let fb = check(b, f(b))?;
+    if fa <= 0.0 {
+        // Decreasing and already non-positive at the left edge: root is at or
+        // below `lo`; the constrained maximiser is `lo`.
+        return Ok(lo);
+    }
+    if fb >= 0.0 {
+        // Still non-negative at the right edge: constrained maximiser is `hi`.
+        return Ok(hi);
+    }
+    let mut iters = 0usize;
+    while (b - a) > tolerance && iters < max_iters {
+        let mid = 0.5 * (a + b);
+        let fm = check(mid, f(mid))?;
+        if fm > 0.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+        iters += 1;
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Evaluates `f` on an evenly spaced grid and returns the best point.
+///
+/// Useful as a coarse global stage before a local refinement, and as the
+/// "greedy over past prices" baseline in the paper's comparison.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::InvalidInterval`] for an empty interval and
+/// [`OptimizeError::NonFiniteObjective`] if any evaluation is non-finite.
+pub fn grid_search_max<F>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Result<Maximum, OptimizeError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi || points < 2 {
+        return Err(OptimizeError::InvalidInterval { lo, hi });
+    }
+    let mut best = Maximum {
+        argmax: lo,
+        value: f64::NEG_INFINITY,
+        evaluations: 0,
+    };
+    for i in 0..points {
+        let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+        let v = f(x);
+        if !v.is_finite() {
+            return Err(OptimizeError::NonFiniteObjective { at: x });
+        }
+        best.evaluations += 1;
+        if v > best.value {
+            best.value = v;
+            best.argmax = x;
+        }
+    }
+    Ok(best)
+}
+
+/// Central-difference numerical derivative of `f` at `x` with step `h`.
+pub fn numerical_derivative<F>(mut f: F, x: f64, h: f64) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Central-difference numerical second derivative of `f` at `x` with step `h`.
+pub fn numerical_second_derivative<F>(mut f: F, x: f64, h: f64) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// Checks concavity of `f` on `[lo, hi]` by sampling the second derivative on
+/// a grid. Returns `true` if the second derivative is `<= tol` everywhere.
+pub fn is_concave_on<F>(mut f: F, lo: f64, hi: f64, samples: usize, tol: f64) -> bool
+where
+    F: FnMut(f64) -> f64,
+{
+    if samples < 3 || lo >= hi {
+        return false;
+    }
+    let h = (hi - lo) / (samples as f64 * 10.0);
+    (0..samples).all(|i| {
+        let x = lo + (hi - lo) * (i as f64 + 0.5) / samples as f64;
+        numerical_second_derivative(&mut f, x, h) <= tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_peak() {
+        let f = |x: f64| -(x - 2.5) * (x - 2.5) + 7.0;
+        let m = golden_section_max(f, 0.0, 10.0, 1e-9, 200).unwrap();
+        assert!((m.argmax - 2.5).abs() < 1e-6);
+        assert!((m.value - 7.0).abs() < 1e-10);
+        assert!(m.evaluations > 0);
+    }
+
+    #[test]
+    fn golden_section_respects_boundary_maximum() {
+        // Increasing function: maximum at the right boundary.
+        let m = golden_section_max(|x| x, 0.0, 3.0, 1e-9, 200).unwrap();
+        assert!((m.argmax - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_rejects_bad_interval() {
+        assert!(matches!(
+            golden_section_max(|x| x, 3.0, 1.0, 1e-9, 100),
+            Err(OptimizeError::InvalidInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn golden_section_detects_nan() {
+        let err = golden_section_max(|_| f64::NAN, 0.0, 1.0, 1e-9, 100).unwrap_err();
+        assert!(matches!(err, OptimizeError::NonFiniteObjective { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn bisection_finds_interior_root() {
+        // f(x) = 4 - x is decreasing with root 4.
+        let r = bisect_decreasing_root(|x| 4.0 - x, 0.0, 10.0, 1e-10, 200).unwrap();
+        assert!((r - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bisection_clamps_to_bounds() {
+        // Root below the interval.
+        let r = bisect_decreasing_root(|x| -1.0 - x, 0.0, 5.0, 1e-10, 100).unwrap();
+        assert_eq!(r, 0.0);
+        // Root above the interval.
+        let r = bisect_decreasing_root(|x| 100.0 - x, 0.0, 5.0, 1e-10, 100).unwrap();
+        assert_eq!(r, 5.0);
+    }
+
+    #[test]
+    fn grid_search_finds_coarse_max() {
+        let m = grid_search_max(|x| -(x - 1.0).powi(2), 0.0, 2.0, 101).unwrap();
+        assert!((m.argmax - 1.0).abs() < 0.02);
+        assert_eq!(m.evaluations, 101);
+    }
+
+    #[test]
+    fn grid_search_requires_two_points() {
+        assert!(grid_search_max(|x| x, 0.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn numerical_derivatives_match_analytic() {
+        let f = |x: f64| x.powi(3);
+        assert!((numerical_derivative(f, 2.0, 1e-5) - 12.0).abs() < 1e-5);
+        assert!((numerical_second_derivative(f, 2.0, 1e-4) - 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concavity_detection() {
+        assert!(is_concave_on(|x: f64| -(x * x), -3.0, 3.0, 50, 1e-6));
+        assert!(is_concave_on(|x: f64| x.ln(), 0.5, 10.0, 50, 1e-6));
+        assert!(!is_concave_on(|x: f64| x * x, -3.0, 3.0, 50, 1e-6));
+    }
+}

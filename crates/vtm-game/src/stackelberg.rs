@@ -1,0 +1,340 @@
+//! Generic single-leader / multi-follower Stackelberg game abstractions.
+//!
+//! The paper formulates a two-stage game: a Metaverse Service Provider (the
+//! leader) posts a scalar bandwidth price and every Vehicular Metaverse User
+//! (a follower) responds with a scalar bandwidth demand. This module captures
+//! that structure generically — a scalar leader action and one scalar strategy
+//! per follower — so the concrete AoTM game in `vtm-core` as well as the test
+//! games used to validate the solvers can share the same machinery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::optimize::{golden_section_max, OptimizeError};
+
+/// A single-leader, multi-follower game with scalar strategies.
+///
+/// Conventions:
+/// * The leader action (e.g. a unit price) lives in [`leader_action_bounds`].
+/// * Follower strategies (e.g. bandwidth demands) live in
+///   [`follower_strategy_bounds`] and may depend on the follower index.
+/// * Utilities are "larger is better" for every player.
+///
+/// [`leader_action_bounds`]: StackelbergGame::leader_action_bounds
+/// [`follower_strategy_bounds`]: StackelbergGame::follower_strategy_bounds
+pub trait StackelbergGame {
+    /// Number of followers in the game.
+    fn num_followers(&self) -> usize;
+
+    /// Closed interval of feasible leader actions.
+    fn leader_action_bounds(&self) -> (f64, f64);
+
+    /// Closed interval of feasible strategies for follower `i`.
+    fn follower_strategy_bounds(&self, follower: usize) -> (f64, f64);
+
+    /// Utility of follower `i` when the leader plays `leader_action`, the
+    /// follower plays `own` and the remaining followers play `others`
+    /// (indexed by follower id, the entry at `i` being ignored).
+    fn follower_utility(&self, follower: usize, leader_action: f64, own: f64, others: &[f64])
+        -> f64;
+
+    /// Best response of follower `i`. The default implementation maximises
+    /// [`follower_utility`](StackelbergGame::follower_utility) numerically on
+    /// the follower's strategy interval; games with a closed-form best
+    /// response should override it.
+    fn follower_best_response(&self, follower: usize, leader_action: f64, others: &[f64]) -> f64 {
+        let (lo, hi) = self.follower_strategy_bounds(follower);
+        golden_section_max(
+            |b| self.follower_utility(follower, leader_action, b, others),
+            lo,
+            hi,
+            1e-9 * (hi - lo).max(1.0),
+            200,
+        )
+        .map(|m| m.argmax)
+        .unwrap_or(lo)
+    }
+
+    /// Utility of the leader given its action and the follower strategy profile.
+    fn leader_utility(&self, leader_action: f64, followers: &[f64]) -> f64;
+
+    /// Projects a joint follower profile onto the feasible set (e.g. enforcing
+    /// an aggregate resource cap). The default is a no-op.
+    fn project_followers(&self, _leader_action: f64, _profile: &mut [f64]) {}
+}
+
+/// Options controlling the numerical Stackelberg solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Convergence tolerance for the iterated-best-response follower stage.
+    pub follower_tolerance: f64,
+    /// Maximum iterations of the follower best-response loop.
+    pub max_follower_iterations: usize,
+    /// Tolerance of the leader's golden-section search.
+    pub leader_tolerance: f64,
+    /// Maximum iterations of the leader search.
+    pub max_leader_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            follower_tolerance: 1e-9,
+            max_follower_iterations: 500,
+            leader_tolerance: 1e-7,
+            max_leader_iterations: 300,
+        }
+    }
+}
+
+/// A solved Stackelberg game: the leader's optimal action, the follower
+/// equilibrium it induces and the resulting utilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackelbergSolution {
+    /// Leader's optimal action (e.g. the equilibrium unit price `p*`).
+    pub leader_action: f64,
+    /// Follower equilibrium strategy profile (e.g. bandwidth demands `b*`).
+    pub follower_strategies: Vec<f64>,
+    /// Leader utility at the solution.
+    pub leader_utility: f64,
+    /// Per-follower utilities at the solution.
+    pub follower_utilities: Vec<f64>,
+}
+
+impl StackelbergSolution {
+    /// Sum of the follower strategies (e.g. total bandwidth sold).
+    pub fn total_follower_strategy(&self) -> f64 {
+        self.follower_strategies.iter().sum()
+    }
+
+    /// Sum of the follower utilities.
+    pub fn total_follower_utility(&self) -> f64 {
+        self.follower_utilities.iter().sum()
+    }
+
+    /// Average follower utility, or `0` when there are no followers.
+    pub fn average_follower_utility(&self) -> f64 {
+        if self.follower_utilities.is_empty() {
+            0.0
+        } else {
+            self.total_follower_utility() / self.follower_utilities.len() as f64
+        }
+    }
+}
+
+/// Computes the follower-stage Nash equilibrium under a fixed leader action by
+/// iterated best response, then applies the game's feasibility projection.
+///
+/// For games where each follower's best response is independent of the others
+/// (such as the paper's VMU subgame) this converges in a single sweep; for
+/// genuinely coupled followers it iterates until the profile stops moving.
+pub fn solve_follower_equilibrium<G: StackelbergGame>(
+    game: &G,
+    leader_action: f64,
+    options: &SolveOptions,
+) -> Vec<f64> {
+    let n = game.num_followers();
+    let mut profile: Vec<f64> = (0..n)
+        .map(|i| {
+            let (lo, hi) = game.follower_strategy_bounds(i);
+            0.5 * (lo + hi)
+        })
+        .collect();
+    for _ in 0..options.max_follower_iterations {
+        let mut max_change = 0.0_f64;
+        for i in 0..n {
+            let response = game.follower_best_response(i, leader_action, &profile);
+            max_change = max_change.max((response - profile[i]).abs());
+            profile[i] = response;
+        }
+        if max_change <= options.follower_tolerance {
+            break;
+        }
+    }
+    game.project_followers(leader_action, &mut profile);
+    profile
+}
+
+/// Solves the full two-stage game: for every candidate leader action the
+/// follower equilibrium is computed, and the leader action maximising the
+/// leader utility is selected by golden-section search over its interval.
+///
+/// # Errors
+///
+/// Returns an [`OptimizeError`] when the leader bounds are invalid or a
+/// utility evaluates to a non-finite value.
+pub fn solve_stackelberg<G: StackelbergGame>(
+    game: &G,
+    options: &SolveOptions,
+) -> Result<StackelbergSolution, OptimizeError> {
+    let (lo, hi) = game.leader_action_bounds();
+    let leader_objective = |p: f64| {
+        let profile = solve_follower_equilibrium(game, p, options);
+        game.leader_utility(p, &profile)
+    };
+    let maximum = golden_section_max(
+        leader_objective,
+        lo,
+        hi,
+        options.leader_tolerance,
+        options.max_leader_iterations,
+    )?;
+    let leader_action = maximum.argmax;
+    let follower_strategies = solve_follower_equilibrium(game, leader_action, options);
+    let follower_utilities = (0..game.num_followers())
+        .map(|i| {
+            game.follower_utility(i, leader_action, follower_strategies[i], &follower_strategies)
+        })
+        .collect();
+    Ok(StackelbergSolution {
+        leader_action,
+        leader_utility: game.leader_utility(leader_action, &follower_strategies),
+        follower_strategies,
+        follower_utilities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A textbook linear-demand monopoly: follower demand `b = a - p`, leader
+    /// profit `(p - c) * b`. The Stackelberg optimum is `p* = (a + c) / 2`.
+    struct LinearMonopoly {
+        a: f64,
+        c: f64,
+        followers: usize,
+    }
+
+    impl StackelbergGame for LinearMonopoly {
+        fn num_followers(&self) -> usize {
+            self.followers
+        }
+
+        fn leader_action_bounds(&self) -> (f64, f64) {
+            (self.c, self.a)
+        }
+
+        fn follower_strategy_bounds(&self, _follower: usize) -> (f64, f64) {
+            (0.0, self.a)
+        }
+
+        fn follower_utility(
+            &self,
+            _follower: usize,
+            leader_action: f64,
+            own: f64,
+            _others: &[f64],
+        ) -> f64 {
+            // Quadratic consumer surplus whose maximiser is a - p.
+            (self.a - leader_action) * own - 0.5 * own * own
+        }
+
+        fn leader_utility(&self, leader_action: f64, followers: &[f64]) -> f64 {
+            followers
+                .iter()
+                .map(|b| (leader_action - self.c) * b)
+                .sum()
+        }
+    }
+
+    #[test]
+    fn linear_monopoly_equilibrium_matches_textbook() {
+        let game = LinearMonopoly {
+            a: 10.0,
+            c: 2.0,
+            followers: 3,
+        };
+        let sol = solve_stackelberg(&game, &SolveOptions::default()).unwrap();
+        assert!((sol.leader_action - 6.0).abs() < 1e-3, "p* = {}", sol.leader_action);
+        for b in &sol.follower_strategies {
+            assert!((b - 4.0).abs() < 1e-3);
+        }
+        assert!((sol.leader_utility - 3.0 * 4.0 * 4.0).abs() < 1e-2);
+        assert_eq!(sol.follower_utilities.len(), 3);
+        assert!((sol.total_follower_strategy() - 12.0).abs() < 1e-2);
+        assert!(sol.average_follower_utility() > 0.0);
+    }
+
+    #[test]
+    fn follower_equilibrium_uses_default_numeric_best_response() {
+        let game = LinearMonopoly {
+            a: 8.0,
+            c: 1.0,
+            followers: 2,
+        };
+        let profile = solve_follower_equilibrium(&game, 3.0, &SolveOptions::default());
+        for b in profile {
+            assert!((b - 5.0).abs() < 1e-4);
+        }
+    }
+
+    struct CappedMonopoly {
+        inner: LinearMonopoly,
+        cap: f64,
+    }
+
+    impl StackelbergGame for CappedMonopoly {
+        fn num_followers(&self) -> usize {
+            self.inner.num_followers()
+        }
+        fn leader_action_bounds(&self) -> (f64, f64) {
+            self.inner.leader_action_bounds()
+        }
+        fn follower_strategy_bounds(&self, f: usize) -> (f64, f64) {
+            self.inner.follower_strategy_bounds(f)
+        }
+        fn follower_utility(&self, f: usize, p: f64, own: f64, others: &[f64]) -> f64 {
+            self.inner.follower_utility(f, p, own, others)
+        }
+        fn leader_utility(&self, p: f64, followers: &[f64]) -> f64 {
+            self.inner.leader_utility(p, followers)
+        }
+        fn project_followers(&self, _p: f64, profile: &mut [f64]) {
+            let total: f64 = profile.iter().sum();
+            if total > self.cap && total > 0.0 {
+                let scale = self.cap / total;
+                for b in profile {
+                    *b *= scale;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_enforces_aggregate_cap() {
+        let game = CappedMonopoly {
+            inner: LinearMonopoly {
+                a: 10.0,
+                c: 2.0,
+                followers: 4,
+            },
+            cap: 6.0,
+        };
+        let sol = solve_stackelberg(&game, &SolveOptions::default()).unwrap();
+        assert!(sol.total_follower_strategy() <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn solution_is_serialisable() {
+        let sol = StackelbergSolution {
+            leader_action: 1.0,
+            follower_strategies: vec![2.0],
+            leader_utility: 3.0,
+            follower_utilities: vec![4.0],
+        };
+        let json = serde_json::to_string(&sol).unwrap();
+        assert!(json.contains("leader_action"));
+    }
+
+    #[test]
+    fn empty_follower_solution_statistics() {
+        let sol = StackelbergSolution {
+            leader_action: 1.0,
+            follower_strategies: vec![],
+            leader_utility: 0.0,
+            follower_utilities: vec![],
+        };
+        assert_eq!(sol.average_follower_utility(), 0.0);
+        assert_eq!(sol.total_follower_strategy(), 0.0);
+    }
+}

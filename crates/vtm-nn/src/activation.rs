@@ -1,0 +1,209 @@
+//! Activation functions and their derivatives.
+//!
+//! Each activation is represented by the [`Activation`] enum so that layer
+//! configurations are plain data (serialisable, comparable) rather than boxed
+//! closures. The derivative is expressed with respect to the *pre-activation*
+//! input `z`, which is what the dense-layer backward pass caches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Supported element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Identity: `f(z) = z`.
+    #[default]
+    Linear,
+    /// Rectified linear unit: `f(z) = max(0, z)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid: `f(z) = 1 / (1 + exp(-z))`.
+    Sigmoid,
+    /// Softplus: `f(z) = ln(1 + exp(z))`, a smooth approximation of ReLU.
+    Softplus,
+    /// Leaky ReLU with slope 0.01 for negative inputs.
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply_scalar(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => sigmoid(z),
+            Activation::Softplus => softplus(z),
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    z
+                } else {
+                    0.01 * z
+                }
+            }
+        }
+    }
+
+    /// Derivative of the activation with respect to the pre-activation scalar `z`.
+    pub fn derivative_scalar(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(z);
+                s * (1.0 - s)
+            }
+            Activation::Softplus => sigmoid(z),
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+
+    /// Applies the activation element-wise to a matrix.
+    pub fn apply(self, z: &Matrix) -> Matrix {
+        z.map(|x| self.apply_scalar(x))
+    }
+
+    /// Element-wise derivative with respect to the pre-activation matrix `z`.
+    pub fn derivative(self, z: &Matrix) -> Matrix {
+        z.map(|x| self.derivative_scalar(x))
+    }
+
+    /// Human-readable name of the activation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Softplus => "softplus",
+            Activation::LeakyRelu => "leaky_relu",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + exp(z))`.
+pub fn softplus(z: f64) -> f64 {
+    if z > 30.0 {
+        // exp(z) overflows long before this but the function is ~z there.
+        z
+    } else if z < -30.0 {
+        z.exp()
+    } else {
+        (1.0 + z.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 6] = [
+        Activation::Linear,
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Softplus,
+        Activation::LeakyRelu,
+    ];
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        for z in [-25.0, -5.0, -0.5, 0.5, 5.0, 25.0] {
+            let s = sigmoid(z);
+            assert!(s > 0.0 && s < 1.0);
+            assert!((s + sigmoid(-z) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softplus_is_positive_and_close_to_relu_for_large_inputs() {
+        assert!(softplus(-100.0) >= 0.0);
+        assert!((softplus(100.0) - 100.0).abs() < 1e-9);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_leaky_relu_values() {
+        assert_eq!(Activation::Relu.apply_scalar(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply_scalar(2.0), 2.0);
+        assert!((Activation::LeakyRelu.apply_scalar(-2.0) + 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in ALL {
+            for z in [-2.3, -0.7, 0.4, 1.9] {
+                let numeric =
+                    (act.apply_scalar(z + h) - act.apply_scalar(z - h)) / (2.0 * h);
+                let analytic = act.derivative_scalar(z);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act} derivative mismatch at {z}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_application_matches_scalar() {
+        let z = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]).unwrap();
+        for act in ALL {
+            let applied = act.apply(&z);
+            for (i, &zi) in z.as_slice().iter().enumerate() {
+                assert_eq!(applied.as_slice()[i], act.apply_scalar(zi));
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+        assert!(ALL.iter().all(|a| !a.name().is_empty()));
+    }
+
+    #[test]
+    fn tanh_derivative_peaks_at_zero() {
+        let d0 = Activation::Tanh.derivative_scalar(0.0);
+        assert!((d0 - 1.0).abs() < 1e-12);
+        assert!(Activation::Tanh.derivative_scalar(3.0) < d0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Numerical gradient checking utilities.
+//!
+//! These helpers compare analytic gradients produced by the backward pass with
+//! central finite differences of a scalar loss. They are used by the test
+//! suites of downstream crates (e.g. to validate the PPO surrogate gradient)
+//! and exported as part of the public API so that users extending the network
+//! code can validate their own layers.
+
+use crate::matrix::Matrix;
+use crate::mlp::{Mlp, MlpGrads};
+
+/// Report of a gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between numeric and analytic gradients.
+    pub max_abs_error: f64,
+    /// Largest relative difference, using `|a - n| / max(1, |a|, |n|)`.
+    pub max_rel_error: f64,
+    /// Number of parameters checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed under the given tolerance.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Numerically verifies `analytic` against the scalar loss `loss(net)` by
+/// perturbing every parameter of `net` with a central difference of step `h`.
+///
+/// The closure must be a pure function of the network parameters (it is called
+/// repeatedly on perturbed copies of `net`).
+pub fn check_gradients<F>(
+    net: &Mlp,
+    analytic: &MlpGrads,
+    loss: F,
+    h: f64,
+) -> GradCheckReport
+where
+    F: Fn(&Mlp) -> f64,
+{
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
+    let mut work = net.clone();
+    for layer_idx in 0..net.layers().len() {
+        let fan_in = net.layers()[layer_idx].fan_in();
+        let fan_out = net.layers()[layer_idx].fan_out();
+        for r in 0..fan_in {
+            for c in 0..fan_out {
+                let orig = work.layers()[layer_idx].weights()[(r, c)];
+                work.layers_mut()[layer_idx].weights_mut()[(r, c)] = orig + h;
+                let up = loss(&work);
+                work.layers_mut()[layer_idx].weights_mut()[(r, c)] = orig - h;
+                let down = loss(&work);
+                work.layers_mut()[layer_idx].weights_mut()[(r, c)] = orig;
+                let numeric = (up - down) / (2.0 * h);
+                let a = analytic.layers[layer_idx].weights[(r, c)];
+                accumulate(&mut max_abs, &mut max_rel, numeric, a);
+                checked += 1;
+            }
+        }
+        for c in 0..fan_out {
+            let orig = work.layers()[layer_idx].bias()[(0, c)];
+            work.layers_mut()[layer_idx].bias_mut()[(0, c)] = orig + h;
+            let up = loss(&work);
+            work.layers_mut()[layer_idx].bias_mut()[(0, c)] = orig - h;
+            let down = loss(&work);
+            work.layers_mut()[layer_idx].bias_mut()[(0, c)] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            let a = analytic.layers[layer_idx].bias[(0, c)];
+            accumulate(&mut max_abs, &mut max_rel, numeric, a);
+            checked += 1;
+        }
+    }
+    GradCheckReport {
+        max_abs_error: max_abs,
+        max_rel_error: max_rel,
+        checked,
+    }
+}
+
+fn accumulate(max_abs: &mut f64, max_rel: &mut f64, numeric: f64, analytic: f64) {
+    let abs = (numeric - analytic).abs();
+    let rel = abs / numeric.abs().max(analytic.abs()).max(1.0);
+    if abs > *max_abs {
+        *max_abs = abs;
+    }
+    if rel > *max_rel {
+        *max_rel = rel;
+    }
+}
+
+/// Convenience helper: checks the gradient of the mean of the network output
+/// over a fixed input batch. This exercises the full forward/backward path.
+pub fn check_output_mean_gradient(net: &Mlp, input: &Matrix, h: f64) -> GradCheckReport {
+    let (out, caches) = net
+        .forward_train(input)
+        .expect("gradient check input must match network input dim");
+    let n = out.len().max(1) as f64;
+    let grad_out = Matrix::filled(out.rows(), out.cols(), 1.0 / n);
+    let (_, grads) = net
+        .backward(&caches, &grad_out)
+        .expect("backward pass failed during gradient check");
+    check_gradients(
+        net,
+        &grads,
+        |m| m.forward(input).expect("forward failed").mean(),
+        h,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::MlpConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_output_gradient_check_passes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = MlpConfig::new(5, &[16, 16], 3)
+            .hidden_activation(Activation::Tanh)
+            .build(&mut rng);
+        let x = Matrix::from_rows(&[
+            &[0.1, -0.3, 0.5, 0.7, -0.9],
+            &[1.1, 0.2, -0.6, 0.0, 0.4],
+        ])
+        .unwrap();
+        let report = check_output_mean_gradient(&net, &x, 1e-6);
+        assert!(report.checked > 0);
+        assert!(
+            report.passes(1e-5),
+            "gradient check failed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn detects_wrong_gradients() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let net = MlpConfig::new(2, &[4], 1).build(&mut rng);
+        let x = Matrix::from_rows(&[&[0.5, -0.5]]).unwrap();
+        // Deliberately wrong analytic gradients (all zeros won't match unless the
+        // true gradient is identically zero, which Xavier init makes vanishingly
+        // unlikely for this input).
+        let wrong = MlpGrads::zeros_like(&net);
+        let report = check_gradients(&net, &wrong, |m| m.forward(&x).unwrap().sum(), 1e-6);
+        assert!(!report.passes(1e-5));
+    }
+
+    #[test]
+    fn relu_networks_pass_with_looser_tolerance() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let net = MlpConfig::new(3, &[8], 2)
+            .hidden_activation(Activation::Relu)
+            .build(&mut rng);
+        let x = Matrix::from_rows(&[&[0.4, 0.9, -0.2]]).unwrap();
+        let report = check_output_mean_gradient(&net, &x, 1e-6);
+        // ReLU kinks can inflate the error if a pre-activation sits near zero;
+        // with a fixed seed this configuration stays comfortably smooth.
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+}

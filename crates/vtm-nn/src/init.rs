@@ -1,0 +1,103 @@
+//! Weight initialisation schemes for dense layers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Weight initialisation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Initializer {
+    /// All weights zero (useful for output heads whose initial action should be neutral).
+    Zeros,
+    /// Uniform in `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        limit: f64,
+    },
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`. Suited to tanh/sigmoid.
+    #[default]
+    XavierUniform,
+    /// He/Kaiming uniform: `limit = sqrt(6 / fan_in)`. Suited to ReLU-family activations.
+    HeUniform,
+    /// Orthogonal-ish scaled initialisation used by many PPO implementations:
+    /// Xavier uniform multiplied by `gain`.
+    ScaledXavier {
+        /// Multiplier applied after Xavier sampling (e.g. `0.01` for policy output layers).
+        gain: f64,
+    },
+}
+
+impl Initializer {
+    /// Samples a `fan_in x fan_out` weight matrix with the configured scheme.
+    pub fn sample<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+        let mut w = Matrix::zeros(fan_in, fan_out);
+        let limit = match self {
+            Initializer::Zeros => 0.0,
+            Initializer::Uniform { limit } => limit,
+            Initializer::XavierUniform | Initializer::ScaledXavier { .. } => {
+                (6.0 / (fan_in + fan_out).max(1) as f64).sqrt()
+            }
+            Initializer::HeUniform => (6.0 / fan_in.max(1) as f64).sqrt(),
+        };
+        if limit > 0.0 {
+            for x in w.as_mut_slice() {
+                *x = rng.gen_range(-limit..=limit);
+            }
+        }
+        if let Initializer::ScaledXavier { gain } = self {
+            w.map_inplace(|x| x * gain);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_initializer_is_all_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = Initializer::Zeros.sample(4, 3, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fan_in = 8;
+        let fan_out = 16;
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        let w = Initializer::XavierUniform.sample(fan_in, fan_out, &mut rng);
+        assert_eq!(w.shape(), (fan_in, fan_out));
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit + 1e-12));
+        // With 128 samples the spread should not collapse to a point.
+        assert!(w.max() > w.min());
+    }
+
+    #[test]
+    fn he_uses_only_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Initializer::HeUniform.sample(2, 100, &mut rng);
+        let limit = (6.0_f64 / 2.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit + 1e-12));
+    }
+
+    #[test]
+    fn scaled_xavier_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Initializer::ScaledXavier { gain: 0.01 }.sample(16, 16, &mut rng);
+        let limit = 0.01 * (6.0 / 32.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit + 1e-12));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Initializer::XavierUniform.sample(3, 3, &mut StdRng::seed_from_u64(7));
+        let b = Initializer::XavierUniform.sample(3, 3, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,687 @@
+//! Dense row-major matrix type used throughout the neural-network substrate.
+//!
+//! The matrix is intentionally simple: an owned `Vec<f64>` in row-major order
+//! with a `(rows, cols)` shape. All shape mismatches are reported through
+//! [`ShapeError`] rather than panics so that callers composing layers can
+//! surface configuration errors cleanly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// Error returned when two matrices have incompatible shapes for an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Operation that failed (e.g. `"matmul"`).
+    pub op: &'static str,
+    /// Shape of the left-hand operand.
+    pub lhs: (usize, usize),
+    /// Shape of the right-hand operand.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use vtm_nn::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c, a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, ShapeError> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(ShapeError {
+                    op: "from_rows",
+                    lhs: (rows.len(), cols),
+                    rhs: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a single-row matrix (row vector) from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a single-column matrix (column vector) from a slice.
+    pub fn column_vector(values: &[f64]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the value at `(row, col)` or `None` when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Returns a view of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a mutable view of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns column `c` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix multiplication `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn add_elem(&self, rhs: &Self) -> Result<Self, ShapeError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn sub_elem(&self, rhs: &Self) -> Result<Self, ShapeError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn hadamard(&self, rhs: &Self) -> Result<Self, ShapeError> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Applies a binary closure element-wise across two equally shaped matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn zip_with<F>(&self, rhs: &Self, op: &'static str, f: F) -> Result<Self, ShapeError>
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Applies a unary closure to every element, returning a new matrix.
+    pub fn map<F>(&self, f: F) -> Self
+    where
+        F: Fn(f64) -> f64,
+    {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies a unary closure to every element in place.
+    pub fn map_inplace<F>(&mut self, f: F)
+    where
+        F: Fn(f64) -> f64,
+    {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new matrix.
+    pub fn scale(&self, s: f64) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `rhs` scaled by `alpha` into `self` in place (`self += alpha * rhs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the shapes differ.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Self) -> Result<(), ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Adds a row vector to every row of the matrix (broadcasting).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `bias` is not a `1 x cols` matrix.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Result<Self, ShapeError> {
+        if bias.rows != 1 || bias.cols != self.cols {
+            return Err(ShapeError {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: bias.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += bias.data[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums every row into a single `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Self::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns `0.0` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Largest element. Returns negative infinity for an empty matrix.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest element. Returns positive infinity for an empty matrix.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Frobenius norm (square root of the sum of squares of all elements).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Clamps every element into `[lo, hi]` in place.
+    pub fn clamp_inplace(&mut self, lo: f64, hi: f64) {
+        for x in &mut self.data {
+            *x = x.clamp(lo, hi);
+        }
+    }
+
+    /// Returns `true` when the element-wise absolute difference with `other`
+    /// never exceeds `tol`. Shapes must match, otherwise `false`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.add_elem(rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.sub_elem(rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs).expect("matrix += shape mismatch");
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>10.4} ", self.data[r * self.cols + c])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_contents() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let o = Matrix::ones(3, 2);
+        assert_eq!(o.sum(), 6.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        let err = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(err.op, "from_vec");
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_rows() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert_eq!(err.op, "from_rows");
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_shape_and_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t[(0, 2)], 5.0);
+        assert_eq!(t[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn elementwise_ops_work() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]).unwrap();
+        assert_eq!((&a + &b)[(1, 1)], 44.0);
+        assert_eq!((&b - &a)[(0, 0)], 9.0);
+        assert_eq!(a.hadamard(&b).unwrap()[(0, 1)], 40.0);
+        assert_eq!((&a * 2.0)[(1, 0)], 6.0);
+        assert_eq!((-&a)[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn broadcast_bias_adds_to_every_row() {
+        let a = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, -1.0]);
+        let out = a.add_row_broadcast(&bias).unwrap();
+        for r in 0..3 {
+            assert_eq!(out[(r, 0)], 1.0);
+            assert_eq!(out[(r, 1)], -1.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_bias_rejects_wrong_width() {
+        let a = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert!(a.add_row_broadcast(&bias).is_err());
+    }
+
+    #[test]
+    fn sum_rows_collapses_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let s = a.sum_rows();
+        assert_eq!(s.shape(), (1, 2));
+        assert_eq!(s[(0, 0)], 9.0);
+        assert_eq!(s[(0, 1)], 12.0);
+    }
+
+    #[test]
+    fn reductions_and_norms() {
+        let a = Matrix::from_rows(&[&[3.0, -4.0]]).unwrap();
+        assert_eq!(a.sum(), -1.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -4.0);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::ones(2, 2);
+        let b = Matrix::filled(2, 2, 3.0);
+        a.axpy(2.0, &b).unwrap();
+        assert!(a.as_slice().iter().all(|&x| (x - 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn clamp_limits_values() {
+        let mut a = Matrix::from_rows(&[&[-10.0, 0.5, 10.0]]).unwrap();
+        a.clamp_inplace(-1.0, 1.0);
+        assert_eq!(a.as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn rows_and_columns_views() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.column(0), vec![1.0, 3.0]);
+        assert_eq!(a.get(1, 1), Some(4.0));
+        assert_eq!(a.get(2, 0), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::zeros(1, 1);
+        assert!(!format!("{a}").is_empty());
+        assert!(!format!("{a:?}").is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.5, -2.5], &[0.0, 4.25]]).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::ones(1, 2);
+        assert!(a.all_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.all_finite());
+    }
+}

@@ -1,0 +1,402 @@
+//! Multi-layer perceptron built from [`Dense`] layers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::init::Initializer;
+use crate::layer::{Dense, DenseCache, DenseGrads};
+use crate::matrix::{Matrix, ShapeError};
+
+/// Configuration for building an [`Mlp`].
+///
+/// # Examples
+///
+/// ```
+/// use vtm_nn::mlp::MlpConfig;
+/// use vtm_nn::activation::Activation;
+///
+/// let cfg = MlpConfig::new(8, &[64, 64], 1)
+///     .hidden_activation(Activation::Tanh)
+///     .output_activation(Activation::Linear);
+/// assert_eq!(cfg.layer_sizes(), vec![8, 64, 64, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    input_dim: usize,
+    hidden_dims: Vec<usize>,
+    output_dim: usize,
+    hidden_activation: Activation,
+    output_activation: Activation,
+    hidden_initializer: Initializer,
+    output_initializer: Initializer,
+}
+
+impl MlpConfig {
+    /// Creates a configuration with tanh hidden layers and a linear output layer,
+    /// which is the architecture the paper uses (two hidden layers of 64 units).
+    pub fn new(input_dim: usize, hidden_dims: &[usize], output_dim: usize) -> Self {
+        Self {
+            input_dim,
+            hidden_dims: hidden_dims.to_vec(),
+            output_dim,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Linear,
+            hidden_initializer: Initializer::XavierUniform,
+            output_initializer: Initializer::ScaledXavier { gain: 0.01 },
+        }
+    }
+
+    /// Sets the activation used by every hidden layer.
+    pub fn hidden_activation(mut self, activation: Activation) -> Self {
+        self.hidden_activation = activation;
+        self
+    }
+
+    /// Sets the activation used by the output layer.
+    pub fn output_activation(mut self, activation: Activation) -> Self {
+        self.output_activation = activation;
+        self
+    }
+
+    /// Sets the initializer used by hidden layers.
+    pub fn hidden_initializer(mut self, init: Initializer) -> Self {
+        self.hidden_initializer = init;
+        self
+    }
+
+    /// Sets the initializer used by the output layer.
+    pub fn output_initializer(mut self, init: Initializer) -> Self {
+        self.output_initializer = init;
+        self
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// All layer sizes from input to output.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::with_capacity(self.hidden_dims.len() + 2);
+        sizes.push(self.input_dim);
+        sizes.extend_from_slice(&self.hidden_dims);
+        sizes.push(self.output_dim);
+        sizes
+    }
+
+    /// Builds the network, sampling weights from `rng`.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Mlp {
+        let sizes = self.layer_sizes();
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let last = i == sizes.len() - 2;
+            let activation = if last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            let init = if last {
+                self.output_initializer
+            } else {
+                self.hidden_initializer
+            };
+            layers.push(Dense::new(sizes[i], sizes[i + 1], activation, init, rng));
+        }
+        Mlp { layers }
+    }
+}
+
+/// Gradients for every layer of an [`Mlp`], ordered from input layer to output layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGrads {
+    /// Per-layer parameter gradients.
+    pub layers: Vec<DenseGrads>,
+}
+
+impl MlpGrads {
+    /// A zero gradient matching `net`'s parameter shapes.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        Self {
+            layers: net.layers.iter().map(DenseGrads::zeros_like).collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the layer shapes differ.
+    pub fn accumulate(&mut self, other: &MlpGrads) -> Result<(), ShapeError> {
+        for (a, b) in self.layers.iter_mut().zip(other.layers.iter()) {
+            a.accumulate(b)?;
+        }
+        Ok(())
+    }
+
+    /// Scales every gradient in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for g in &mut self.layers {
+            g.scale_inplace(s);
+        }
+    }
+
+    /// Global L2 norm across all layers.
+    pub fn global_norm(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|g| g.norm().powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Clips the global norm to `max_norm`, returning the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f64) -> f64 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale_inplace(max_norm / norm);
+        }
+        norm
+    }
+}
+
+/// A feed-forward network of [`Dense`] layers operating on batches of row vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP directly from layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if consecutive layers have mismatched widths.
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Self, ShapeError> {
+        for pair in layers.windows(2) {
+            if pair[0].fan_out() != pair[1].fan_in() {
+                return Err(ShapeError {
+                    op: "mlp_from_layers",
+                    lhs: (pair[0].fan_in(), pair[0].fan_out()),
+                    rhs: (pair[1].fan_in(), pair[1].fan_out()),
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// The layers of the network, input to output.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input dimensionality (0 if the network has no layers).
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, Dense::fan_in)
+    }
+
+    /// Output dimensionality (0 if the network has no layers).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, Dense::fan_out)
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Dense::parameter_count).sum()
+    }
+
+    /// Forward pass for inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the input width does not match [`Mlp::input_dim`].
+    pub fn forward(&self, input: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Convenience forward pass for a single observation vector; returns the output row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the slice length does not match [`Mlp::input_dim`].
+    pub fn forward_vec(&self, input: &[f64]) -> Result<Vec<f64>, ShapeError> {
+        let out = self.forward(&Matrix::row_vector(input))?;
+        Ok(out.into_vec())
+    }
+
+    /// Forward pass that caches intermediate values for [`Mlp::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the input width does not match [`Mlp::input_dim`].
+    pub fn forward_train(&self, input: &Matrix) -> Result<(Matrix, Vec<DenseCache>), ShapeError> {
+        let mut x = input.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (out, cache) = layer.forward_train(&x)?;
+            caches.push(cache);
+            x = out;
+        }
+        Ok((x, caches))
+    }
+
+    /// Backward pass through the whole network.
+    ///
+    /// `grad_output` is the gradient of the scalar loss with respect to the
+    /// network output. Returns the gradient with respect to the network input
+    /// together with per-layer parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when shapes are inconsistent with the caches.
+    pub fn backward(
+        &self,
+        caches: &[DenseCache],
+        grad_output: &Matrix,
+    ) -> Result<(Matrix, MlpGrads), ShapeError> {
+        assert_eq!(
+            caches.len(),
+            self.layers.len(),
+            "cache count must match layer count"
+        );
+        let mut grad = grad_output.clone();
+        let mut layer_grads = vec![None; self.layers.len()];
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (grad_input, grads) = layer.backward(&caches[idx], &grad)?;
+            layer_grads[idx] = Some(grads);
+            grad = grad_input;
+        }
+        Ok((
+            grad,
+            MlpGrads {
+                layers: layer_grads.into_iter().map(Option::unwrap).collect(),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Mlp {
+        MlpConfig::new(3, &[8, 8], 2).build(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn config_layer_sizes() {
+        let cfg = MlpConfig::new(4, &[16, 32], 1);
+        assert_eq!(cfg.layer_sizes(), vec![4, 16, 32, 1]);
+        assert_eq!(cfg.input_dim(), 4);
+        assert_eq!(cfg.output_dim(), 1);
+    }
+
+    #[test]
+    fn build_produces_expected_dims() {
+        let n = net(0);
+        assert_eq!(n.input_dim(), 3);
+        assert_eq!(n.output_dim(), 2);
+        assert_eq!(n.layers().len(), 3);
+        assert_eq!(n.parameter_count(), 3 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let n = net(1);
+        let x = Matrix::zeros(5, 3);
+        let y = n.forward(&x).unwrap();
+        assert_eq!(y.shape(), (5, 2));
+        let v = n.forward_vec(&[0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn forward_rejects_bad_width() {
+        let n = net(2);
+        assert!(n.forward(&Matrix::zeros(1, 4)).is_err());
+    }
+
+    #[test]
+    fn from_layers_rejects_mismatched_widths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Dense::new(3, 4, Activation::Tanh, Initializer::XavierUniform, &mut rng);
+        let b = Dense::new(5, 2, Activation::Linear, Initializer::XavierUniform, &mut rng);
+        assert!(Mlp::from_layers(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut n = net(4);
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-1.1, 0.3, 0.7]]).unwrap();
+        let loss = |n: &Mlp, x: &Matrix| {
+            // Loss = sum of squares of outputs / 2.
+            let y = n.forward(x).unwrap();
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        let (y, caches) = n.forward_train(&x).unwrap();
+        // dL/dy = y for this loss.
+        let (_, grads) = n.backward(&caches, &y).unwrap();
+
+        let h = 1e-6;
+        for layer_idx in 0..n.layers().len() {
+            for r in 0..n.layers()[layer_idx].fan_in() {
+                for c in 0..n.layers()[layer_idx].fan_out() {
+                    let orig = n.layers()[layer_idx].weights()[(r, c)];
+                    n.layers_mut()[layer_idx].weights_mut()[(r, c)] = orig + h;
+                    let up = loss(&n, &x);
+                    n.layers_mut()[layer_idx].weights_mut()[(r, c)] = orig - h;
+                    let down = loss(&n, &x);
+                    n.layers_mut()[layer_idx].weights_mut()[(r, c)] = orig;
+                    let numeric = (up - down) / (2.0 * h);
+                    let analytic = grads.layers[layer_idx].weights[(r, c)];
+                    assert!(
+                        (numeric - analytic).abs() < 1e-4,
+                        "layer {layer_idx} dW({r},{c}): numeric {numeric} analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grads_zero_accumulate_clip() {
+        let n = net(5);
+        let mut g = MlpGrads::zeros_like(&n);
+        assert_eq!(g.global_norm(), 0.0);
+        let mut g2 = MlpGrads::zeros_like(&n);
+        for layer in &mut g2.layers {
+            layer.weights.map_inplace(|_| 1.0);
+        }
+        g.accumulate(&g2).unwrap();
+        let norm_before = g.global_norm();
+        assert!(norm_before > 1.0);
+        let returned = g.clip_global_norm(1.0);
+        assert!((returned - norm_before).abs() < 1e-12);
+        assert!((g.global_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_outputs() {
+        let n = net(6);
+        let json = serde_json::to_string(&n).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = Matrix::from_rows(&[&[0.5, 0.5, 0.5]]).unwrap();
+        assert!(n.forward(&x).unwrap().approx_eq(&back.forward(&x).unwrap(), 1e-15));
+    }
+}

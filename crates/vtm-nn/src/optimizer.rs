@@ -1,0 +1,332 @@
+//! First-order gradient optimizers operating on [`Mlp`] parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::mlp::{Mlp, MlpGrads};
+
+/// An optimizer applies parameter updates to an [`Mlp`] given gradients of a
+/// scalar loss. Updates follow the *descent* convention: the loss decreases
+/// along `-gradient` (callers maximising an objective should negate gradients).
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `grads` does not match the network's
+    /// parameter shapes (this indicates a programming error, not a data error).
+    fn step(&mut self, net: &mut Mlp, grads: &MlpGrads);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Resets any accumulated internal state (moments, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    velocity: Vec<(Matrix, Matrix)>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive or `momentum` is
+    /// outside `[0, 1)`.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, net: &Mlp) {
+        if self.velocity.len() != net.layers().len() {
+            self.velocity = net
+                .layers()
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.fan_in(), l.fan_out()),
+                        Matrix::zeros(1, l.fan_out()),
+                    )
+                })
+                .collect();
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Mlp, grads: &MlpGrads) {
+        self.ensure_state(net);
+        for (idx, layer) in net.layers_mut().iter_mut().enumerate() {
+            let g = &grads.layers[idx];
+            let (vw, vb) = &mut self.velocity[idx];
+            *vw = vw.scale(self.momentum);
+            vw.axpy(1.0, &g.weights).expect("sgd weight shape mismatch");
+            *vb = vb.scale(self.momentum);
+            vb.axpy(1.0, &g.bias).expect("sgd bias shape mismatch");
+            layer
+                .weights_mut()
+                .axpy(-self.learning_rate, vw)
+                .expect("sgd weight shape mismatch");
+            layer
+                .bias_mut()
+                .axpy(-self.learning_rate, vb)
+                .expect("sgd bias shape mismatch");
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.learning_rate = lr;
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015), the optimizer used for the paper's PPO
+/// actor-critic networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    first_moment: Vec<(Matrix, Matrix)>,
+    second_moment: Vec<(Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// `beta1 = 0.9`, `beta2 = 0.999`, `epsilon = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive.
+    pub fn new(learning_rate: f64) -> Self {
+        Self::with_betas(learning_rate, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hyper-parameter is outside its valid range.
+    pub fn with_betas(learning_rate: f64, beta1: f64, beta2: f64, epsilon: f64) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            step: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, net: &Mlp) {
+        if self.first_moment.len() != net.layers().len() {
+            let zeros: Vec<(Matrix, Matrix)> = net
+                .layers()
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.fan_in(), l.fan_out()),
+                        Matrix::zeros(1, l.fan_out()),
+                    )
+                })
+                .collect();
+            self.first_moment = zeros.clone();
+            self.second_moment = zeros;
+            self.step = 0;
+        }
+    }
+
+    fn update_matrix(
+        param: &mut Matrix,
+        grad: &Matrix,
+        m: &mut Matrix,
+        v: &mut Matrix,
+        lr: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        bias1: f64,
+        bias2: f64,
+    ) {
+        for i in 0..param.len() {
+            let g = grad.as_slice()[i];
+            let mi = beta1 * m.as_slice()[i] + (1.0 - beta1) * g;
+            let vi = beta2 * v.as_slice()[i] + (1.0 - beta2) * g * g;
+            m.as_mut_slice()[i] = mi;
+            v.as_mut_slice()[i] = vi;
+            let m_hat = mi / bias1;
+            let v_hat = vi / bias2;
+            param.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Mlp, grads: &MlpGrads) {
+        self.ensure_state(net);
+        self.step += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
+        for (idx, layer) in net.layers_mut().iter_mut().enumerate() {
+            let g = &grads.layers[idx];
+            assert_eq!(
+                g.weights.shape(),
+                layer.weights().shape(),
+                "adam gradient shape mismatch"
+            );
+            let (mw, mb) = &mut self.first_moment[idx];
+            let (vw, vb) = &mut self.second_moment[idx];
+            Self::update_matrix(
+                layer.weights_mut(),
+                &g.weights,
+                mw,
+                vw,
+                self.learning_rate,
+                self.beta1,
+                self.beta2,
+                self.epsilon,
+                bias1,
+                bias2,
+            );
+            Self::update_matrix(
+                layer.bias_mut(),
+                &g.bias,
+                mb,
+                vb,
+                self.learning_rate,
+                self.beta1,
+                self.beta2,
+                self.epsilon,
+                bias1,
+                bias2,
+            );
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.learning_rate = lr;
+    }
+
+    fn reset(&mut self) {
+        self.first_moment.clear();
+        self.second_moment.clear();
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::MlpConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trains `net` to fit y = f(x) on a fixed batch and returns the final MSE.
+    fn train_regression<O: Optimizer>(opt: &mut O, steps: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = MlpConfig::new(1, &[16], 1)
+            .hidden_activation(Activation::Tanh)
+            .build(&mut rng);
+        let xs: Vec<f64> = (0..32).map(|i| -1.0 + 2.0 * i as f64 / 31.0).collect();
+        let targets: Vec<f64> = xs.iter().map(|x| 0.5 * x + 0.2).collect();
+        let x = Matrix::column_vector(&xs);
+        let t = Matrix::column_vector(&targets);
+        let mut last_mse = f64::INFINITY;
+        for _ in 0..steps {
+            let (y, caches) = net.forward_train(&x).unwrap();
+            let diff = y.sub_elem(&t).unwrap();
+            last_mse = diff.map(|d| d * d).mean();
+            // dMSE/dy = 2 (y - t) / n
+            let grad = diff.scale(2.0 / xs.len() as f64);
+            let (_, grads) = net.backward(&caches, &grad).unwrap();
+            opt.step(&mut net, &grads);
+        }
+        last_mse
+    }
+
+    #[test]
+    fn sgd_reduces_regression_loss() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mse = train_regression(&mut opt, 300, 1);
+        assert!(mse < 1e-3, "sgd failed to fit linear target, mse = {mse}");
+    }
+
+    #[test]
+    fn adam_reduces_regression_loss() {
+        let mut opt = Adam::new(0.01);
+        let mse = train_regression(&mut opt, 300, 2);
+        assert!(mse < 1e-3, "adam failed to fit linear target, mse = {mse}");
+    }
+
+    #[test]
+    fn adam_state_resets() {
+        let mut opt = Adam::new(0.01);
+        let _ = train_regression(&mut opt, 5, 3);
+        opt.reset();
+        assert_eq!(opt.first_moment.len(), 0);
+        assert_eq!(opt.step, 0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+        opt.set_learning_rate(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        let mut sgd = Sgd::new(0.5, 0.0);
+        sgd.set_learning_rate(0.25);
+        assert_eq!(sgd.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn adam_rejects_nonpositive_lr() {
+        let _ = Adam::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0,1)")]
+    fn sgd_rejects_bad_momentum() {
+        let _ = Sgd::new(0.1, 1.5);
+    }
+}

@@ -1,0 +1,317 @@
+//! Simple non-neural agents: uniform-random, fixed-action and a tabular
+//! epsilon-greedy bandit over a discretised action grid.
+//!
+//! These serve two purposes: they are cheap baselines for any
+//! [`Environment`], and the epsilon-greedy bandit is the learning-theoretic
+//! counterpart of the paper's "greedy" pricing scheme (remember the best
+//! action seen, explore with decaying probability).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::env::{ActionSpace, Environment};
+
+/// A minimal agent interface for the simple baselines: pick an action for an
+/// observation, then learn from the received reward.
+pub trait SimpleAgent {
+    /// Chooses an action for the observation.
+    fn act(&mut self, observation: &[f64]) -> Vec<f64>;
+
+    /// Informs the agent of the reward obtained by its last action.
+    fn learn(&mut self, reward: f64);
+
+    /// Resets any internal state (exploration schedules, statistics).
+    fn reset(&mut self);
+}
+
+/// Samples every action uniformly from the action space.
+#[derive(Debug, Clone)]
+pub struct RandomAgent {
+    space: ActionSpace,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomAgent {
+    /// Creates a random agent for the given action space.
+    pub fn new(space: ActionSpace, seed: u64) -> Self {
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl SimpleAgent for RandomAgent {
+    fn act(&mut self, _observation: &[f64]) -> Vec<f64> {
+        self.space
+            .low
+            .iter()
+            .zip(self.space.high.iter())
+            .map(|(&lo, &hi)| self.rng.gen_range(lo..=hi))
+            .collect()
+    }
+
+    fn learn(&mut self, _reward: f64) {}
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Always plays the same action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedAgent {
+    action: Vec<f64>,
+}
+
+impl FixedAgent {
+    /// Creates a fixed agent.
+    pub fn new(action: Vec<f64>) -> Self {
+        Self { action }
+    }
+}
+
+impl SimpleAgent for FixedAgent {
+    fn act(&mut self, _observation: &[f64]) -> Vec<f64> {
+        self.action.clone()
+    }
+
+    fn learn(&mut self, _reward: f64) {}
+
+    fn reset(&mut self) {}
+}
+
+/// Tabular epsilon-greedy bandit over a uniform discretisation of a
+/// one-dimensional action space. Ignores the observation (a pure bandit),
+/// which is sufficient for stationary pricing problems.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedyBandit {
+    space: ActionSpace,
+    arms: usize,
+    epsilon: f64,
+    epsilon_decay: f64,
+    counts: Vec<u64>,
+    values: Vec<f64>,
+    last_arm: Option<usize>,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl EpsilonGreedyBandit {
+    /// Creates a bandit with `arms` discrete actions spread uniformly over the
+    /// (one-dimensional) action space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action space is not one-dimensional, `arms < 2`, or the
+    /// exploration parameters are out of range.
+    pub fn new(space: ActionSpace, arms: usize, epsilon: f64, epsilon_decay: f64, seed: u64) -> Self {
+        assert_eq!(space.dim(), 1, "the bandit supports scalar actions only");
+        assert!(arms >= 2, "the bandit needs at least two arms");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&epsilon_decay),
+            "epsilon decay must be in [0, 1]"
+        );
+        Self {
+            space,
+            arms,
+            epsilon,
+            epsilon_decay,
+            counts: vec![0; arms],
+            values: vec![0.0; arms],
+            last_arm: None,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The action value of arm `i`.
+    pub fn arm_action(&self, i: usize) -> f64 {
+        let lo = self.space.low[0];
+        let hi = self.space.high[0];
+        lo + (hi - lo) * i as f64 / (self.arms - 1) as f64
+    }
+
+    /// The arm with the highest estimated value (ties to the lowest index).
+    pub fn best_arm(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.arms {
+            if self.values[i] > self.values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Current exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl SimpleAgent for EpsilonGreedyBandit {
+    fn act(&mut self, _observation: &[f64]) -> Vec<f64> {
+        let arm = if self.rng.gen::<f64>() < self.epsilon {
+            self.rng.gen_range(0..self.arms)
+        } else {
+            self.best_arm()
+        };
+        self.last_arm = Some(arm);
+        vec![self.arm_action(arm)]
+    }
+
+    fn learn(&mut self, reward: f64) {
+        if let Some(arm) = self.last_arm.take() {
+            self.counts[arm] += 1;
+            let n = self.counts[arm] as f64;
+            // Incremental sample-average update.
+            self.values[arm] += (reward - self.values[arm]) / n;
+            self.epsilon *= self.epsilon_decay;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counts = vec![0; self.arms];
+        self.values = vec![0.0; self.arms];
+        self.last_arm = None;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Runs a [`SimpleAgent`] on an environment for `episodes` episodes of at most
+/// `max_steps` steps and returns the per-episode returns.
+pub fn run_simple_agent<A: SimpleAgent, E: Environment>(
+    agent: &mut A,
+    env: &mut E,
+    episodes: usize,
+    max_steps: usize,
+) -> Vec<f64> {
+    let mut returns = Vec::with_capacity(episodes);
+    for _ in 0..episodes {
+        let mut obs = env.reset();
+        let mut total = 0.0;
+        for _ in 0..max_steps {
+            let action = agent.act(&obs);
+            let step = env.step(&action);
+            agent.learn(step.reward);
+            total += step.reward;
+            obs = step.observation;
+            if step.done {
+                break;
+            }
+        }
+        returns.push(total);
+    }
+    returns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Step;
+
+    struct PeakBandit {
+        target: f64,
+    }
+
+    impl Environment for PeakBandit {
+        fn observation_dim(&self) -> usize {
+            1
+        }
+        fn action_space(&self) -> ActionSpace {
+            ActionSpace::scalar(0.0, 10.0)
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn step(&mut self, action: &[f64]) -> Step {
+            Step {
+                observation: vec![0.0],
+                reward: 1.0 - ((action[0] - self.target) / 10.0).powi(2),
+                done: true,
+            }
+        }
+    }
+
+    #[test]
+    fn random_agent_stays_in_bounds_and_is_reproducible() {
+        let space = ActionSpace::scalar(2.0, 8.0);
+        let mut a = RandomAgent::new(space.clone(), 3);
+        let mut b = RandomAgent::new(space.clone(), 3);
+        for _ in 0..30 {
+            let x = a.act(&[0.0]);
+            assert_eq!(x, b.act(&[0.0]));
+            assert!(space.contains(&x));
+        }
+        a.learn(1.0);
+        a.reset();
+        let mut fresh = RandomAgent::new(space, 3);
+        assert_eq!(a.act(&[0.0]), fresh.act(&[0.0]));
+    }
+
+    #[test]
+    fn fixed_agent_always_plays_its_action() {
+        let mut agent = FixedAgent::new(vec![4.2]);
+        for _ in 0..5 {
+            assert_eq!(agent.act(&[1.0]), vec![4.2]);
+        }
+        agent.learn(0.0);
+        agent.reset();
+        assert_eq!(agent.act(&[0.0]), vec![4.2]);
+    }
+
+    #[test]
+    fn bandit_arm_grid_spans_the_space() {
+        let bandit = EpsilonGreedyBandit::new(ActionSpace::scalar(5.0, 50.0), 10, 0.5, 0.99, 0);
+        assert_eq!(bandit.arm_action(0), 5.0);
+        assert_eq!(bandit.arm_action(9), 50.0);
+        assert!(bandit.arm_action(4) < bandit.arm_action(5));
+    }
+
+    #[test]
+    fn bandit_learns_the_best_arm() {
+        let mut env = PeakBandit { target: 7.0 };
+        let mut bandit =
+            EpsilonGreedyBandit::new(env.action_space(), 21, 1.0, 0.995, 11);
+        run_simple_agent(&mut bandit, &mut env, 2000, 1);
+        let best_action = bandit.arm_action(bandit.best_arm());
+        assert!(
+            (best_action - 7.0).abs() <= 1.0,
+            "bandit converged to {best_action}, expected near 7"
+        );
+        assert!(bandit.epsilon() < 0.1, "exploration should have decayed");
+    }
+
+    #[test]
+    fn bandit_reset_clears_estimates() {
+        let mut env = PeakBandit { target: 3.0 };
+        let mut bandit = EpsilonGreedyBandit::new(env.action_space(), 5, 0.5, 0.9, 0);
+        run_simple_agent(&mut bandit, &mut env, 10, 1);
+        bandit.reset();
+        assert!(bandit.values.iter().all(|&v| v == 0.0));
+        assert!(bandit.counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar actions only")]
+    fn bandit_rejects_multidimensional_spaces() {
+        let space = ActionSpace {
+            low: vec![0.0, 0.0],
+            high: vec![1.0, 1.0],
+        };
+        let _ = EpsilonGreedyBandit::new(space, 5, 0.1, 0.99, 0);
+    }
+
+    #[test]
+    fn run_simple_agent_returns_one_value_per_episode() {
+        let mut env = PeakBandit { target: 5.0 };
+        let mut agent = FixedAgent::new(vec![5.0]);
+        let returns = run_simple_agent(&mut agent, &mut env, 7, 3);
+        assert_eq!(returns.len(), 7);
+        assert!(returns.iter().all(|&r| (r - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,285 @@
+//! Rollout storage for on-policy learning.
+//!
+//! The paper's Algorithm 1 stores transitions `(o_k, p_k, R_k, o_{k+1})` into
+//! a buffer `BF` and periodically samples mini-batches from it to update the
+//! actor and critic. [`RolloutBuffer`] implements that storage together with
+//! the advantage/return post-processing performed at the end of each episode.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gae::{gae_advantages, normalize_advantages};
+
+/// A single stored transition, including the quantities needed by PPO
+/// (the behaviour policy's log-probability and the critic's value estimate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Observation the agent acted on.
+    pub observation: Vec<f64>,
+    /// Action taken (raw, unsquashed policy output).
+    pub action: Vec<f64>,
+    /// Log-probability of the action under the behaviour policy.
+    pub log_prob: f64,
+    /// Critic value estimate of `observation` at collection time.
+    pub value: f64,
+    /// Reward received.
+    pub reward: f64,
+    /// Whether the episode ended after this transition.
+    pub done: bool,
+}
+
+/// A processed sample ready for a PPO update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessedSample {
+    /// Observation the agent acted on.
+    pub observation: Vec<f64>,
+    /// Action taken.
+    pub action: Vec<f64>,
+    /// Behaviour-policy log-probability of the action.
+    pub old_log_prob: f64,
+    /// Advantage estimate (normalised if requested).
+    pub advantage: f64,
+    /// Value-function regression target (`V^targ` in Eq. (16)).
+    pub value_target: f64,
+}
+
+/// On-policy rollout buffer that accumulates whole episodes and converts them
+/// into PPO-ready samples with GAE.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RolloutBuffer {
+    transitions: Vec<Transition>,
+    episode_starts: Vec<usize>,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Stores a transition. The first transition of each episode is detected
+    /// automatically from the previous transition's `done` flag.
+    pub fn push(&mut self, transition: Transition) {
+        let starts_new_episode = self
+            .transitions
+            .last()
+            .map_or(true, |prev| prev.done);
+        if starts_new_episode {
+            self.episode_starts.push(self.transitions.len());
+        }
+        self.transitions.push(transition);
+    }
+
+    /// Removes all stored data.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.episode_starts.clear();
+    }
+
+    /// Total reward of every stored episode, in collection order.
+    pub fn episode_returns(&self) -> Vec<f64> {
+        self.episode_slices()
+            .into_iter()
+            .map(|ep| ep.iter().map(|t| t.reward).sum())
+            .collect()
+    }
+
+    fn episode_slices(&self) -> Vec<&[Transition]> {
+        let mut out = Vec::with_capacity(self.episode_starts.len());
+        for (idx, &start) in self.episode_starts.iter().enumerate() {
+            let end = self
+                .episode_starts
+                .get(idx + 1)
+                .copied()
+                .unwrap_or(self.transitions.len());
+            if start < end {
+                out.push(&self.transitions[start..end]);
+            }
+        }
+        out
+    }
+
+    /// Converts the stored episodes into PPO samples.
+    ///
+    /// `terminal_value` supplies the bootstrap value `V(S_K)` used for an
+    /// episode whose final transition is *not* marked `done` (a truncated
+    /// episode, as in the paper's fixed-length game of `K` rounds); episodes
+    /// that terminate naturally bootstrap from zero.
+    pub fn process(
+        &self,
+        gamma: f64,
+        lambda: f64,
+        terminal_value: f64,
+        normalize: bool,
+    ) -> Vec<ProcessedSample> {
+        let mut samples = Vec::with_capacity(self.transitions.len());
+        let mut advantages = Vec::with_capacity(self.transitions.len());
+        for episode in self.episode_slices() {
+            let rewards: Vec<f64> = episode.iter().map(|t| t.reward).collect();
+            let values: Vec<f64> = episode.iter().map(|t| t.value).collect();
+            let bootstrap = if episode.last().map_or(true, |t| t.done) {
+                0.0
+            } else {
+                terminal_value
+            };
+            let (adv, targets) = gae_advantages(&rewards, &values, bootstrap, gamma, lambda);
+            for (i, t) in episode.iter().enumerate() {
+                advantages.push(adv[i]);
+                samples.push(ProcessedSample {
+                    observation: t.observation.clone(),
+                    action: t.action.clone(),
+                    old_log_prob: t.log_prob,
+                    advantage: adv[i],
+                    value_target: targets[i],
+                });
+            }
+        }
+        if normalize {
+            let normalized = normalize_advantages(&advantages);
+            for (sample, adv) in samples.iter_mut().zip(normalized) {
+                sample.advantage = adv;
+            }
+        }
+        samples
+    }
+
+    /// Splits `samples` into shuffled mini-batches of (at most) `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn minibatches<'a, R: Rng + ?Sized>(
+        samples: &'a [ProcessedSample],
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<&'a ProcessedSample>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut indices: Vec<usize> = (0..samples.len()).collect();
+        indices.shuffle(rng);
+        indices
+            .chunks(batch_size)
+            .map(|chunk| chunk.iter().map(|&i| &samples[i]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn transition(reward: f64, value: f64, done: bool) -> Transition {
+        Transition {
+            observation: vec![0.0, 1.0],
+            action: vec![0.5],
+            log_prob: -1.0,
+            value,
+            reward,
+            done,
+        }
+    }
+
+    #[test]
+    fn push_tracks_episode_boundaries() {
+        let mut buf = RolloutBuffer::new();
+        assert!(buf.is_empty());
+        buf.push(transition(1.0, 0.0, false));
+        buf.push(transition(2.0, 0.0, true));
+        buf.push(transition(3.0, 0.0, true));
+        buf.push(transition(4.0, 0.0, false));
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.episode_returns(), vec![3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, 0.0, true));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.episode_returns().is_empty());
+    }
+
+    #[test]
+    fn process_computes_monte_carlo_targets_for_terminated_episode() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, 0.25, false));
+        buf.push(transition(1.0, 0.5, true));
+        let samples = buf.process(1.0, 1.0, 99.0, false);
+        // Terminal episode: bootstrap is zero, so targets are plain returns.
+        assert_eq!(samples.len(), 2);
+        assert!((samples[0].value_target - 2.0).abs() < 1e-12);
+        assert!((samples[1].value_target - 1.0).abs() < 1e-12);
+        assert!((samples[0].advantage - (2.0 - 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_bootstraps_truncated_episode() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(0.0, 0.0, false));
+        let samples = buf.process(0.9, 1.0, 10.0, false);
+        assert!((samples[0].value_target - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalised_advantages_have_zero_mean() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..8 {
+            buf.push(transition(i as f64, 0.0, i == 7));
+        }
+        let samples = buf.process(0.99, 0.95, 0.0, true);
+        let mean: f64 = samples.iter().map(|s| s.advantage).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn minibatches_cover_all_samples_exactly_once() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..10 {
+            buf.push(transition(i as f64, 0.0, i == 9));
+        }
+        let samples = buf.process(0.99, 0.95, 0.0, false);
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches = RolloutBuffer::minibatches(&samples, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        let mut seen: Vec<f64> = batches
+            .iter()
+            .flat_map(|b| b.iter().map(|s| s.value_target))
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // All distinct targets present → every sample appears exactly once.
+        for w in seen.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = RolloutBuffer::minibatches(&[], 0, &mut rng);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(transition(1.0, 0.5, true));
+        let json = serde_json::to_string(&buf).unwrap();
+        let back: RolloutBuffer = serde_json::from_str(&json).unwrap();
+        assert_eq!(buf, back);
+    }
+}

@@ -1,0 +1,237 @@
+//! Stochastic policy distributions.
+//!
+//! PPO requires sampling actions, evaluating their log-probability under the
+//! current policy and differentiating that log-probability with respect to
+//! the policy parameters. The diagonal Gaussian here supplies all three.
+
+use rand::Rng;
+use rand_distr_free::draw_standard_normal;
+use serde::{Deserialize, Serialize};
+
+/// Natural logarithm of `2π`.
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// A diagonal Gaussian over `R^d` parameterised by a mean vector and the
+/// logarithm of the per-dimension standard deviation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagGaussian {
+    mean: Vec<f64>,
+    log_std: Vec<f64>,
+}
+
+impl DiagGaussian {
+    /// Creates a diagonal Gaussian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` and `log_std` have different lengths or are empty.
+    pub fn new(mean: Vec<f64>, log_std: Vec<f64>) -> Self {
+        assert_eq!(
+            mean.len(),
+            log_std.len(),
+            "mean and log_std must have the same dimension"
+        );
+        assert!(!mean.is_empty(), "distribution dimension must be positive");
+        Self { mean, log_std }
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-dimension log standard deviation.
+    pub fn log_std(&self) -> &[f64] {
+        &self.log_std
+    }
+
+    /// Per-dimension standard deviation.
+    pub fn std(&self) -> Vec<f64> {
+        self.log_std.iter().map(|s| s.exp()).collect()
+    }
+
+    /// Dimensionality of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.mean
+            .iter()
+            .zip(self.log_std.iter())
+            .map(|(&m, &ls)| m + ls.exp() * draw_standard_normal(rng))
+            .collect()
+    }
+
+    /// Log-density of `x` under the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn log_prob(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "sample dimension mismatch");
+        self.mean
+            .iter()
+            .zip(self.log_std.iter())
+            .zip(x.iter())
+            .map(|((&m, &ls), &xi)| {
+                let var = (2.0 * ls).exp();
+                -0.5 * ((xi - m) * (xi - m) / var + 2.0 * ls + LN_2PI)
+            })
+            .sum()
+    }
+
+    /// Differential entropy of the distribution.
+    pub fn entropy(&self) -> f64 {
+        self.log_std
+            .iter()
+            .map(|&ls| ls + 0.5 * (LN_2PI + 1.0))
+            .sum()
+    }
+
+    /// Gradient of [`DiagGaussian::log_prob`] with respect to the mean vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn log_prob_grad_mean(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "sample dimension mismatch");
+        self.mean
+            .iter()
+            .zip(self.log_std.iter())
+            .zip(x.iter())
+            .map(|((&m, &ls), &xi)| (xi - m) / (2.0 * ls).exp())
+            .collect()
+    }
+
+    /// Gradient of [`DiagGaussian::log_prob`] with respect to the log-std vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn log_prob_grad_log_std(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "sample dimension mismatch");
+        self.mean
+            .iter()
+            .zip(self.log_std.iter())
+            .zip(x.iter())
+            .map(|((&m, &ls), &xi)| {
+                let z2 = (xi - m) * (xi - m) / (2.0 * ls).exp();
+                z2 - 1.0
+            })
+            .collect()
+    }
+}
+
+/// Free-standing standard-normal sampling so that the crate does not depend on
+/// `rand_distr` (kept internal; exposed only for testing determinism).
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// Draws a standard normal variate with the Box–Muller transform.
+    pub fn draw_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_prob_matches_univariate_formula() {
+        let d = DiagGaussian::new(vec![1.0], vec![0.5_f64.ln()]);
+        // N(1, 0.25): log pdf at x = 1 is -0.5*ln(2*pi*0.25)
+        let expected = -0.5 * (2.0 * std::f64::consts::PI * 0.25).ln();
+        assert!((d.log_prob(&[1.0]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_prob_decreases_away_from_mean() {
+        let d = DiagGaussian::new(vec![0.0, 0.0], vec![0.0, 0.0]);
+        assert!(d.log_prob(&[0.0, 0.0]) > d.log_prob(&[1.0, 1.0]));
+        assert!(d.log_prob(&[1.0, 1.0]) > d.log_prob(&[3.0, -3.0]));
+    }
+
+    #[test]
+    fn entropy_of_standard_normal() {
+        let d = DiagGaussian::new(vec![0.0], vec![0.0]);
+        let expected = 0.5 * (LN_2PI + 1.0);
+        assert!((d.entropy() - expected).abs() < 1e-12);
+        // Entropy grows with std.
+        let wide = DiagGaussian::new(vec![0.0], vec![1.0]);
+        assert!(wide.entropy() > d.entropy());
+    }
+
+    #[test]
+    fn sample_mean_and_std_are_close_to_parameters() {
+        let d = DiagGaussian::new(vec![2.0], vec![0.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)[0]).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "sample mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "sample var {var}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mean = vec![0.3, -1.2];
+        let log_std = vec![-0.4, 0.2];
+        let x = vec![0.9, -0.5];
+        let d = DiagGaussian::new(mean.clone(), log_std.clone());
+        let gm = d.log_prob_grad_mean(&x);
+        let gs = d.log_prob_grad_log_std(&x);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut mp = mean.clone();
+            mp[i] += h;
+            let mut mm = mean.clone();
+            mm[i] -= h;
+            let numeric = (DiagGaussian::new(mp, log_std.clone()).log_prob(&x)
+                - DiagGaussian::new(mm, log_std.clone()).log_prob(&x))
+                / (2.0 * h);
+            assert!((numeric - gm[i]).abs() < 1e-6, "mean grad {i}");
+
+            let mut sp = log_std.clone();
+            sp[i] += h;
+            let mut sm = log_std.clone();
+            sm[i] -= h;
+            let numeric = (DiagGaussian::new(mean.clone(), sp).log_prob(&x)
+                - DiagGaussian::new(mean.clone(), sm).log_prob(&x))
+                / (2.0 * h);
+            assert!((numeric - gs[i]).abs() < 1e-6, "log_std grad {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn mismatched_parameter_lengths_panic() {
+        let _ = DiagGaussian::new(vec![0.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample dimension mismatch")]
+    fn log_prob_rejects_wrong_dim() {
+        let d = DiagGaussian::new(vec![0.0], vec![0.0]);
+        let _ = d.log_prob(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = DiagGaussian::new(vec![1.0, 2.0], vec![0.1, 0.2]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DiagGaussian = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

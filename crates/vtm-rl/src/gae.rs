@@ -1,0 +1,177 @@
+//! Generalized Advantage Estimation (Schulman et al., 2016).
+//!
+//! The paper's Eq. (18) uses the episodic advantage estimator
+//! `A(S_k, p_k) = -V(S_k) + Σ_{l=k}^{K-1} γ^{l-k} R_l + γ^{K-k} V(S_K)`,
+//! which is the λ = 1 special case of GAE. The general `(γ, λ)` estimator is
+//! provided because the ablation experiments sweep λ.
+
+/// Computes discounted returns `G_k = Σ_{l>=k} γ^{l-k} r_l` for a single
+/// episode, optionally bootstrapping from `terminal_value` when the episode
+/// was truncated rather than terminated.
+pub fn discounted_returns(rewards: &[f64], gamma: f64, terminal_value: f64) -> Vec<f64> {
+    let mut returns = vec![0.0; rewards.len()];
+    let mut acc = terminal_value;
+    for (i, &r) in rewards.iter().enumerate().rev() {
+        acc = r + gamma * acc;
+        returns[i] = acc;
+    }
+    returns
+}
+
+/// Computes GAE advantages for a single episode.
+///
+/// * `rewards[k]` — reward received after acting at step `k`,
+/// * `values[k]` — critic value estimate of the state at step `k`,
+/// * `terminal_value` — value estimate of the state after the final step
+///   (zero for a true terminal state, `V(S_K)` for a truncated episode, as in
+///   the paper's Eq. (18)),
+/// * `gamma` — discount factor, `lambda` — GAE smoothing factor.
+///
+/// Returns `(advantages, value_targets)` where `value_targets[k] =
+/// advantages[k] + values[k]` is the regression target for the critic.
+///
+/// # Panics
+///
+/// Panics if `rewards.len() != values.len()` or either factor is outside `[0, 1]`.
+pub fn gae_advantages(
+    rewards: &[f64],
+    values: &[f64],
+    terminal_value: f64,
+    gamma: f64,
+    lambda: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(
+        rewards.len(),
+        values.len(),
+        "rewards and values must have equal length"
+    );
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    let n = rewards.len();
+    let mut advantages = vec![0.0; n];
+    let mut gae = 0.0;
+    for k in (0..n).rev() {
+        let next_value = if k + 1 < n { values[k + 1] } else { terminal_value };
+        let delta = rewards[k] + gamma * next_value - values[k];
+        gae = delta + gamma * lambda * gae;
+        advantages[k] = gae;
+    }
+    let targets = advantages
+        .iter()
+        .zip(values.iter())
+        .map(|(a, v)| a + v)
+        .collect();
+    (advantages, targets)
+}
+
+/// Normalises advantages to zero mean and unit standard deviation, a common
+/// PPO variance-reduction step. Returns the input untouched when it has fewer
+/// than two elements or zero variance.
+pub fn normalize_advantages(advantages: &[f64]) -> Vec<f64> {
+    if advantages.len() < 2 {
+        return advantages.to_vec();
+    }
+    let n = advantages.len() as f64;
+    let mean = advantages.iter().sum::<f64>() / n;
+    let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return advantages.to_vec();
+    }
+    advantages.iter().map(|a| (a - mean) / std).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_with_zero_discount_equal_rewards() {
+        let r = [1.0, 2.0, 3.0];
+        assert_eq!(discounted_returns(&r, 0.0, 10.0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn returns_with_unit_discount_are_suffix_sums() {
+        let r = [1.0, 2.0, 3.0];
+        assert_eq!(discounted_returns(&r, 1.0, 0.0), vec![6.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn returns_bootstrap_terminal_value() {
+        let r = [0.0];
+        let out = discounted_returns(&r, 0.9, 10.0);
+        assert!((out[0] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_matches_paper_estimator() {
+        // Eq. (18): A_k = -V_k + sum_{l=k}^{K-1} gamma^{l-k} R_l + gamma^{K-k} V_K.
+        let rewards = [1.0, 0.0, 1.0, 1.0];
+        let values = [0.5, 0.2, 0.3, 0.1];
+        let terminal = 0.4;
+        let gamma = 0.9;
+        let (adv, targets) = gae_advantages(&rewards, &values, terminal, gamma, 1.0);
+        for k in 0..rewards.len() {
+            let mut ret = 0.0;
+            for l in k..rewards.len() {
+                ret += gamma.powi((l - k) as i32) * rewards[l];
+            }
+            ret += gamma.powi((rewards.len() - k) as i32) * terminal;
+            let expected = ret - values[k];
+            assert!(
+                (adv[k] - expected).abs() < 1e-12,
+                "k={k}: {} vs {expected}",
+                adv[k]
+            );
+            assert!((targets[k] - (expected + values[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gae_with_lambda_zero_is_one_step_td() {
+        let rewards = [1.0, 2.0];
+        let values = [0.5, 1.5];
+        let gamma = 0.9;
+        let (adv, _) = gae_advantages(&rewards, &values, 0.0, gamma, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 1.5 - 0.5)).abs() < 1e-12);
+        assert!((adv[1] - (2.0 + 0.0 - 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telescoping_identity_holds() {
+        // With lambda = 1, advantage + value == discounted return with bootstrap.
+        let rewards = [0.3, -0.2, 0.7, 0.0, 1.0];
+        let values = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let gamma = 0.95;
+        let terminal = 0.25;
+        let (_, targets) = gae_advantages(&rewards, &values, terminal, gamma, 1.0);
+        let returns = discounted_returns(&rewards, gamma, terminal);
+        for (t, r) in targets.iter().zip(returns.iter()) {
+            assert!((t - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalisation_gives_zero_mean_unit_std() {
+        let adv = [1.0, 2.0, 3.0, 4.0];
+        let norm = normalize_advantages(&adv);
+        let mean: f64 = norm.iter().sum::<f64>() / norm.len() as f64;
+        let var: f64 = norm.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / norm.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalisation_handles_degenerate_input() {
+        assert_eq!(normalize_advantages(&[5.0]), vec![5.0]);
+        assert_eq!(normalize_advantages(&[2.0, 2.0, 2.0]), vec![2.0, 2.0, 2.0]);
+        assert!(normalize_advantages(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = gae_advantages(&[1.0], &[1.0, 2.0], 0.0, 0.9, 0.95);
+    }
+}

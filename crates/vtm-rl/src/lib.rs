@@ -1,0 +1,68 @@
+//! # vtm-rl — deep-reinforcement-learning substrate
+//!
+//! The learning machinery used by the paper's incentive mechanism (§IV):
+//! a partially observable environment abstraction, rollout storage,
+//! Generalized Advantage Estimation, a diagonal-Gaussian policy and a PPO
+//! actor-critic agent built on the [`vtm_nn`] network substrate.
+//!
+//! The crate is deliberately domain-agnostic: the Stackelberg pricing
+//! environment itself lives in `vtm-core`, which plugs into the
+//! [`env::Environment`] trait defined here.
+//!
+//! # Example
+//!
+//! ```
+//! use vtm_rl::prelude::*;
+//!
+//! // A one-step environment: reward is highest when the action is 0.25.
+//! struct Toy;
+//! impl Environment for Toy {
+//!     fn observation_dim(&self) -> usize { 1 }
+//!     fn action_space(&self) -> ActionSpace { ActionSpace::scalar(0.0, 1.0) }
+//!     fn reset(&mut self) -> Vec<f64> { vec![0.0] }
+//!     fn step(&mut self, action: &[f64]) -> Step {
+//!         Step { observation: vec![0.0], reward: -(action[0] - 0.25).powi(2), done: true }
+//!     }
+//! }
+//!
+//! let mut env = Toy;
+//! let config = PpoConfig::new(1, 1).with_seed(1);
+//! let mut agent = PpoAgent::new(config, env.action_space());
+//! // One tiny training iteration (a real run uses many more).
+//! let history = agent.train(&mut env, 1, 4, 1);
+//! assert_eq!(history.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod buffer;
+pub mod distribution;
+pub mod env;
+pub mod gae;
+pub mod ppo;
+pub mod running_stat;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::agents::{
+        run_simple_agent, EpsilonGreedyBandit, FixedAgent, RandomAgent, SimpleAgent,
+    };
+    pub use crate::buffer::{ProcessedSample, RolloutBuffer, Transition};
+    pub use crate::distribution::DiagGaussian;
+    pub use crate::env::{ActionSpace, Environment, Step};
+    pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
+    pub use crate::ppo::{ActionSample, PpoAgent, PpoConfig, PpoUpdateStats};
+    pub use crate::running_stat::{LinearSchedule, RunningMeanStd};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let space = ActionSpace::scalar(0.0, 1.0);
+        assert_eq!(space.dim(), 1);
+    }
+}

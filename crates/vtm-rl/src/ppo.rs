@@ -1,0 +1,623 @@
+//! Proximal Policy Optimization with a Gaussian policy and an MLP actor-critic.
+//!
+//! This is the learning algorithm of the paper's §IV: an actor network maps
+//! the MSP's observation to the mean of a Gaussian over the pricing action,
+//! a critic network estimates the state value, and both are updated with the
+//! clipped surrogate objective (Eqs. 14–19) on mini-batches sampled from the
+//! rollout buffer, with advantages computed by Generalized Advantage
+//! Estimation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use vtm_nn::matrix::Matrix;
+use vtm_nn::mlp::{Mlp, MlpConfig};
+use vtm_nn::optimizer::{Adam, Optimizer};
+
+use crate::buffer::{ProcessedSample, RolloutBuffer, Transition};
+use crate::distribution::DiagGaussian;
+use crate::env::{ActionSpace, Environment};
+
+/// Hyper-parameters of the PPO agent.
+///
+/// The defaults follow the paper's §V-A experimental settings where stated
+/// (two hidden layers of 64 units, learning rate `1e-5`, `M = 10` update
+/// epochs, mini-batch size `|I| = 20`) and standard PPO practice elsewhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Observation dimensionality.
+    pub obs_dim: usize,
+    /// Action dimensionality.
+    pub action_dim: usize,
+    /// Hidden layer widths shared by actor and critic.
+    pub hidden: Vec<usize>,
+    /// Learning rate of the actor (and the policy log-std).
+    pub actor_lr: f64,
+    /// Learning rate of the critic.
+    pub critic_lr: f64,
+    /// Reward discount factor γ.
+    pub gamma: f64,
+    /// GAE smoothing factor λ (λ = 1 reproduces the paper's Eq. (18)).
+    pub gae_lambda: f64,
+    /// PPO clipping parameter ε of Eq. (19).
+    pub clip_epsilon: f64,
+    /// Coefficient `c` of the value-function loss in Eq. (14).
+    pub value_loss_coef: f64,
+    /// Entropy-bonus coefficient encouraging exploration.
+    pub entropy_coef: f64,
+    /// Number of optimisation epochs per update (`M` in Algorithm 1).
+    pub update_epochs: usize,
+    /// Mini-batch size (`|I|` in Algorithm 1).
+    pub minibatch_size: usize,
+    /// Initial log standard deviation of the Gaussian policy.
+    pub initial_log_std: f64,
+    /// Lower bound applied to the log standard deviation during training.
+    pub min_log_std: f64,
+    /// Global gradient-norm clip applied to actor and critic gradients.
+    pub max_grad_norm: f64,
+    /// Whether advantages are normalised per update.
+    pub normalize_advantages: bool,
+    /// Seed for network initialisation and sampling.
+    pub seed: u64,
+}
+
+impl PpoConfig {
+    /// Creates a configuration with the paper's defaults for the given
+    /// observation and action dimensions.
+    pub fn new(obs_dim: usize, action_dim: usize) -> Self {
+        Self {
+            obs_dim,
+            action_dim,
+            hidden: vec![64, 64],
+            actor_lr: 3e-4,
+            critic_lr: 1e-3,
+            gamma: 0.95,
+            gae_lambda: 0.95,
+            clip_epsilon: 0.2,
+            value_loss_coef: 0.5,
+            entropy_coef: 0.01,
+            update_epochs: 10,
+            minibatch_size: 20,
+            initial_log_std: -0.5,
+            min_log_std: -4.0,
+            max_grad_norm: 0.5,
+            normalize_advantages: true,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.obs_dim > 0, "obs_dim must be positive");
+        assert!(self.action_dim > 0, "action_dim must be positive");
+        assert!(self.actor_lr > 0.0 && self.critic_lr > 0.0, "learning rates must be positive");
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
+        assert!((0.0..=1.0).contains(&self.gae_lambda), "lambda must be in [0,1]");
+        assert!(self.clip_epsilon > 0.0, "clip epsilon must be positive");
+        assert!(self.update_epochs > 0, "update_epochs must be positive");
+        assert!(self.minibatch_size > 0, "minibatch_size must be positive");
+    }
+}
+
+/// Statistics of one PPO update, useful for monitoring convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PpoUpdateStats {
+    /// Mean clipped-surrogate policy loss.
+    pub policy_loss: f64,
+    /// Mean value-function loss (before the `c` coefficient).
+    pub value_loss: f64,
+    /// Mean policy entropy.
+    pub entropy: f64,
+    /// Mean approximate KL divergence between old and new policy.
+    pub approx_kl: f64,
+    /// Fraction of samples whose importance ratio was clipped.
+    pub clip_fraction: f64,
+    /// Number of gradient steps performed.
+    pub gradient_steps: usize,
+}
+
+/// An action sampled from the policy together with the quantities PPO must store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionSample {
+    /// Raw (unsquashed) policy output; this is what the buffer must store.
+    pub raw_action: Vec<f64>,
+    /// Action mapped into the environment's action space.
+    pub env_action: Vec<f64>,
+    /// Log-probability of `raw_action` under the current policy.
+    pub log_prob: f64,
+    /// Critic value estimate of the observation.
+    pub value: f64,
+}
+
+/// Simple per-element Adam state for the trainable log-std vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VectorAdam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl VectorAdam {
+    fn new(lr: f64, dim: usize) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+        }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        self.step += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+/// The PPO agent: Gaussian actor, value critic and their optimizers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpoAgent {
+    config: PpoConfig,
+    action_space: ActionSpace,
+    actor: Mlp,
+    critic: Mlp,
+    log_std: Vec<f64>,
+    actor_optimizer: Adam,
+    critic_optimizer: Adam,
+    log_std_optimizer: VectorAdam,
+    rng: StdRngState,
+}
+
+/// Serializable wrapper around the RNG seed/state. The RNG itself is rebuilt
+/// from the stored seed and a draw counter so that agents can be serialised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StdRngState {
+    seed: u64,
+    draws: u64,
+}
+
+impl PpoAgent {
+    /// Builds a new agent for the given action space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the action-space dimension
+    /// does not match `config.action_dim`.
+    pub fn new(config: PpoConfig, action_space: ActionSpace) -> Self {
+        config.validate();
+        assert_eq!(
+            action_space.dim(),
+            config.action_dim,
+            "action space dimension must match config.action_dim"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let actor = MlpConfig::new(config.obs_dim, &config.hidden, config.action_dim)
+            .build(&mut rng);
+        let critic = MlpConfig::new(config.obs_dim, &config.hidden, 1).build(&mut rng);
+        let log_std = vec![config.initial_log_std; config.action_dim];
+        Self {
+            actor_optimizer: Adam::new(config.actor_lr),
+            critic_optimizer: Adam::new(config.critic_lr),
+            log_std_optimizer: VectorAdam::new(config.actor_lr, config.action_dim),
+            rng: StdRngState {
+                seed: config.seed,
+                draws: 0,
+            },
+            config,
+            action_space,
+            actor,
+            critic,
+            log_std,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
+    /// The action space the agent was built for.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.action_space
+    }
+
+    /// Current log standard deviation of the policy.
+    pub fn log_std(&self) -> &[f64] {
+        &self.log_std
+    }
+
+    /// Total number of trainable parameters (actor + critic + log-std).
+    pub fn parameter_count(&self) -> usize {
+        self.actor.parameter_count() + self.critic.parameter_count() + self.log_std.len()
+    }
+
+    fn next_rng(&mut self) -> StdRng {
+        self.rng.draws += 1;
+        StdRng::seed_from_u64(self.rng.seed.wrapping_add(self.rng.draws.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    fn policy_mean(&self, observation: &[f64]) -> Vec<f64> {
+        self.actor
+            .forward_vec(observation)
+            .expect("observation dimension mismatch with actor network")
+    }
+
+    /// Critic value estimate for an observation.
+    pub fn value(&self, observation: &[f64]) -> f64 {
+        self.critic
+            .forward_vec(observation)
+            .expect("observation dimension mismatch with critic network")[0]
+    }
+
+    /// Samples a stochastic action (used during training).
+    pub fn act(&mut self, observation: &[f64]) -> ActionSample {
+        let mean = self.policy_mean(observation);
+        let dist = DiagGaussian::new(mean, self.log_std.clone());
+        let mut rng = self.next_rng();
+        let raw = dist.sample(&mut rng);
+        let log_prob = dist.log_prob(&raw);
+        ActionSample {
+            env_action: self.action_space.squash(&raw),
+            log_prob,
+            value: self.value(observation),
+            raw_action: raw,
+        }
+    }
+
+    /// Returns the deterministic (mean) action for evaluation.
+    pub fn act_deterministic(&self, observation: &[f64]) -> Vec<f64> {
+        let mean = self.policy_mean(observation);
+        self.action_space.squash(&mean)
+    }
+
+    /// Performs a PPO update on a set of processed samples.
+    ///
+    /// Returns per-update statistics. The samples are typically produced by
+    /// [`RolloutBuffer::process`] with this agent's `gamma`/`lambda`.
+    pub fn update(&mut self, samples: &[ProcessedSample]) -> PpoUpdateStats {
+        if samples.is_empty() {
+            return PpoUpdateStats::default();
+        }
+        let mut stats = PpoUpdateStats::default();
+        let mut total_batches = 0usize;
+        let mut rng = self.next_rng();
+        for _ in 0..self.config.update_epochs {
+            let batches =
+                RolloutBuffer::minibatches(samples, self.config.minibatch_size, &mut rng);
+            for batch in batches {
+                let batch_stats = self.update_minibatch(&batch);
+                stats.policy_loss += batch_stats.policy_loss;
+                stats.value_loss += batch_stats.value_loss;
+                stats.entropy += batch_stats.entropy;
+                stats.approx_kl += batch_stats.approx_kl;
+                stats.clip_fraction += batch_stats.clip_fraction;
+                total_batches += 1;
+            }
+        }
+        if total_batches > 0 {
+            let n = total_batches as f64;
+            stats.policy_loss /= n;
+            stats.value_loss /= n;
+            stats.entropy /= n;
+            stats.approx_kl /= n;
+            stats.clip_fraction /= n;
+        }
+        stats.gradient_steps = total_batches;
+        stats
+    }
+
+    fn update_minibatch(&mut self, batch: &[&ProcessedSample]) -> PpoUpdateStats {
+        let batch_size = batch.len();
+        let inv_n = 1.0 / batch_size as f64;
+        let obs_rows: Vec<&[f64]> = batch.iter().map(|s| s.observation.as_slice()).collect();
+        let obs = Matrix::from_rows(&obs_rows).expect("ragged observation batch");
+
+        // ---------------- Actor ----------------
+        let (means, actor_caches) = self
+            .actor
+            .forward_train(&obs)
+            .expect("actor forward failed");
+        let mut grad_mean = Matrix::zeros(batch_size, self.config.action_dim);
+        let mut grad_log_std = vec![0.0; self.config.action_dim];
+        let mut policy_loss = 0.0;
+        let mut entropy_total = 0.0;
+        let mut approx_kl = 0.0;
+        let mut clipped = 0usize;
+        let eps = self.config.clip_epsilon;
+
+        for (i, sample) in batch.iter().enumerate() {
+            let mean_i: Vec<f64> = means.row(i).to_vec();
+            let dist = DiagGaussian::new(mean_i, self.log_std.clone());
+            let new_log_prob = dist.log_prob(&sample.action);
+            let ratio = (new_log_prob - sample.old_log_prob).exp();
+            let advantage = sample.advantage;
+            let surr1 = ratio * advantage;
+            let clipped_ratio = ratio.clamp(1.0 - eps, 1.0 + eps);
+            let surr2 = clipped_ratio * advantage;
+            policy_loss += -surr1.min(surr2) * inv_n;
+            entropy_total += dist.entropy() * inv_n;
+            approx_kl += (sample.old_log_prob - new_log_prob) * inv_n;
+            if (ratio - clipped_ratio).abs() > 1e-12 {
+                clipped += 1;
+            }
+
+            // d(-min(surr1, surr2))/d(log pi): -A * ratio when the unclipped
+            // branch is active, 0 otherwise (the clipped branch is constant in
+            // the parameters).
+            let dloss_dlogp = if surr1 <= surr2 { -advantage * ratio } else { 0.0 } * inv_n;
+            if dloss_dlogp != 0.0 {
+                let gm = dist.log_prob_grad_mean(&sample.action);
+                let gs = dist.log_prob_grad_log_std(&sample.action);
+                for j in 0..self.config.action_dim {
+                    grad_mean[(i, j)] += dloss_dlogp * gm[j];
+                    grad_log_std[j] += dloss_dlogp * gs[j];
+                }
+            }
+            // Entropy bonus: loss -= entropy_coef * H, dH/dlog_std_j = 1.
+            for g in grad_log_std.iter_mut() {
+                *g -= self.config.entropy_coef * inv_n;
+            }
+        }
+
+        let (_, mut actor_grads) = self
+            .actor
+            .backward(&actor_caches, &grad_mean)
+            .expect("actor backward failed");
+        actor_grads.clip_global_norm(self.config.max_grad_norm);
+        self.actor_optimizer.step(&mut self.actor, &actor_grads);
+        self.log_std_optimizer.step(&mut self.log_std, &grad_log_std);
+        for ls in &mut self.log_std {
+            *ls = ls.max(self.config.min_log_std);
+        }
+
+        // ---------------- Critic ----------------
+        let (values, critic_caches) = self
+            .critic
+            .forward_train(&obs)
+            .expect("critic forward failed");
+        let mut grad_values = Matrix::zeros(batch_size, 1);
+        let mut value_loss = 0.0;
+        for (i, sample) in batch.iter().enumerate() {
+            let v = values[(i, 0)];
+            let err = v - sample.value_target;
+            value_loss += err * err * inv_n;
+            grad_values[(i, 0)] = self.config.value_loss_coef * 2.0 * err * inv_n;
+        }
+        let (_, mut critic_grads) = self
+            .critic
+            .backward(&critic_caches, &grad_values)
+            .expect("critic backward failed");
+        critic_grads.clip_global_norm(self.config.max_grad_norm);
+        self.critic_optimizer.step(&mut self.critic, &critic_grads);
+
+        PpoUpdateStats {
+            policy_loss,
+            value_loss,
+            entropy: entropy_total,
+            approx_kl,
+            clip_fraction: clipped as f64 / batch_size as f64,
+            gradient_steps: 1,
+        }
+    }
+
+    /// Collects `episodes` complete episodes from `env` into `buffer`,
+    /// returning the undiscounted return of each episode.
+    ///
+    /// `max_steps` bounds the episode length for environments that never set
+    /// `done` (the paper's pricing game runs a fixed `K` rounds per episode).
+    pub fn collect_episodes<E: Environment>(
+        &mut self,
+        env: &mut E,
+        episodes: usize,
+        max_steps: usize,
+        buffer: &mut RolloutBuffer,
+    ) -> Vec<f64> {
+        let mut returns = Vec::with_capacity(episodes);
+        for _ in 0..episodes {
+            let mut obs = env.reset();
+            let mut total = 0.0;
+            for step_idx in 0..max_steps {
+                let sample = self.act(&obs);
+                let step = env.step(&sample.env_action);
+                total += step.reward;
+                let done = step.done || step_idx + 1 == max_steps;
+                buffer.push(Transition {
+                    observation: obs.clone(),
+                    action: sample.raw_action,
+                    log_prob: sample.log_prob,
+                    value: sample.value,
+                    reward: step.reward,
+                    done,
+                });
+                obs = step.observation;
+                if step.done {
+                    break;
+                }
+            }
+            returns.push(total);
+        }
+        returns
+    }
+
+    /// Convenience training loop: repeatedly collects `episodes_per_iteration`
+    /// episodes, updates the agent and records the mean episode return.
+    ///
+    /// Returns the mean return of every iteration, in order. This generic loop
+    /// backs the crate-level tests; the paper's Algorithm 1 loop (with its
+    /// best-utility tracking) lives in `vtm-core`.
+    pub fn train<E: Environment>(
+        &mut self,
+        env: &mut E,
+        iterations: usize,
+        episodes_per_iteration: usize,
+        max_steps: usize,
+    ) -> Vec<f64> {
+        let mut history = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let mut buffer = RolloutBuffer::new();
+            let returns =
+                self.collect_episodes(env, episodes_per_iteration, max_steps, &mut buffer);
+            let terminal_value = 0.0;
+            let samples = buffer.process(
+                self.config.gamma,
+                self.config.gae_lambda,
+                terminal_value,
+                self.config.normalize_advantages,
+            );
+            self.update(&samples);
+            let mean_return = returns.iter().sum::<f64>() / returns.len().max(1) as f64;
+            history.push(mean_return);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Step;
+
+    /// A stateless continuous bandit: reward peaks when the action hits `target`.
+    struct Bandit {
+        target: f64,
+        space: ActionSpace,
+    }
+
+    impl Environment for Bandit {
+        fn observation_dim(&self) -> usize {
+            2
+        }
+        fn action_space(&self) -> ActionSpace {
+            self.space.clone()
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            vec![1.0, 0.0]
+        }
+        fn step(&mut self, action: &[f64]) -> Step {
+            let a = action[0];
+            let reward = 1.0 - ((a - self.target) / 10.0).powi(2);
+            Step {
+                observation: vec![1.0, 0.0],
+                reward,
+                done: true,
+            }
+        }
+    }
+
+    #[test]
+    fn agent_construction_and_shapes() {
+        let cfg = PpoConfig::new(4, 1).with_seed(3);
+        let agent = PpoAgent::new(cfg, ActionSpace::scalar(0.0, 1.0));
+        assert_eq!(agent.log_std().len(), 1);
+        assert!(agent.parameter_count() > 0);
+        let v = agent.value(&[0.0; 4]);
+        assert!(v.is_finite());
+        let a = agent.act_deterministic(&[0.0; 4]);
+        assert!(agent.action_space().contains(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "action space dimension")]
+    fn mismatched_action_space_panics() {
+        let cfg = PpoConfig::new(4, 2);
+        let _ = PpoAgent::new(cfg, ActionSpace::scalar(0.0, 1.0));
+    }
+
+    #[test]
+    fn sampled_actions_are_in_bounds_and_reproducible() {
+        let cfg = PpoConfig::new(3, 1).with_seed(11);
+        let mut a1 = PpoAgent::new(cfg.clone(), ActionSpace::scalar(5.0, 50.0));
+        let mut a2 = PpoAgent::new(cfg, ActionSpace::scalar(5.0, 50.0));
+        for _ in 0..20 {
+            let s1 = a1.act(&[0.1, 0.2, 0.3]);
+            let s2 = a2.act(&[0.1, 0.2, 0.3]);
+            assert_eq!(s1.env_action, s2.env_action);
+            assert!(a1.action_space().contains(&s1.env_action));
+            assert!(s1.log_prob.is_finite());
+        }
+    }
+
+    #[test]
+    fn update_on_empty_samples_is_a_noop() {
+        let cfg = PpoConfig::new(2, 1);
+        let mut agent = PpoAgent::new(cfg, ActionSpace::scalar(0.0, 1.0));
+        let stats = agent.update(&[]);
+        assert_eq!(stats.gradient_steps, 0);
+    }
+
+    #[test]
+    fn ppo_improves_on_continuous_bandit() {
+        let mut env = Bandit {
+            target: 7.0,
+            space: ActionSpace::scalar(0.0, 10.0),
+        };
+        let mut cfg = PpoConfig::new(2, 1).with_seed(7);
+        cfg.actor_lr = 3e-3;
+        cfg.critic_lr = 3e-3;
+        cfg.minibatch_size = 32;
+        cfg.update_epochs = 5;
+        cfg.entropy_coef = 0.0;
+        let mut agent = PpoAgent::new(cfg, env.action_space());
+
+        // Baseline performance before training.
+        let before: f64 = {
+            let a = agent.act_deterministic(&[1.0, 0.0]);
+            1.0 - ((a[0] - 7.0) / 10.0).powi(2)
+        };
+        let history = agent.train(&mut env, 60, 16, 1);
+        let after: f64 = {
+            let a = agent.act_deterministic(&[1.0, 0.0]);
+            1.0 - ((a[0] - 7.0) / 10.0).powi(2)
+        };
+        assert!(
+            after > before || after > 0.995,
+            "PPO did not improve: before {before}, after {after}, history tail {:?}",
+            &history[history.len().saturating_sub(5)..]
+        );
+        // The policy mean should have moved towards the target.
+        let final_action = agent.act_deterministic(&[1.0, 0.0])[0];
+        assert!(
+            (final_action - 7.0).abs() < 2.0,
+            "final deterministic action {final_action} too far from target"
+        );
+    }
+
+    #[test]
+    fn update_stats_are_finite() {
+        let mut env = Bandit {
+            target: 2.0,
+            space: ActionSpace::scalar(0.0, 10.0),
+        };
+        let cfg = PpoConfig::new(2, 1).with_seed(13);
+        let mut agent = PpoAgent::new(cfg, env.action_space());
+        let mut buffer = RolloutBuffer::new();
+        agent.collect_episodes(&mut env, 8, 1, &mut buffer);
+        let samples = buffer.process(0.95, 0.95, 0.0, true);
+        let stats = agent.update(&samples);
+        assert!(stats.policy_loss.is_finite());
+        assert!(stats.value_loss.is_finite());
+        assert!(stats.entropy.is_finite());
+        assert!(stats.clip_fraction >= 0.0 && stats.clip_fraction <= 1.0);
+        assert!(stats.gradient_steps > 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! OFDMA bandwidth partitioning between concurrent twin migrations.
+//!
+//! The paper assumes Orthogonal Frequency Division Multiple Access between
+//! the source and destination RSUs, so each VMU's migration occupies its own
+//! orthogonal slice of the MSP's spectrum. This module models that spectrum
+//! as a pool of subcarriers which concurrent migrations allocate and release.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::radio::LinkBudget;
+
+/// Error raised by [`OfdmaChannel`] allocation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Requested more bandwidth than currently available.
+    InsufficientBandwidth {
+        /// Number of subcarriers requested.
+        requested: usize,
+        /// Number of free subcarriers.
+        available: usize,
+    },
+    /// The flow id is unknown.
+    UnknownFlow {
+        /// Identifier that failed to resolve.
+        flow: u64,
+    },
+    /// The flow id has already been allocated.
+    DuplicateFlow {
+        /// Identifier that was already present.
+        flow: u64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InsufficientBandwidth {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient bandwidth: requested {requested} subcarriers, {available} available"
+            ),
+            ChannelError::UnknownFlow { flow } => write!(f, "unknown flow id {flow}"),
+            ChannelError::DuplicateFlow { flow } => write!(f, "flow id {flow} already allocated"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// An OFDMA spectrum pool of fixed-width subcarriers shared by migration flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfdmaChannel {
+    subcarrier_bandwidth_hz: f64,
+    total_subcarriers: usize,
+    link: LinkBudget,
+    allocations: BTreeMap<u64, usize>,
+}
+
+impl OfdmaChannel {
+    /// Creates a channel with `total_subcarriers` subcarriers of
+    /// `subcarrier_bandwidth_hz` each, over the given link budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subcarrier bandwidth is not positive or there are no
+    /// subcarriers.
+    pub fn new(subcarrier_bandwidth_hz: f64, total_subcarriers: usize, link: LinkBudget) -> Self {
+        assert!(
+            subcarrier_bandwidth_hz > 0.0,
+            "subcarrier bandwidth must be positive"
+        );
+        assert!(total_subcarriers > 0, "channel needs at least one subcarrier");
+        Self {
+            subcarrier_bandwidth_hz,
+            total_subcarriers,
+            link,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a channel matching the paper's setup: `total_bandwidth_hz` of
+    /// spectrum split into `subcarriers` equal slices over the default link.
+    pub fn with_total_bandwidth(total_bandwidth_hz: f64, subcarriers: usize, link: LinkBudget) -> Self {
+        assert!(subcarriers > 0, "channel needs at least one subcarrier");
+        Self::new(total_bandwidth_hz / subcarriers as f64, subcarriers, link)
+    }
+
+    /// The link budget of the inter-RSU hop.
+    pub fn link(&self) -> &LinkBudget {
+        &self.link
+    }
+
+    /// Total spectrum of the channel in Hz.
+    pub fn total_bandwidth_hz(&self) -> f64 {
+        self.subcarrier_bandwidth_hz * self.total_subcarriers as f64
+    }
+
+    /// Number of subcarriers not currently allocated.
+    pub fn free_subcarriers(&self) -> usize {
+        self.total_subcarriers - self.allocations.values().sum::<usize>()
+    }
+
+    /// Bandwidth (Hz) not currently allocated.
+    pub fn free_bandwidth_hz(&self) -> f64 {
+        self.free_subcarriers() as f64 * self.subcarrier_bandwidth_hz
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Converts a bandwidth request in Hz into a subcarrier count (rounded up).
+    pub fn subcarriers_for_bandwidth(&self, bandwidth_hz: f64) -> usize {
+        (bandwidth_hz / self.subcarrier_bandwidth_hz).ceil() as usize
+    }
+
+    /// Allocates `bandwidth_hz` of spectrum to flow `flow`, rounded up to a
+    /// whole number of subcarriers. Returns the granted bandwidth in Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::DuplicateFlow`] when the flow already holds an
+    /// allocation and [`ChannelError::InsufficientBandwidth`] when the pool
+    /// cannot satisfy the request.
+    pub fn allocate(&mut self, flow: u64, bandwidth_hz: f64) -> Result<f64, ChannelError> {
+        if self.allocations.contains_key(&flow) {
+            return Err(ChannelError::DuplicateFlow { flow });
+        }
+        let needed = self.subcarriers_for_bandwidth(bandwidth_hz).max(1);
+        let available = self.free_subcarriers();
+        if needed > available {
+            return Err(ChannelError::InsufficientBandwidth {
+                requested: needed,
+                available,
+            });
+        }
+        self.allocations.insert(flow, needed);
+        Ok(needed as f64 * self.subcarrier_bandwidth_hz)
+    }
+
+    /// Releases the allocation held by `flow`, returning the freed bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownFlow`] when the flow holds no allocation.
+    pub fn release(&mut self, flow: u64) -> Result<f64, ChannelError> {
+        match self.allocations.remove(&flow) {
+            Some(subcarriers) => Ok(subcarriers as f64 * self.subcarrier_bandwidth_hz),
+            None => Err(ChannelError::UnknownFlow { flow }),
+        }
+    }
+
+    /// Bandwidth currently held by `flow` in Hz (zero when not allocated).
+    pub fn allocated_bandwidth_hz(&self, flow: u64) -> f64 {
+        self.allocations
+            .get(&flow)
+            .map_or(0.0, |&s| s as f64 * self.subcarrier_bandwidth_hz)
+    }
+
+    /// Achievable rate of `flow` in bit/s given its current allocation.
+    pub fn flow_rate_bps(&self, flow: u64) -> f64 {
+        self.link.rate_bps(self.allocated_bandwidth_hz(flow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> OfdmaChannel {
+        // 50 MHz split into 250 subcarriers of 200 kHz, as a plausible OFDMA grid.
+        OfdmaChannel::with_total_bandwidth(50e6, 250, LinkBudget::default())
+    }
+
+    #[test]
+    fn construction_reports_totals() {
+        let ch = channel();
+        assert!((ch.total_bandwidth_hz() - 50e6).abs() < 1.0);
+        assert_eq!(ch.free_subcarriers(), 250);
+        assert_eq!(ch.active_flows(), 0);
+    }
+
+    #[test]
+    fn allocation_rounds_up_to_subcarriers() {
+        let mut ch = channel();
+        let granted = ch.allocate(1, 300e3).unwrap();
+        // 300 kHz needs 2 subcarriers of 200 kHz = 400 kHz.
+        assert!((granted - 400e3).abs() < 1.0);
+        assert_eq!(ch.free_subcarriers(), 248);
+        assert_eq!(ch.active_flows(), 1);
+        assert!((ch.allocated_bandwidth_hz(1) - 400e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn duplicate_flow_is_rejected() {
+        let mut ch = channel();
+        ch.allocate(7, 1e6).unwrap();
+        let err = ch.allocate(7, 1e6).unwrap_err();
+        assert!(matches!(err, ChannelError::DuplicateFlow { flow: 7 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut ch = channel();
+        ch.allocate(1, 40e6).unwrap();
+        let err = ch.allocate(2, 20e6).unwrap_err();
+        assert!(matches!(err, ChannelError::InsufficientBandwidth { .. }));
+    }
+
+    #[test]
+    fn release_returns_bandwidth_to_pool() {
+        let mut ch = channel();
+        ch.allocate(3, 10e6).unwrap();
+        let freed = ch.release(3).unwrap();
+        assert!((freed - 10e6).abs() < 1.0);
+        assert_eq!(ch.free_subcarriers(), 250);
+        assert!(matches!(
+            ch.release(3),
+            Err(ChannelError::UnknownFlow { flow: 3 })
+        ));
+    }
+
+    #[test]
+    fn flow_rate_uses_link_budget() {
+        let mut ch = channel();
+        ch.allocate(1, 1e6).unwrap();
+        let rate = ch.flow_rate_bps(1);
+        let expected = LinkBudget::default().rate_bps(ch.allocated_bandwidth_hz(1));
+        assert!((rate - expected).abs() < 1e-6);
+        assert_eq!(ch.flow_rate_bps(99), 0.0);
+    }
+
+    #[test]
+    fn orthogonality_rates_are_independent_of_other_flows() {
+        let mut ch = channel();
+        ch.allocate(1, 5e6).unwrap();
+        let rate_alone = ch.flow_rate_bps(1);
+        ch.allocate(2, 20e6).unwrap();
+        assert!((ch.flow_rate_bps(1) - rate_alone).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subcarrier")]
+    fn zero_subcarriers_rejected() {
+        let _ = OfdmaChannel::new(1e3, 0, LinkBudget::default());
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The metaverse simulator schedules vehicle movement updates, migration
+//! completions and session events on a single clock. Events are ordered by
+//! timestamp with a monotonically increasing sequence number breaking ties so
+//! that event ordering is deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: an opaque payload `T` plus its firing time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<T> {
+    /// Simulation time at which the event fires (seconds).
+    pub time: f64,
+    /// Insertion sequence number, used to break ties deterministically.
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for ScheduledEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl<T> Eq for ScheduledEvent<T> {}
+
+impl<T> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    now: f64,
+    next_sequence: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            next_sequence: 0,
+        }
+    }
+
+    /// Current simulation time (the firing time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before the current clock) or not finite.
+    pub fn schedule_at(&mut self, time: f64, payload: T) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time + 1e-12 >= self.now,
+            "cannot schedule an event in the past: {time} < {}",
+            self.now
+        );
+        let event = ScheduledEvent {
+            time,
+            sequence: self.next_sequence,
+            payload,
+        };
+        self.next_sequence += 1;
+        self.heap.push(event);
+    }
+
+    /// Schedules `payload` to fire `delay` seconds from the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, payload: T) {
+        assert!(delay.is_finite() && delay >= 0.0, "delay must be non-negative");
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        let event = self.heap.pop();
+        if let Some(ref e) = event {
+            self.now = e.time;
+        }
+        event
+    }
+
+    /// Peeks at the next firing time without popping.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, 1);
+        q.schedule_at(2.0, 2);
+        q.schedule_at(2.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, "first");
+        q.pop();
+        q.schedule_in(5.0, "second");
+        assert_eq!(q.peek_time(), Some(15.0));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.pop();
+        q.schedule_at(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn negative_delay_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_in(-1.0, ());
+    }
+}

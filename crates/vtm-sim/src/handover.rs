@@ -1,0 +1,256 @@
+//! Handover (migration-trigger) policies.
+//!
+//! The paper triggers a twin migration whenever a vehicle leaves the coverage
+//! of its serving RSU. Real deployments use more careful trigger rules to
+//! avoid ping-pong migrations at coverage boundaries; this module provides a
+//! family of trigger policies so the end-to-end simulator can study how the
+//! trigger interacts with the incentive mechanism (how often migrations are
+//! purchased, and therefore how much bandwidth is traded).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mobility::{Position, Velocity};
+use crate::rsu::{Corridor, RsuId};
+
+/// Decision produced by a handover policy for one vehicle at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandoverDecision {
+    /// Keep the twin at the current RSU.
+    Stay,
+    /// Migrate the twin to the given RSU.
+    MigrateTo(RsuId),
+}
+
+/// A handover policy decides when a vehicle's twin should be migrated and to
+/// which RSU.
+pub trait HandoverPolicy {
+    /// Returns the decision for a vehicle currently served by `serving`,
+    /// located at `position` and moving with `velocity`.
+    fn decide(
+        &self,
+        corridor: &Corridor,
+        serving: RsuId,
+        position: &Position,
+        velocity: &Velocity,
+    ) -> HandoverDecision;
+}
+
+/// Migrate as soon as another RSU is strictly closer than the serving one
+/// (the baseline behaviour of the paper's system model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NearestRsuPolicy;
+
+impl HandoverPolicy for NearestRsuPolicy {
+    fn decide(
+        &self,
+        corridor: &Corridor,
+        serving: RsuId,
+        position: &Position,
+        _velocity: &Velocity,
+    ) -> HandoverDecision {
+        let nearest = corridor.nearest(position).id();
+        if nearest != serving {
+            HandoverDecision::MigrateTo(nearest)
+        } else {
+            HandoverDecision::Stay
+        }
+    }
+}
+
+/// Migrate only when the candidate RSU is closer than the serving RSU by at
+/// least `hysteresis_m` metres. Suppresses ping-pong migrations near the
+/// midpoint between two RSUs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HysteresisPolicy {
+    /// Required distance advantage of the candidate RSU (metres).
+    pub hysteresis_m: f64,
+}
+
+impl HysteresisPolicy {
+    /// Creates a hysteresis policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis_m` is negative.
+    pub fn new(hysteresis_m: f64) -> Self {
+        assert!(hysteresis_m >= 0.0, "hysteresis must be non-negative");
+        Self { hysteresis_m }
+    }
+}
+
+impl HandoverPolicy for HysteresisPolicy {
+    fn decide(
+        &self,
+        corridor: &Corridor,
+        serving: RsuId,
+        position: &Position,
+        _velocity: &Velocity,
+    ) -> HandoverDecision {
+        let nearest = corridor.nearest(position);
+        if nearest.id() == serving {
+            return HandoverDecision::Stay;
+        }
+        let serving_distance = corridor
+            .rsu(serving)
+            .map(|r| r.distance_to(position))
+            .unwrap_or(f64::INFINITY);
+        if serving_distance - nearest.distance_to(position) >= self.hysteresis_m {
+            HandoverDecision::MigrateTo(nearest.id())
+        } else {
+            HandoverDecision::Stay
+        }
+    }
+}
+
+/// Predictive policy: extrapolates the vehicle's position `lookahead_s`
+/// seconds ahead and migrates towards the RSU that will then be nearest,
+/// provided it is different from the serving RSU. Starting the migration
+/// before coverage is lost hides (part of) the AoTM from the user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictivePolicy {
+    /// How far ahead the vehicle position is extrapolated (seconds).
+    pub lookahead_s: f64,
+}
+
+impl PredictivePolicy {
+    /// Creates a predictive policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead_s` is negative.
+    pub fn new(lookahead_s: f64) -> Self {
+        assert!(lookahead_s >= 0.0, "lookahead must be non-negative");
+        Self { lookahead_s }
+    }
+}
+
+impl HandoverPolicy for PredictivePolicy {
+    fn decide(
+        &self,
+        corridor: &Corridor,
+        serving: RsuId,
+        position: &Position,
+        velocity: &Velocity,
+    ) -> HandoverDecision {
+        let predicted = Position::new(
+            position.x + velocity.vx * self.lookahead_s,
+            position.y + velocity.vy * self.lookahead_s,
+        );
+        let target = corridor.nearest(&predicted).id();
+        if target != serving {
+            HandoverDecision::MigrateTo(target)
+        } else {
+            HandoverDecision::Stay
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Corridor {
+        Corridor::along_road(4, 1000.0, 600.0, 50e6, 100.0)
+    }
+
+    #[test]
+    fn nearest_policy_switches_at_the_midpoint() {
+        let c = corridor();
+        let policy = NearestRsuPolicy;
+        let before = policy.decide(
+            &c,
+            RsuId(0),
+            &Position::new(499.0, 0.0),
+            &Velocity::new(25.0, 0.0),
+        );
+        assert_eq!(before, HandoverDecision::Stay);
+        let after = policy.decide(
+            &c,
+            RsuId(0),
+            &Position::new(501.0, 0.0),
+            &Velocity::new(25.0, 0.0),
+        );
+        assert_eq!(after, HandoverDecision::MigrateTo(RsuId(1)));
+    }
+
+    #[test]
+    fn hysteresis_policy_delays_the_switch() {
+        let c = corridor();
+        let policy = HysteresisPolicy::new(200.0);
+        // Just past the midpoint: nearest is RSU 1 but only by a few metres.
+        let near_midpoint = policy.decide(
+            &c,
+            RsuId(0),
+            &Position::new(520.0, 0.0),
+            &Velocity::new(25.0, 0.0),
+        );
+        assert_eq!(near_midpoint, HandoverDecision::Stay);
+        // Far enough that the advantage exceeds the hysteresis margin.
+        let well_past = policy.decide(
+            &c,
+            RsuId(0),
+            &Position::new(650.0, 0.0),
+            &Velocity::new(25.0, 0.0),
+        );
+        assert_eq!(well_past, HandoverDecision::MigrateTo(RsuId(1)));
+    }
+
+    #[test]
+    fn hysteresis_never_switches_to_the_same_rsu() {
+        let c = corridor();
+        let policy = HysteresisPolicy::new(0.0);
+        let decision = policy.decide(
+            &c,
+            RsuId(1),
+            &Position::new(1000.0, 0.0),
+            &Velocity::new(25.0, 0.0),
+        );
+        assert_eq!(decision, HandoverDecision::Stay);
+    }
+
+    #[test]
+    fn predictive_policy_migrates_before_the_boundary() {
+        let c = corridor();
+        let policy = PredictivePolicy::new(10.0);
+        // At x = 420 moving at 25 m/s, in 10 s the vehicle will be at 670 —
+        // closer to RSU 1 — so the predictive policy migrates already.
+        let decision = policy.decide(
+            &c,
+            RsuId(0),
+            &Position::new(420.0, 0.0),
+            &Velocity::new(25.0, 0.0),
+        );
+        assert_eq!(decision, HandoverDecision::MigrateTo(RsuId(1)));
+        // The plain nearest policy would not migrate yet.
+        assert_eq!(
+            NearestRsuPolicy.decide(&c, RsuId(0), &Position::new(420.0, 0.0), &Velocity::new(25.0, 0.0)),
+            HandoverDecision::Stay
+        );
+    }
+
+    #[test]
+    fn predictive_with_zero_lookahead_matches_nearest() {
+        let c = corridor();
+        let predictive = PredictivePolicy::new(0.0);
+        for x in [100.0, 499.0, 501.0, 1700.0, 2600.0] {
+            let p = Position::new(x, 0.0);
+            let v = Velocity::new(30.0, 0.0);
+            assert_eq!(
+                predictive.decide(&c, RsuId(0), &p, &v),
+                NearestRsuPolicy.decide(&c, RsuId(0), &p, &v)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis must be non-negative")]
+    fn negative_hysteresis_rejected() {
+        let _ = HysteresisPolicy::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be non-negative")]
+    fn negative_lookahead_rejected() {
+        let _ = PredictivePolicy::new(-1.0);
+    }
+}

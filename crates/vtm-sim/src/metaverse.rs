@@ -1,0 +1,436 @@
+//! End-to-end vehicular-metaverse simulation.
+//!
+//! [`MetaverseSim`] ties the substrate together: vehicles move along a
+//! corridor of RSUs, each vehicle's twin is served by the RSU covering it,
+//! and whenever the serving RSU changes the twin is live-migrated over the
+//! inter-RSU link. How much bandwidth a migration receives is decided by a
+//! pluggable [`BandwidthAllocator`] — `vtm-core` plugs the paper's
+//! Stackelberg / DRL pricing in here, while this crate ships simple reference
+//! allocators.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::migration::{simulate_precopy_migration, MigrationError, PreCopyConfig};
+use crate::mobility::{MobilityModel, PerturbedHighway, Position, Velocity};
+use crate::radio::LinkBudget;
+use crate::rsu::{Corridor, RsuId};
+use crate::stats::Summary;
+use crate::twin::VehicularTwin;
+use crate::vehicle::{Vehicle, VehicleId};
+
+/// Decides how much bandwidth (Hz) a migration receives.
+///
+/// The allocator sees the twin being migrated and the bandwidth still free at
+/// the destination RSU, and returns the bandwidth to grant (it will be clamped
+/// to the free amount).
+pub trait BandwidthAllocator {
+    /// Returns the bandwidth (Hz) to allocate for migrating `twin`.
+    fn allocate(&mut self, twin: &VehicularTwin, free_bandwidth_hz: f64) -> f64;
+}
+
+/// Grants every migration the same fixed bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedAllocator {
+    /// Bandwidth granted to each migration (Hz).
+    pub bandwidth_hz: f64,
+}
+
+impl BandwidthAllocator for FixedAllocator {
+    fn allocate(&mut self, _twin: &VehicularTwin, free_bandwidth_hz: f64) -> f64 {
+        self.bandwidth_hz.min(free_bandwidth_hz)
+    }
+}
+
+/// Splits the RSU's total bandwidth equally among an expected number of
+/// concurrent migrations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EqualShareAllocator {
+    /// Expected number of concurrent migrations.
+    pub expected_concurrent: usize,
+}
+
+impl BandwidthAllocator for EqualShareAllocator {
+    fn allocate(&mut self, _twin: &VehicularTwin, free_bandwidth_hz: f64) -> f64 {
+        free_bandwidth_hz / self.expected_concurrent.max(1) as f64
+    }
+}
+
+/// One VMU participating in the simulation: its vehicle and its twin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmuEntry {
+    /// The vehicle carrying the VMU.
+    pub vehicle: Vehicle,
+    /// The VMU's vehicular twin.
+    pub twin: VehicularTwin,
+}
+
+/// A completed (or failed) migration, as recorded by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// Simulation time when the migration was triggered (seconds).
+    pub triggered_at_s: f64,
+    /// Vehicle whose twin migrated.
+    pub vehicle: VehicleId,
+    /// Source RSU.
+    pub from: RsuId,
+    /// Destination RSU.
+    pub to: RsuId,
+    /// Bandwidth granted to the migration (Hz).
+    pub bandwidth_hz: f64,
+    /// Age of Twin Migration actually achieved (seconds); `None` if the
+    /// migration failed (e.g. no bandwidth).
+    pub aotm_s: Option<f64>,
+    /// Downtime of the stop-and-copy phase (seconds); `None` on failure.
+    pub downtime_s: Option<f64>,
+}
+
+impl MigrationRecord {
+    /// Whether the migration completed successfully.
+    pub fn succeeded(&self) -> bool {
+        self.aotm_s.is_some()
+    }
+}
+
+/// Configuration of the end-to-end simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaverseConfig {
+    /// Number of RSUs along the corridor.
+    pub rsu_count: usize,
+    /// Spacing between consecutive RSUs (metres).
+    pub rsu_spacing_m: f64,
+    /// RSU coverage radius (metres).
+    pub rsu_coverage_m: f64,
+    /// Per-RSU bandwidth capacity available for migrations (Hz).
+    pub rsu_bandwidth_hz: f64,
+    /// Inter-RSU link budget used for migrations.
+    pub link: LinkBudget,
+    /// Pre-copy migration configuration.
+    pub precopy: PreCopyConfig,
+    /// Simulation time step (seconds).
+    pub time_step_s: f64,
+    /// Total simulated duration (seconds).
+    pub duration_s: f64,
+    /// Seed for the mobility randomness.
+    pub seed: u64,
+}
+
+impl Default for MetaverseConfig {
+    fn default() -> Self {
+        Self {
+            rsu_count: 6,
+            rsu_spacing_m: 1000.0,
+            rsu_coverage_m: 600.0,
+            rsu_bandwidth_hz: 50e6,
+            link: LinkBudget::default(),
+            precopy: PreCopyConfig::default(),
+            time_step_s: 1.0,
+            duration_s: 300.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Every migration that was triggered.
+    pub migrations: Vec<MigrationRecord>,
+    /// Summary of the achieved AoTM over successful migrations (seconds).
+    pub aotm_summary: Summary,
+    /// Summary of downtime over successful migrations (seconds).
+    pub downtime_summary: Summary,
+    /// Number of migrations that failed (no bandwidth / diverging pre-copy).
+    pub failed_migrations: usize,
+    /// Total simulated time (seconds).
+    pub simulated_time_s: f64,
+    /// Total distance travelled by all vehicles (metres).
+    pub total_distance_m: f64,
+}
+
+impl SimulationReport {
+    /// Number of successful migrations.
+    pub fn successful_migrations(&self) -> usize {
+        self.migrations.len() - self.failed_migrations
+    }
+}
+
+/// The end-to-end simulator.
+#[derive(Debug, Clone)]
+pub struct MetaverseSim<M: MobilityModel> {
+    config: MetaverseConfig,
+    corridor: Corridor,
+    mobility: M,
+    vmus: Vec<VmuEntry>,
+    serving: BTreeMap<VehicleId, RsuId>,
+    rng: StdRng,
+    clock_s: f64,
+    records: Vec<MigrationRecord>,
+}
+
+impl MetaverseSim<PerturbedHighway> {
+    /// Builds a highway scenario: `vmus` VMUs entering the corridor at evenly
+    /// spaced positions with speeds around 25 m/s, each owning a twin of
+    /// `twin_size_mb` megabytes and immersion coefficient `alpha`.
+    pub fn highway_scenario(
+        config: MetaverseConfig,
+        vmus: usize,
+        twin_size_mb: f64,
+        alpha: f64,
+    ) -> Self {
+        let entries: Vec<VmuEntry> = (0..vmus)
+            .map(|i| {
+                let vehicle = Vehicle::new(
+                    VehicleId(i),
+                    crate::twin::TwinId(i),
+                    Position::new(50.0 * i as f64, 0.0),
+                    Velocity::new(25.0, 0.0),
+                );
+                let twin = VehicularTwin::with_size_and_alpha(
+                    crate::twin::TwinId(i),
+                    twin_size_mb,
+                    alpha,
+                );
+                VmuEntry { vehicle, twin }
+            })
+            .collect();
+        Self::new(config, PerturbedHighway::default(), entries)
+    }
+}
+
+impl<M: MobilityModel> MetaverseSim<M> {
+    /// Creates a simulator with explicit mobility model and VMU entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmus` is empty or the configuration has a non-positive time
+    /// step or duration.
+    pub fn new(config: MetaverseConfig, mobility: M, vmus: Vec<VmuEntry>) -> Self {
+        assert!(!vmus.is_empty(), "simulation needs at least one VMU");
+        assert!(config.time_step_s > 0.0, "time step must be positive");
+        assert!(config.duration_s > 0.0, "duration must be positive");
+        let corridor = Corridor::along_road(
+            config.rsu_count,
+            config.rsu_spacing_m,
+            config.rsu_coverage_m,
+            config.rsu_bandwidth_hz,
+            100.0,
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            corridor,
+            mobility,
+            vmus,
+            serving: BTreeMap::new(),
+            rng,
+            clock_s: 0.0,
+            records: Vec::new(),
+            config,
+        }
+    }
+
+    /// The corridor topology used by the simulation.
+    pub fn corridor(&self) -> &Corridor {
+        &self.corridor
+    }
+
+    /// The VMUs participating in the simulation.
+    pub fn vmus(&self) -> &[VmuEntry] {
+        &self.vmus
+    }
+
+    /// Runs the simulation to completion with the given bandwidth allocator.
+    pub fn run<A: BandwidthAllocator>(&mut self, allocator: &mut A) -> SimulationReport {
+        // Initial association: every VMU's twin is deployed at the nearest RSU.
+        for entry in &self.vmus {
+            let rsu = self.corridor.nearest(&entry.vehicle.position()).id();
+            self.serving.insert(entry.vehicle.id(), rsu);
+        }
+        let steps = (self.config.duration_s / self.config.time_step_s).ceil() as usize;
+        for _ in 0..steps {
+            self.clock_s += self.config.time_step_s;
+            self.step(allocator);
+        }
+        self.report()
+    }
+
+    fn step<A: BandwidthAllocator>(&mut self, allocator: &mut A) {
+        let dt = self.config.time_step_s;
+        // Track per-RSU bandwidth committed within this step so concurrent
+        // migrations at the same destination share its pool.
+        let mut committed: BTreeMap<RsuId, f64> = BTreeMap::new();
+        for i in 0..self.vmus.len() {
+            // Move the vehicle.
+            {
+                let entry = &mut self.vmus[i];
+                entry.vehicle.advance(&self.mobility, dt, &mut self.rng);
+            }
+            let (vehicle_id, position) = {
+                let entry = &self.vmus[i];
+                (entry.vehicle.id(), entry.vehicle.position())
+            };
+            let current = *self
+                .serving
+                .get(&vehicle_id)
+                .expect("vehicle registered at start of run");
+            // A migration is needed when the best serving RSU differs from the
+            // current one (leaving coverage towards the next RSU).
+            let best = self
+                .corridor
+                .covering(&position)
+                .map(|r| r.id())
+                .unwrap_or_else(|| self.corridor.nearest(&position).id());
+            if best != current {
+                let free = {
+                    let capacity = self
+                        .corridor
+                        .rsu(best)
+                        .map(|r| r.bandwidth_capacity_hz())
+                        .unwrap_or(self.config.rsu_bandwidth_hz);
+                    let used = committed.get(&best).copied().unwrap_or(0.0);
+                    (capacity - used).max(0.0)
+                };
+                let twin = self.vmus[i].twin.clone();
+                let granted = allocator.allocate(&twin, free).clamp(0.0, free);
+                *committed.entry(best).or_insert(0.0) += granted;
+                let record = self.migrate(vehicle_id, current, best, &twin, granted);
+                self.records.push(record);
+                self.serving.insert(vehicle_id, best);
+            }
+        }
+    }
+
+    fn migrate(
+        &self,
+        vehicle: VehicleId,
+        from: RsuId,
+        to: RsuId,
+        twin: &VehicularTwin,
+        bandwidth_hz: f64,
+    ) -> MigrationRecord {
+        let distance = self.corridor.inter_rsu_distance(from, to).max(1.0);
+        let link = self.config.link.with_distance(distance);
+        let outcome: Result<_, MigrationError> = if bandwidth_hz > 0.0 {
+            simulate_precopy_migration(twin, bandwidth_hz, &link, &self.config.precopy)
+        } else {
+            Err(MigrationError::NoBandwidth)
+        };
+        match outcome {
+            Ok(report) => MigrationRecord {
+                triggered_at_s: self.clock_s,
+                vehicle,
+                from,
+                to,
+                bandwidth_hz,
+                aotm_s: Some(report.aotm_s),
+                downtime_s: Some(report.downtime_s),
+            },
+            Err(_) => MigrationRecord {
+                triggered_at_s: self.clock_s,
+                vehicle,
+                from,
+                to,
+                bandwidth_hz,
+                aotm_s: None,
+                downtime_s: None,
+            },
+        }
+    }
+
+    fn report(&self) -> SimulationReport {
+        let aotm: Vec<f64> = self.records.iter().filter_map(|r| r.aotm_s).collect();
+        let downtime: Vec<f64> = self.records.iter().filter_map(|r| r.downtime_s).collect();
+        let failed = self.records.iter().filter(|r| !r.succeeded()).count();
+        SimulationReport {
+            aotm_summary: Summary::from_values(aotm),
+            downtime_summary: Summary::from_values(downtime),
+            failed_migrations: failed,
+            migrations: self.records.clone(),
+            simulated_time_s: self.clock_s,
+            total_distance_m: self
+                .vmus
+                .iter()
+                .map(|v| v.vehicle.distance_travelled_m())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MetaverseConfig {
+        MetaverseConfig {
+            duration_s: 400.0,
+            ..MetaverseConfig::default()
+        }
+    }
+
+    #[test]
+    fn highway_scenario_produces_migrations() {
+        let mut sim = MetaverseSim::highway_scenario(config(), 3, 100.0, 5.0);
+        let mut allocator = FixedAllocator { bandwidth_hz: 10e6 };
+        let report = sim.run(&mut allocator);
+        assert!(
+            !report.migrations.is_empty(),
+            "vehicles crossing RSU boundaries must trigger migrations"
+        );
+        assert_eq!(report.failed_migrations, 0);
+        assert!(report.aotm_summary.mean > 0.0);
+        assert!(report.aotm_summary.mean.is_finite());
+        assert!(report.total_distance_m > 0.0);
+        assert!(report.simulated_time_s >= 400.0 - 1e-9);
+        assert_eq!(
+            report.successful_migrations(),
+            report.migrations.len()
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_allocator_fails_migrations() {
+        let mut sim = MetaverseSim::highway_scenario(config(), 2, 100.0, 5.0);
+        let mut allocator = FixedAllocator { bandwidth_hz: 0.0 };
+        let report = sim.run(&mut allocator);
+        assert!(!report.migrations.is_empty());
+        assert_eq!(report.failed_migrations, report.migrations.len());
+        assert_eq!(report.successful_migrations(), 0);
+    }
+
+    #[test]
+    fn more_bandwidth_gives_fresher_migrations() {
+        let mut slow_sim = MetaverseSim::highway_scenario(config(), 3, 150.0, 5.0);
+        let mut fast_sim = MetaverseSim::highway_scenario(config(), 3, 150.0, 5.0);
+        let slow = slow_sim.run(&mut FixedAllocator { bandwidth_hz: 2e6 });
+        let fast = fast_sim.run(&mut FixedAllocator { bandwidth_hz: 20e6 });
+        assert!(slow.aotm_summary.mean > fast.aotm_summary.mean);
+    }
+
+    #[test]
+    fn equal_share_allocator_splits_pool() {
+        let mut alloc = EqualShareAllocator {
+            expected_concurrent: 4,
+        };
+        let twin = VehicularTwin::with_size_and_alpha(crate::twin::TwinId(0), 100.0, 5.0);
+        assert!((alloc.allocate(&twin, 40e6) - 10e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migration_records_are_well_formed() {
+        let mut sim = MetaverseSim::highway_scenario(config(), 1, 100.0, 5.0);
+        let report = sim.run(&mut FixedAllocator { bandwidth_hz: 5e6 });
+        for record in &report.migrations {
+            assert_ne!(record.from, record.to, "migration must change RSU");
+            assert!(record.triggered_at_s >= 0.0);
+            assert!(record.succeeded());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VMU")]
+    fn empty_vmu_list_rejected() {
+        let _ = MetaverseSim::new(config(), PerturbedHighway::default(), vec![]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Vehicle mobility: positions, velocities and mobility models.
+//!
+//! The paper motivates twin migration with vehicle mobility across the
+//! limited coverage of roadside units. These mobility models generate the
+//! movement that triggers migrations in the end-to-end simulator.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate (metres), conventionally along the road.
+    pub x: f64,
+    /// Y coordinate (metres), conventionally across lanes.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A 2-D velocity in metres per second.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Velocity {
+    /// X component (m/s).
+    pub vx: f64,
+    /// Y component (m/s).
+    pub vy: f64,
+}
+
+impl Velocity {
+    /// Creates a velocity.
+    pub fn new(vx: f64, vy: f64) -> Self {
+        Self { vx, vy }
+    }
+
+    /// Speed (magnitude) in m/s.
+    pub fn speed(&self) -> f64 {
+        (self.vx * self.vx + self.vy * self.vy).sqrt()
+    }
+}
+
+/// A mobility model advances a `(position, velocity)` pair by a time step.
+pub trait MobilityModel {
+    /// Advances the state by `dt` seconds, returning the new state.
+    fn advance<R: Rng + ?Sized>(
+        &self,
+        position: Position,
+        velocity: Velocity,
+        dt: f64,
+        rng: &mut R,
+    ) -> (Position, Velocity);
+}
+
+/// Constant-velocity highway motion along the x axis (the canonical scenario
+/// for RSU hand-overs along a road corridor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantVelocity;
+
+impl MobilityModel for ConstantVelocity {
+    fn advance<R: Rng + ?Sized>(
+        &self,
+        position: Position,
+        velocity: Velocity,
+        dt: f64,
+        _rng: &mut R,
+    ) -> (Position, Velocity) {
+        (
+            Position::new(position.x + velocity.vx * dt, position.y + velocity.vy * dt),
+            velocity,
+        )
+    }
+}
+
+/// Highway motion with Gaussian speed perturbation, clamped to a speed band.
+/// Models stop-and-go traffic without changing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbedHighway {
+    /// Standard deviation of the per-step speed perturbation (m/s).
+    pub speed_jitter: f64,
+    /// Minimum speed (m/s).
+    pub min_speed: f64,
+    /// Maximum speed (m/s).
+    pub max_speed: f64,
+}
+
+impl Default for PerturbedHighway {
+    fn default() -> Self {
+        Self {
+            speed_jitter: 1.0,
+            min_speed: 5.0,
+            max_speed: 40.0,
+        }
+    }
+}
+
+impl MobilityModel for PerturbedHighway {
+    fn advance<R: Rng + ?Sized>(
+        &self,
+        position: Position,
+        velocity: Velocity,
+        dt: f64,
+        rng: &mut R,
+    ) -> (Position, Velocity) {
+        let direction = if velocity.vx < 0.0 { -1.0 } else { 1.0 };
+        let jitter: f64 = rng.gen_range(-self.speed_jitter..=self.speed_jitter);
+        let speed = (velocity.speed() + jitter).clamp(self.min_speed, self.max_speed);
+        let new_velocity = Velocity::new(direction * speed, 0.0);
+        (
+            Position::new(position.x + new_velocity.vx * dt, position.y),
+            new_velocity,
+        )
+    }
+}
+
+/// Random-waypoint motion inside a rectangle: the vehicle heads to a random
+/// waypoint at a random speed and picks a new one on arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    /// Width of the area (metres).
+    pub width: f64,
+    /// Height of the area (metres).
+    pub height: f64,
+    /// Minimum speed (m/s).
+    pub min_speed: f64,
+    /// Maximum speed (m/s).
+    pub max_speed: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a random-waypoint model on a `width x height` rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area or the speed band is degenerate.
+    pub fn new(width: f64, height: f64, min_speed: f64, max_speed: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "area must be non-degenerate");
+        assert!(
+            min_speed > 0.0 && max_speed >= min_speed,
+            "speed band must satisfy 0 < min <= max"
+        );
+        Self {
+            width,
+            height,
+            min_speed,
+            max_speed,
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn advance<R: Rng + ?Sized>(
+        &self,
+        position: Position,
+        velocity: Velocity,
+        dt: f64,
+        rng: &mut R,
+    ) -> (Position, Velocity) {
+        let mut velocity = velocity;
+        if velocity.speed() < 1e-9 {
+            // Pick a new waypoint and speed.
+            let target = Position::new(
+                rng.gen_range(0.0..self.width),
+                rng.gen_range(0.0..self.height),
+            );
+            let speed = rng.gen_range(self.min_speed..=self.max_speed);
+            let dist = position.distance_to(&target).max(1e-9);
+            velocity = Velocity::new(
+                speed * (target.x - position.x) / dist,
+                speed * (target.y - position.y) / dist,
+            );
+        }
+        let mut next = Position::new(position.x + velocity.vx * dt, position.y + velocity.vy * dt);
+        // Stop (forcing a new waypoint next step) when leaving the area.
+        if next.x < 0.0 || next.x > self.width || next.y < 0.0 || next.y > self.height {
+            next.x = next.x.clamp(0.0, self.width);
+            next.y = next.y.clamp(0.0, self.height);
+            velocity = Velocity::default();
+        }
+        (next, velocity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn position_distance() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_to(&a), 0.0);
+    }
+
+    #[test]
+    fn velocity_speed() {
+        assert!((Velocity::new(3.0, 4.0).speed() - 5.0).abs() < 1e-12);
+        assert_eq!(Velocity::default().speed(), 0.0);
+    }
+
+    #[test]
+    fn constant_velocity_moves_linearly() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (p, v) = ConstantVelocity.advance(
+            Position::new(10.0, 0.0),
+            Velocity::new(20.0, 0.0),
+            2.0,
+            &mut rng,
+        );
+        assert_eq!(p, Position::new(50.0, 0.0));
+        assert_eq!(v, Velocity::new(20.0, 0.0));
+    }
+
+    #[test]
+    fn perturbed_highway_keeps_direction_and_speed_band() {
+        let model = PerturbedHighway::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pos = Position::new(0.0, 0.0);
+        let mut vel = Velocity::new(25.0, 0.0);
+        for _ in 0..200 {
+            let (p, v) = model.advance(pos, vel, 1.0, &mut rng);
+            assert!(p.x >= pos.x, "vehicle must keep moving forward");
+            assert!(v.speed() >= model.min_speed - 1e-9);
+            assert!(v.speed() <= model.max_speed + 1e-9);
+            pos = p;
+            vel = v;
+        }
+    }
+
+    #[test]
+    fn perturbed_highway_preserves_negative_direction() {
+        let model = PerturbedHighway::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, v) = model.advance(Position::default(), Velocity::new(-20.0, 0.0), 1.0, &mut rng);
+        assert!(v.vx < 0.0);
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_area() {
+        let model = RandomWaypoint::new(1000.0, 500.0, 5.0, 20.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pos = Position::new(500.0, 250.0);
+        let mut vel = Velocity::default();
+        for _ in 0..500 {
+            let (p, v) = model.advance(pos, vel, 1.0, &mut rng);
+            assert!(p.x >= 0.0 && p.x <= 1000.0, "x out of area: {}", p.x);
+            assert!(p.y >= 0.0 && p.y <= 500.0, "y out of area: {}", p.y);
+            pos = p;
+            vel = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be non-degenerate")]
+    fn random_waypoint_rejects_zero_area() {
+        let _ = RandomWaypoint::new(0.0, 10.0, 1.0, 2.0);
+    }
+}

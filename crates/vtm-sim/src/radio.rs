@@ -1,0 +1,192 @@
+//! Radio-link primitives: unit conversions, path loss and Shannon capacity.
+//!
+//! The paper's channel model (§III-A) computes the achievable transmission
+//! rate between the source and destination RSU as
+//! `γ_n = b_n · log2(1 + ρ h0 d^{-ε} / N0)` with the transmit power ρ, unit
+//! channel gain `h0`, RSU distance `d`, path-loss exponent ε and noise power
+//! `N0` given in dBm/dB. This module provides those quantities as strongly
+//! typed values so that dB and linear domains cannot be mixed up.
+
+use serde::{Deserialize, Serialize};
+
+/// A power expressed in dBm (decibel-milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// A dimensionless gain expressed in dB.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+/// A power expressed in milliwatts (linear domain).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Milliwatts(pub f64);
+
+impl Dbm {
+    /// Converts dBm to linear milliwatts.
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl Milliwatts {
+    /// Converts linear milliwatts to dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power is not strictly positive.
+    pub fn to_dbm(self) -> Dbm {
+        assert!(self.0 > 0.0, "power must be positive to express in dBm");
+        Dbm(10.0 * self.0.log10())
+    }
+}
+
+impl Db {
+    /// Converts a dB gain to a linear ratio.
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts a linear ratio to dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not strictly positive.
+    pub fn from_linear(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "ratio must be positive to express in dB");
+        Db(10.0 * ratio.log10())
+    }
+}
+
+/// Parameters of the inter-RSU wireless link used for twin migration.
+///
+/// Defaults correspond to the paper's §V-A settings: transmit power 40 dBm,
+/// unit channel gain −20 dB, RSU distance 500 m, path-loss exponent 2 and
+/// average noise power −150 dBm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Transmit power ρ of the source RSU.
+    pub transmit_power: Dbm,
+    /// Unit channel power gain h0.
+    pub unit_gain: Db,
+    /// Distance `d` between the source and destination RSU in metres.
+    pub distance_m: f64,
+    /// Path-loss exponent ε.
+    pub path_loss_exponent: f64,
+    /// Average noise power N0.
+    pub noise_power: Dbm,
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        Self {
+            transmit_power: Dbm(40.0),
+            unit_gain: Db(-20.0),
+            distance_m: 500.0,
+            path_loss_exponent: 2.0,
+            noise_power: Dbm(-150.0),
+        }
+    }
+}
+
+impl LinkBudget {
+    /// Received signal-to-noise ratio `ρ h0 d^{-ε} / N0` in the linear domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distance is not strictly positive.
+    pub fn snr_linear(&self) -> f64 {
+        assert!(self.distance_m > 0.0, "distance must be positive");
+        let signal = self.transmit_power.to_milliwatts().0
+            * self.unit_gain.to_linear()
+            * self.distance_m.powf(-self.path_loss_exponent);
+        signal / self.noise_power.to_milliwatts().0
+    }
+
+    /// Spectral efficiency `log2(1 + SNR)` in bit/s/Hz. This is the factor the
+    /// paper multiplies by the purchased bandwidth `b_n` to obtain the rate.
+    pub fn spectral_efficiency(&self) -> f64 {
+        (1.0 + self.snr_linear()).log2()
+    }
+
+    /// Achievable rate for `bandwidth_hz` of spectrum, in bit/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_hz` is negative.
+    pub fn rate_bps(&self, bandwidth_hz: f64) -> f64 {
+        assert!(bandwidth_hz >= 0.0, "bandwidth must be non-negative");
+        bandwidth_hz * self.spectral_efficiency()
+    }
+
+    /// Returns a copy with a different inter-RSU distance.
+    pub fn with_distance(mut self, distance_m: f64) -> Self {
+        self.distance_m = distance_m;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        for v in [-150.0, -20.0, 0.0, 40.0] {
+            let back = Dbm(v).to_milliwatts().to_dbm();
+            assert!((back.0 - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn db_round_trip() {
+        for v in [-30.0, -3.0, 0.0, 10.0] {
+            let back = Db::from_linear(Db(v).to_linear());
+            assert!((back.0 - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!((Dbm(0.0).to_milliwatts().0 - 1.0).abs() < 1e-12);
+        assert!((Dbm(30.0).to_milliwatts().0 - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn negative_power_cannot_be_dbm() {
+        let _ = Milliwatts(-1.0).to_dbm();
+    }
+
+    #[test]
+    fn paper_link_budget_snr_is_large_and_positive() {
+        let link = LinkBudget::default();
+        let snr = link.snr_linear();
+        // 40 dBm - 20 dB - 10*2*log10(500) dB - (-150 dBm) = 116.02 dB ≈ 4e11.
+        let expected_db = 40.0 - 20.0 - 20.0 * 500f64.log10() + 150.0;
+        assert!((Db::from_linear(snr).0 - expected_db).abs() < 1e-6);
+        assert!(link.spectral_efficiency() > 30.0);
+    }
+
+    #[test]
+    fn rate_scales_linearly_with_bandwidth() {
+        let link = LinkBudget::default();
+        let r1 = link.rate_bps(1e6);
+        let r2 = link.rate_bps(2e6);
+        assert!((r2 - 2.0 * r1).abs() < 1e-6 * r1);
+        assert_eq!(link.rate_bps(0.0), 0.0);
+    }
+
+    #[test]
+    fn rate_decreases_with_distance() {
+        let near = LinkBudget::default().with_distance(100.0);
+        let far = LinkBudget::default().with_distance(1000.0);
+        assert!(near.rate_bps(1e6) > far.rate_bps(1e6));
+    }
+
+    #[test]
+    fn spectral_efficiency_increases_with_power() {
+        let mut strong = LinkBudget::default();
+        strong.transmit_power = Dbm(46.0);
+        assert!(strong.spectral_efficiency() > LinkBudget::default().spectral_efficiency());
+    }
+}

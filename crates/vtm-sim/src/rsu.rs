@@ -1,0 +1,259 @@
+//! RoadSide Units and corridor topology.
+//!
+//! RSUs host the edge servers where vehicular twins are deployed. Each RSU
+//! has a position, a circular coverage radius and a bandwidth pool managed by
+//! the Metaverse Service Provider. The [`Corridor`] places a chain of RSUs
+//! along a road so that a moving vehicle periodically leaves coverage and its
+//! twin has to be migrated to the next RSU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mobility::Position;
+
+/// Identifier of an RSU within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RsuId(pub usize);
+
+impl std::fmt::Display for RsuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rsu-{}", self.0)
+    }
+}
+
+/// A roadside unit hosting an edge server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rsu {
+    id: RsuId,
+    position: Position,
+    coverage_radius_m: f64,
+    /// Total bandwidth (Hz) the MSP can sell at this RSU for migrations.
+    bandwidth_capacity_hz: f64,
+    /// Compute capacity of the edge server in arbitrary units (used to model
+    /// rendering load; not part of the paper's pricing game but needed by the
+    /// end-to-end simulator).
+    compute_capacity: f64,
+}
+
+impl Rsu {
+    /// Creates an RSU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coverage radius or capacities are not positive.
+    pub fn new(
+        id: RsuId,
+        position: Position,
+        coverage_radius_m: f64,
+        bandwidth_capacity_hz: f64,
+        compute_capacity: f64,
+    ) -> Self {
+        assert!(coverage_radius_m > 0.0, "coverage radius must be positive");
+        assert!(
+            bandwidth_capacity_hz > 0.0,
+            "bandwidth capacity must be positive"
+        );
+        assert!(compute_capacity > 0.0, "compute capacity must be positive");
+        Self {
+            id,
+            position,
+            coverage_radius_m,
+            bandwidth_capacity_hz,
+            compute_capacity,
+        }
+    }
+
+    /// The RSU identifier.
+    pub fn id(&self) -> RsuId {
+        self.id
+    }
+
+    /// The RSU position.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// Coverage radius in metres.
+    pub fn coverage_radius_m(&self) -> f64 {
+        self.coverage_radius_m
+    }
+
+    /// Bandwidth capacity in Hz.
+    pub fn bandwidth_capacity_hz(&self) -> f64 {
+        self.bandwidth_capacity_hz
+    }
+
+    /// Edge-server compute capacity (arbitrary units).
+    pub fn compute_capacity(&self) -> f64 {
+        self.compute_capacity
+    }
+
+    /// Whether `position` lies within this RSU's coverage.
+    pub fn covers(&self, position: &Position) -> bool {
+        self.position.distance_to(position) <= self.coverage_radius_m
+    }
+
+    /// Distance from the RSU to `position`, in metres.
+    pub fn distance_to(&self, position: &Position) -> f64 {
+        self.position.distance_to(position)
+    }
+}
+
+/// A linear corridor of RSUs along a road (the canonical hand-over topology).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corridor {
+    rsus: Vec<Rsu>,
+}
+
+impl Corridor {
+    /// Builds a corridor from an explicit list of RSUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsus` is empty.
+    pub fn new(rsus: Vec<Rsu>) -> Self {
+        assert!(!rsus.is_empty(), "corridor needs at least one RSU");
+        Self { rsus }
+    }
+
+    /// Builds a corridor of `count` equally spaced RSUs along the x axis,
+    /// starting at `x = 0` and separated by `spacing_m` metres, each with the
+    /// given coverage radius and capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or any geometric argument is non-positive.
+    pub fn along_road(
+        count: usize,
+        spacing_m: f64,
+        coverage_radius_m: f64,
+        bandwidth_capacity_hz: f64,
+        compute_capacity: f64,
+    ) -> Self {
+        assert!(count > 0, "corridor needs at least one RSU");
+        assert!(spacing_m > 0.0, "spacing must be positive");
+        let rsus = (0..count)
+            .map(|i| {
+                Rsu::new(
+                    RsuId(i),
+                    Position::new(i as f64 * spacing_m, 0.0),
+                    coverage_radius_m,
+                    bandwidth_capacity_hz,
+                    compute_capacity,
+                )
+            })
+            .collect();
+        Self { rsus }
+    }
+
+    /// All RSUs in the corridor.
+    pub fn rsus(&self) -> &[Rsu] {
+        &self.rsus
+    }
+
+    /// Number of RSUs.
+    pub fn len(&self) -> usize {
+        self.rsus.len()
+    }
+
+    /// Whether the corridor is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rsus.is_empty()
+    }
+
+    /// Looks up an RSU by id.
+    pub fn rsu(&self, id: RsuId) -> Option<&Rsu> {
+        self.rsus.iter().find(|r| r.id() == id)
+    }
+
+    /// The RSU closest to `position`.
+    pub fn nearest(&self, position: &Position) -> &Rsu {
+        self.rsus
+            .iter()
+            .min_by(|a, b| {
+                a.distance_to(position)
+                    .partial_cmp(&b.distance_to(position))
+                    .expect("distances are finite")
+            })
+            .expect("corridor is non-empty")
+    }
+
+    /// The RSU that covers `position`, preferring the nearest one. Returns
+    /// `None` when the position is in a coverage hole.
+    pub fn covering(&self, position: &Position) -> Option<&Rsu> {
+        let nearest = self.nearest(position);
+        if nearest.covers(position) {
+            Some(nearest)
+        } else {
+            None
+        }
+    }
+
+    /// Distance between two RSUs (used as the inter-RSU migration hop length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is unknown.
+    pub fn inter_rsu_distance(&self, a: RsuId, b: RsuId) -> f64 {
+        let ra = self.rsu(a).expect("unknown source RSU");
+        let rb = self.rsu(b).expect("unknown destination RSU");
+        ra.position().distance_to(&rb.position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Corridor {
+        Corridor::along_road(5, 1000.0, 600.0, 50e6, 100.0)
+    }
+
+    #[test]
+    fn rsu_coverage_checks() {
+        let rsu = Rsu::new(RsuId(0), Position::new(0.0, 0.0), 500.0, 1e6, 10.0);
+        assert!(rsu.covers(&Position::new(300.0, 400.0)));
+        assert!(!rsu.covers(&Position::new(300.0, 401.0)));
+        assert_eq!(rsu.id(), RsuId(0));
+        assert_eq!(format!("{}", rsu.id()), "rsu-0");
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage radius must be positive")]
+    fn rsu_rejects_zero_radius() {
+        let _ = Rsu::new(RsuId(0), Position::default(), 0.0, 1e6, 1.0);
+    }
+
+    #[test]
+    fn corridor_places_rsus_evenly() {
+        let c = corridor();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.rsus()[3].position(), Position::new(3000.0, 0.0));
+        assert!((c.inter_rsu_distance(RsuId(1), RsuId(3)) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_and_covering_queries() {
+        let c = corridor();
+        let p = Position::new(1400.0, 0.0);
+        assert_eq!(c.nearest(&p).id(), RsuId(1));
+        assert_eq!(c.covering(&p).unwrap().id(), RsuId(1));
+        // Midpoint outside both coverage radii (600 m radius, 1000 m spacing
+        // means full coverage; push y far away to create a hole).
+        let hole = Position::new(1500.0, 2000.0);
+        assert!(c.covering(&hole).is_none());
+    }
+
+    #[test]
+    fn rsu_lookup_by_id() {
+        let c = corridor();
+        assert!(c.rsu(RsuId(4)).is_some());
+        assert!(c.rsu(RsuId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "corridor needs at least one RSU")]
+    fn empty_corridor_rejected() {
+        let _ = Corridor::new(vec![]);
+    }
+}

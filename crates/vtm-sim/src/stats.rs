@@ -1,0 +1,114 @@
+//! Descriptive statistics for simulation outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation (0 for fewer than two samples).
+    pub std_dev: f64,
+    /// Smallest sample (0 for an empty sample).
+    pub min: f64,
+    /// Largest sample (0 for an empty sample).
+    pub max: f64,
+    /// Median (0 for an empty sample).
+    pub median: f64,
+    /// 95th percentile (0 for an empty sample).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`. Non-finite values are ignored.
+    pub fn from_values<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut data: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if data.is_empty() {
+            return Self::default();
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let count = data.len();
+        let mean = data.iter().sum::<f64>() / count as f64;
+        let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: data[0],
+            max: data[count - 1],
+            median: percentile_sorted(&data, 0.5),
+            p95: percentile_sorted(&data, 0.95),
+        }
+    }
+}
+
+/// Linear-interpolation percentile of an already sorted slice; `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    let frac = pos - lower as f64;
+    sorted[lower] * (1.0 - frac) + sorted[upper] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let s = Summary::from_values([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::from_values(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&data, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&data, 1.0), 4.0);
+        assert!((percentile_sorted(&data, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&[7.0], 0.3), 7.0);
+        assert_eq!(percentile_sorted(&[], 0.3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn out_of_range_quantile_panics() {
+        let _ = percentile_sorted(&[1.0], 1.5);
+    }
+}

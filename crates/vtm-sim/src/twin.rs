@@ -1,0 +1,212 @@
+//! Vehicular Twins: the digital replicas deployed on RSU edge servers.
+//!
+//! A twin's state is what has to be moved during migration. Following the
+//! paper's §III-A, the migrated data `D_n` bundles the system configuration,
+//! historical memory data and real-time state of the VMU, and is transmitted
+//! in blocks. The dirty-page model drives the pre-copy live-migration rounds.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vehicular twin (matches its VMU's identifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TwinId(pub usize);
+
+impl std::fmt::Display for TwinId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "twin-{}", self.0)
+    }
+}
+
+/// Breakdown of the data composing a vehicular twin, in megabytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwinDataProfile {
+    /// System configuration (CPU/GPU description, runtime images).
+    pub system_config_mb: f64,
+    /// Historical memory data (interaction history, learned models).
+    pub historical_memory_mb: f64,
+    /// Real-time state (sensor snapshot, session state).
+    pub realtime_state_mb: f64,
+}
+
+impl TwinDataProfile {
+    /// Total twin size `D_n` in megabytes.
+    pub fn total_mb(&self) -> f64 {
+        self.system_config_mb + self.historical_memory_mb + self.realtime_state_mb
+    }
+
+    /// Total twin size in bits (1 MB = 8 × 10⁶ bits, the convention used when
+    /// combining with Shannon rates in bit/s).
+    pub fn total_bits(&self) -> f64 {
+        self.total_mb() * 8e6
+    }
+
+    /// Creates a profile with the given total size, split 20 % configuration,
+    /// 60 % historical memory, 20 % real-time state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_mb` is not positive.
+    pub fn from_total_mb(total_mb: f64) -> Self {
+        assert!(total_mb > 0.0, "twin size must be positive");
+        Self {
+            system_config_mb: 0.2 * total_mb,
+            historical_memory_mb: 0.6 * total_mb,
+            realtime_state_mb: 0.2 * total_mb,
+        }
+    }
+}
+
+/// A vehicular twin deployed on an RSU edge server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VehicularTwin {
+    id: TwinId,
+    data: TwinDataProfile,
+    /// Rate (MB/s) at which the twin's memory is re-dirtied while it keeps
+    /// serving its VMU during live migration.
+    dirty_rate_mb_per_s: f64,
+    /// Block size used when streaming the twin between RSUs (MB).
+    block_size_mb: f64,
+    /// Immersion coefficient α_n of the owning VMU (unit profit of immersion).
+    immersion_coefficient: f64,
+}
+
+impl VehicularTwin {
+    /// Creates a twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dirty rate is negative, the block size is not positive or
+    /// the immersion coefficient is not positive.
+    pub fn new(
+        id: TwinId,
+        data: TwinDataProfile,
+        dirty_rate_mb_per_s: f64,
+        block_size_mb: f64,
+        immersion_coefficient: f64,
+    ) -> Self {
+        assert!(dirty_rate_mb_per_s >= 0.0, "dirty rate cannot be negative");
+        assert!(block_size_mb > 0.0, "block size must be positive");
+        assert!(
+            immersion_coefficient > 0.0,
+            "immersion coefficient must be positive"
+        );
+        Self {
+            id,
+            data,
+            dirty_rate_mb_per_s,
+            block_size_mb,
+            immersion_coefficient,
+        }
+    }
+
+    /// Convenience constructor matching the paper's experiments: a twin of
+    /// `total_mb` megabytes with immersion coefficient `alpha`, a modest dirty
+    /// rate and 1 MB blocks.
+    pub fn with_size_and_alpha(id: TwinId, total_mb: f64, alpha: f64) -> Self {
+        Self::new(
+            id,
+            TwinDataProfile::from_total_mb(total_mb),
+            2.0,
+            1.0,
+            alpha,
+        )
+    }
+
+    /// Twin identifier.
+    pub fn id(&self) -> TwinId {
+        self.id
+    }
+
+    /// Data profile of the twin.
+    pub fn data(&self) -> &TwinDataProfile {
+        &self.data
+    }
+
+    /// Total size `D_n` in megabytes.
+    pub fn size_mb(&self) -> f64 {
+        self.data.total_mb()
+    }
+
+    /// Total size in bits.
+    pub fn size_bits(&self) -> f64 {
+        self.data.total_bits()
+    }
+
+    /// Memory dirty rate in MB/s.
+    pub fn dirty_rate_mb_per_s(&self) -> f64 {
+        self.dirty_rate_mb_per_s
+    }
+
+    /// Migration block size in MB.
+    pub fn block_size_mb(&self) -> f64 {
+        self.block_size_mb
+    }
+
+    /// Number of blocks needed to stream the whole twin once.
+    pub fn block_count(&self) -> usize {
+        (self.size_mb() / self.block_size_mb).ceil() as usize
+    }
+
+    /// Immersion coefficient α_n of the owning VMU.
+    pub fn immersion_coefficient(&self) -> f64 {
+        self.immersion_coefficient
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_totals() {
+        let p = TwinDataProfile {
+            system_config_mb: 10.0,
+            historical_memory_mb: 80.0,
+            realtime_state_mb: 10.0,
+        };
+        assert!((p.total_mb() - 100.0).abs() < 1e-12);
+        assert!((p.total_bits() - 8e8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn profile_from_total_partitions_correctly() {
+        let p = TwinDataProfile::from_total_mb(200.0);
+        assert!((p.total_mb() - 200.0).abs() < 1e-9);
+        assert!((p.historical_memory_mb - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "twin size must be positive")]
+    fn zero_total_rejected() {
+        let _ = TwinDataProfile::from_total_mb(0.0);
+    }
+
+    #[test]
+    fn twin_accessors() {
+        let twin = VehicularTwin::with_size_and_alpha(TwinId(3), 150.0, 7.5);
+        assert_eq!(twin.id(), TwinId(3));
+        assert!((twin.size_mb() - 150.0).abs() < 1e-9);
+        assert_eq!(twin.block_count(), 150);
+        assert!((twin.immersion_coefficient() - 7.5).abs() < 1e-12);
+        assert!(twin.dirty_rate_mb_per_s() >= 0.0);
+        assert_eq!(format!("{}", twin.id()), "twin-3");
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        let twin = VehicularTwin::new(
+            TwinId(0),
+            TwinDataProfile::from_total_mb(10.5),
+            0.0,
+            2.0,
+            5.0,
+        );
+        assert_eq!(twin.block_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "immersion coefficient must be positive")]
+    fn non_positive_alpha_rejected() {
+        let _ = VehicularTwin::with_size_and_alpha(TwinId(0), 100.0, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Vehicles carrying Vehicular Metaverse Users.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::mobility::{MobilityModel, Position, Velocity};
+use crate::twin::TwinId;
+
+/// Identifier of a vehicle (and of the VMU it carries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VehicleId(pub usize);
+
+impl std::fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vehicle-{}", self.0)
+    }
+}
+
+/// A vehicle moving through the corridor whose VMU owns a vehicular twin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vehicle {
+    id: VehicleId,
+    twin: TwinId,
+    position: Position,
+    velocity: Velocity,
+    distance_travelled_m: f64,
+}
+
+impl Vehicle {
+    /// Creates a vehicle.
+    pub fn new(id: VehicleId, twin: TwinId, position: Position, velocity: Velocity) -> Self {
+        Self {
+            id,
+            twin,
+            position,
+            velocity,
+            distance_travelled_m: 0.0,
+        }
+    }
+
+    /// Vehicle identifier.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// Identifier of the vehicle's twin.
+    pub fn twin(&self) -> TwinId {
+        self.twin
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// Current velocity.
+    pub fn velocity(&self) -> Velocity {
+        self.velocity
+    }
+
+    /// Cumulative distance travelled since creation (metres).
+    pub fn distance_travelled_m(&self) -> f64 {
+        self.distance_travelled_m
+    }
+
+    /// Advances the vehicle by `dt` seconds using `model`.
+    pub fn advance<M: MobilityModel, R: Rng + ?Sized>(&mut self, model: &M, dt: f64, rng: &mut R) {
+        let (next_pos, next_vel) = model.advance(self.position, self.velocity, dt, rng);
+        self.distance_travelled_m += self.position.distance_to(&next_pos);
+        self.position = next_pos;
+        self.velocity = next_vel;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::ConstantVelocity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vehicle_advances_and_tracks_distance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut v = Vehicle::new(
+            VehicleId(1),
+            TwinId(1),
+            Position::new(0.0, 0.0),
+            Velocity::new(10.0, 0.0),
+        );
+        for _ in 0..5 {
+            v.advance(&ConstantVelocity, 1.0, &mut rng);
+        }
+        assert!((v.position().x - 50.0).abs() < 1e-9);
+        assert!((v.distance_travelled_m() - 50.0).abs() < 1e-9);
+        assert_eq!(v.id(), VehicleId(1));
+        assert_eq!(v.twin(), TwinId(1));
+        assert_eq!(format!("{}", v.id()), "vehicle-1");
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end scenario: vehicles drive along a corridor of RSUs, their twins
+//! are live-migrated whenever coverage changes, and each migration's
+//! bandwidth is purchased at the Stackelberg price computed by the incentive
+//! mechanism. Reports the achieved Age of Twin Migration distribution.
+//!
+//! ```text
+//! cargo run --release --example highway_migration
+//! ```
+
+use vtm::prelude::*;
+
+fn main() {
+    let sim_config = MetaverseConfig {
+        rsu_count: 8,
+        rsu_spacing_m: 1000.0,
+        rsu_coverage_m: 600.0,
+        duration_s: 600.0,
+        ..MetaverseConfig::default()
+    };
+    let vmus = 5;
+    let twin_size_mb = 200.0;
+    let alpha = 5.0;
+
+    println!(
+        "Highway scenario: {} VMUs, {} RSUs spaced {} m apart, {} s simulated",
+        vmus, sim_config.rsu_count, sim_config.rsu_spacing_m, sim_config.duration_s
+    );
+
+    // Two allocators: the Stackelberg-priced one and a naive equal-share one.
+    let market = MarketConfig::default();
+    let link = LinkBudget::default();
+    let mut priced = StackelbergAllocator::new(market, link, PricingRule::StackelbergPerMigration)
+        .with_min_bandwidth_mhz(2.0);
+    let mut equal_share = EqualShareAllocator {
+        expected_concurrent: vmus,
+    };
+
+    let mut sim_a = MetaverseSim::highway_scenario(sim_config.clone(), vmus, twin_size_mb, alpha);
+    let report_priced = sim_a.run(&mut priced);
+
+    let mut sim_b = MetaverseSim::highway_scenario(sim_config, vmus, twin_size_mb, alpha);
+    let report_equal = sim_b.run(&mut equal_share);
+
+    for (name, report) in [
+        ("stackelberg-priced", &report_priced),
+        ("equal-share", &report_equal),
+    ] {
+        println!("\n--- allocator: {name} ---");
+        println!("  migrations triggered : {}", report.migrations.len());
+        println!("  migrations failed    : {}", report.failed_migrations);
+        println!(
+            "  AoTM (s)             : mean {:.3}, median {:.3}, p95 {:.3}, max {:.3}",
+            report.aotm_summary.mean,
+            report.aotm_summary.median,
+            report.aotm_summary.p95,
+            report.aotm_summary.max
+        );
+        println!(
+            "  downtime (s)         : mean {:.4}, p95 {:.4}",
+            report.downtime_summary.mean, report.downtime_summary.p95
+        );
+        println!(
+            "  distance travelled   : {:.1} km",
+            report.total_distance_m / 1000.0
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's future-work extension: multiple MSPs competing on price.
+//!
+//! Compares the single-MSP (monopoly) Stackelberg equilibrium against a
+//! duopoly solved by iterated best response, showing how competition erodes
+//! the MSP profit and benefits the VMUs.
+//!
+//! ```text
+//! cargo run --release --example multi_msp_competition
+//! ```
+
+use vtm::prelude::*;
+
+fn main() {
+    let vmus = vec![
+        VmuProfile::new(0, 200.0, 5.0),
+        VmuProfile::new(1, 100.0, 5.0),
+        VmuProfile::new(2, 150.0, 12.0),
+        VmuProfile::new(3, 250.0, 18.0),
+    ];
+    let link = LinkBudget::default();
+
+    // Monopoly benchmark: the paper's single-MSP Stackelberg game.
+    let monopoly = AotmStackelbergGame::new(MarketConfig::default(), vmus.clone(), link)
+        .closed_form_equilibrium();
+    println!("=== Monopoly (single MSP, the paper's setting) ===");
+    println!("  price            = {:.3}", monopoly.price);
+    println!("  MSP utility      = {:.3}", monopoly.msp_utility);
+    println!("  total VMU utility= {:.3}", monopoly.total_vmu_utility());
+
+    // Duopoly: two MSPs with the same cost compete on price.
+    let market = MultiMspMarket::new(
+        vec![
+            CompetingMsp::new(0, 5.0, 50.0, 50.0),
+            CompetingMsp::new(1, 5.0, 50.0, 50.0),
+        ],
+        vmus.clone(),
+        link,
+    );
+    let duopoly = market.solve_price_competition(200, 1e-5);
+    println!("\n=== Duopoly (price competition, future-work extension) ===");
+    println!(
+        "  prices           = {:?} (converged: {}, sweeps: {})",
+        duopoly
+            .prices
+            .iter()
+            .map(|p| format!("{p:.3}"))
+            .collect::<Vec<_>>(),
+        duopoly.converged,
+        duopoly.iterations
+    );
+    println!("  MSP utilities    = {:?}",
+        duopoly.msp_utilities.iter().map(|u| format!("{u:.3}")).collect::<Vec<_>>());
+    println!("  total MSP profit = {:.3}", duopoly.total_msp_utility());
+    println!(
+        "  total VMU utility= {:.3}",
+        duopoly.vmu_utilities.iter().sum::<f64>()
+    );
+
+    let profit_drop = 100.0 * (monopoly.msp_utility - duopoly.total_msp_utility())
+        / monopoly.msp_utility.max(1e-12);
+    let vmu_gain = 100.0
+        * (duopoly.vmu_utilities.iter().sum::<f64>() - monopoly.total_vmu_utility())
+        / monopoly.total_vmu_utility().max(1e-12);
+    println!(
+        "\nCompetition cuts aggregate MSP profit by {profit_drop:.1}% and raises total VMU utility by {vmu_gain:.1}% relative to the monopoly."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: solve the paper's two-VMU Stackelberg game in closed form.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Prints the Age of Twin Migration, the equilibrium price, the bandwidth
+//! demands and all utilities for the scenario of §V-B (D = 200 MB / 100 MB,
+//! α = 5, C = 5, B_max = 50 MHz, p_max = 50).
+
+use vtm::prelude::*;
+
+fn main() {
+    let config = ExperimentConfig::paper_two_vmus();
+    let game = AotmStackelbergGame::from_config(&config);
+
+    println!("=== AoTM Stackelberg game: paper two-VMU scenario ===");
+    println!(
+        "spectral efficiency log2(1 + SNR) = {:.3} bit/s/Hz",
+        game.spectral_efficiency()
+    );
+
+    // Complete-information Stackelberg equilibrium (Theorems 1 and 2).
+    let eq = game.closed_form_equilibrium();
+    println!("\nStackelberg equilibrium:");
+    println!("  price p*                 = {:.3}", eq.price);
+    println!("  MSP utility U_s          = {:.3}", eq.msp_utility);
+    for (vmu, (&b, &u)) in config
+        .vmus
+        .iter()
+        .zip(eq.demands_mhz.iter().zip(eq.vmu_utilities.iter()))
+    {
+        let age = aotm(vmu.data_units(), b, &config.link);
+        println!(
+            "  VMU {} (D = {:>5.1} MB, alpha = {:>4.1}): demand = {:.4} MHz, AoTM = {}, utility = {:.3}",
+            vmu.id, vmu.data_size_mb, vmu.alpha, b, age, u
+        );
+    }
+    println!(
+        "  total bandwidth sold     = {:.4} MHz (cap {} MHz, binding: {})",
+        eq.total_bandwidth_mhz(),
+        config.market.max_bandwidth_mhz,
+        eq.bandwidth_cap_binding
+    );
+
+    // Cross-check with the numerical solver built on the generic game-theory crate.
+    let numeric = game.numerical_equilibrium();
+    println!("\nNumerical cross-check:");
+    println!("  price    (closed form vs numeric): {:.4} vs {:.4}", eq.price, numeric.price);
+    println!(
+        "  utility  (closed form vs numeric): {:.4} vs {:.4}",
+        eq.msp_utility, numeric.msp_utility
+    );
+
+    // Verify Definition 1: no profitable unilateral deviation.
+    let report = verify_equilibrium(&game, eq.price, &eq.demands_mhz, 201, &SolveOptions::default());
+    println!(
+        "\nEquilibrium verification: leader best gain {:.2e}, follower best gain {:.2e} -> {}",
+        report.leader_best_gain,
+        report.follower_best_gain,
+        if report.is_equilibrium(1e-2) {
+            "is a Stackelberg equilibrium"
+        } else {
+            "NOT an equilibrium"
+        }
+    );
+}

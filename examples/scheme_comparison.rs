@@ -1,0 +1,57 @@
+//! Compare the pricing schemes of §V-B: the complete-information Stackelberg
+//! oracle, the greedy baseline, the random baseline and a trained DRL policy.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use vtm::prelude::*;
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn main() {
+    let rounds = 200;
+    let mut config = ExperimentConfig::paper_two_vmus();
+    config.drl = DrlConfig {
+        episodes: 60,
+        rounds_per_episode: 50,
+        learning_rate: 3e-4,
+        ..DrlConfig::default()
+    };
+    let game = AotmStackelbergGame::from_config(&config);
+    let equilibrium = game.closed_form_equilibrium();
+
+    // Train the DRL policy (incomplete information), then freeze it.
+    println!("Training the DRL policy ({} episodes)...", config.drl.episodes);
+    let mut mechanism =
+        IncentiveMechanism::with_reward_mode(config.clone(), RewardMode::Improvement);
+    mechanism.train();
+    let drl_scheme = mechanism.into_scheme();
+
+    let mut schemes: Vec<Box<dyn PricingScheme>> = vec![
+        Box::new(EquilibriumPricing),
+        Box::new(drl_scheme),
+        Box::new(GreedyPricing::new(7, 1.0)),
+        Box::new(RandomPricing::new(7)),
+        Box::new(FixedPricing { price: 40.0 }),
+    ];
+
+    println!("\nscheme, mean_msp_utility, share_of_equilibrium");
+    for scheme in schemes.iter_mut() {
+        let utilities = run_scheme(scheme.as_mut(), &game, rounds);
+        let avg = mean(&utilities);
+        println!(
+            "{:<24}, {:>10.3}, {:>8.1}%",
+            scheme.name(),
+            avg,
+            100.0 * avg / equilibrium.msp_utility
+        );
+    }
+
+    println!(
+        "\n(complete-information equilibrium utility = {:.3}, price = {:.3})",
+        equilibrium.msp_utility, equilibrium.price
+    );
+}

@@ -1,0 +1,60 @@
+//! Train the learning-based incentive mechanism (Algorithm 1) and watch it
+//! approach the Stackelberg equilibrium under incomplete information.
+//!
+//! ```text
+//! cargo run --release --example train_drl_pricing            # fast demo run
+//! cargo run --release --example train_drl_pricing -- --full  # paper-scale run (E = 500)
+//! ```
+
+use vtm::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    let mut config = ExperimentConfig::paper_two_vmus();
+    if !full {
+        config.drl = DrlConfig {
+            episodes: 80,
+            rounds_per_episode: 50,
+            learning_rate: 3e-4,
+            ..DrlConfig::default()
+        };
+    }
+    let episodes = config.drl.episodes;
+    println!(
+        "Training the DRL pricing policy for {episodes} episodes of {} rounds (reward: Eq. (12))",
+        config.drl.rounds_per_episode
+    );
+
+    let game = AotmStackelbergGame::from_config(&config);
+    let equilibrium = game.closed_form_equilibrium();
+    println!(
+        "Complete-information benchmark: p* = {:.3}, U_s* = {:.3}\n",
+        equilibrium.price, equilibrium.msp_utility
+    );
+
+    let mut mechanism = IncentiveMechanism::new(config);
+    let history = mechanism.train();
+
+    println!("episode, return, mean_msp_utility, mean_price");
+    let stride = (history.episodes.len() / 20).max(1);
+    for log in history.episodes.iter().step_by(stride) {
+        println!(
+            "{:7}, {:6.1}, {:16.3}, {:10.3}",
+            log.episode, log.episode_return, log.mean_msp_utility, log.mean_price
+        );
+    }
+
+    let eval = mechanism.evaluate(50);
+    println!("\nDeterministic evaluation over 50 rounds:");
+    println!("  mean posted price   = {:.3} (equilibrium {:.3})", eval.mean_price, equilibrium.price);
+    println!(
+        "  mean MSP utility    = {:.3} ({:.1}% of the equilibrium utility)",
+        eval.mean_msp_utility,
+        100.0 * eval.equilibrium_ratio
+    );
+    println!(
+        "  total bandwidth     = {:.4} MHz, total VMU utility = {:.3}",
+        eval.mean_total_bandwidth_mhz, eval.mean_total_vmu_utility
+    );
+}

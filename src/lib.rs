@@ -1,0 +1,62 @@
+//! # vtm — learning-based incentive mechanism for vehicular twin migration
+//!
+//! Facade crate of the reproduction of *"Learning-based Incentive Mechanism
+//! for Task Freshness-aware Vehicular Twin Migration"* (ICDCS 2023,
+//! arXiv:2309.04929). It re-exports the workspace crates so that downstream
+//! users need a single dependency:
+//!
+//! * [`core`](vtm_core) — AoTM, the Stackelberg game, the DRL incentive
+//!   mechanism and the baseline pricing schemes (the paper's contribution),
+//! * [`sim`](vtm_sim) — the vehicular-metaverse simulator substrate
+//!   (mobility, RSUs, channel, pre-copy live migration),
+//! * [`rl`](vtm_rl) — the PPO reinforcement-learning substrate,
+//! * [`nn`](vtm_nn) — the neural-network substrate,
+//! * [`game`](vtm_game) — the generic Stackelberg game-theory substrate.
+//!
+//! # Example
+//!
+//! Solve the paper's two-VMU scenario and compare the complete-information
+//! equilibrium price with the greedy baseline:
+//!
+//! ```
+//! use vtm::prelude::*;
+//!
+//! let config = ExperimentConfig::paper_two_vmus();
+//! let game = AotmStackelbergGame::from_config(&config);
+//! let equilibrium = game.closed_form_equilibrium();
+//!
+//! let mut greedy = GreedyPricing::new(0, 1.0);
+//! let utilities = run_scheme(&mut greedy, &game, 200);
+//! let greedy_mean = utilities.iter().sum::<f64>() / utilities.len() as f64;
+//! assert!(equilibrium.msp_utility >= greedy_mean);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vtm_core as core;
+pub use vtm_game as game;
+pub use vtm_nn as nn;
+pub use vtm_rl as rl;
+pub use vtm_sim as sim;
+
+/// One-stop prelude re-exporting the preludes of every workspace crate.
+pub mod prelude {
+    pub use vtm_core::prelude::*;
+    pub use vtm_game::prelude::*;
+    pub use vtm_nn::prelude::*;
+    pub use vtm_rl::prelude::*;
+    pub use vtm_sim::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        use crate::prelude::*;
+        let cfg = ExperimentConfig::paper_two_vmus();
+        assert_eq!(cfg.vmus.len(), 2);
+        let link = LinkBudget::default();
+        assert!(link.spectral_efficiency() > 0.0);
+    }
+}
