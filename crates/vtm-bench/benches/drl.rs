@@ -5,12 +5,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use vtm_bench::{rollout_bench_agent, FixedHorizonEnv};
 use vtm_core::config::{DrlConfig, ExperimentConfig};
 use vtm_core::env::RewardMode;
 use vtm_core::mechanism::IncentiveMechanism;
 use vtm_rl::buffer::RolloutBuffer;
 use vtm_rl::env::{ActionSpace, Environment, Step};
 use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
 
 struct Bandit;
 
@@ -55,6 +57,57 @@ fn bench_ppo_update(c: &mut Criterion) {
     });
 }
 
+/// Serial per-observation collection vs the vectorized parallel collector at
+/// the same sample count (64 episodes x 25 steps): the acceptance benchmark
+/// of the VecEnv rollout engine.
+fn bench_rollout_collection(c: &mut Criterion) {
+    const EPISODES: usize = 64;
+    const HORIZON: usize = 25;
+    let mut group = c.benchmark_group("rollout");
+
+    // Reference path: one env, two row-vector forward passes per step.
+    group.bench_function("serial_64ep_x25", |b| {
+        let mut agent = rollout_bench_agent();
+        let mut env = FixedHorizonEnv::new(HORIZON);
+        b.iter(|| {
+            let mut buffer = RolloutBuffer::new();
+            agent.collect_episodes(&mut env, EPISODES, HORIZON, &mut buffer);
+            buffer.len()
+        })
+    });
+
+    // Vectorized path, batched forwards only (single thread).
+    group.bench_function("vectorized_1thread", |b| {
+        let agent = rollout_bench_agent();
+        let mut venv = VecEnv::from_fn(EPISODES, |_| FixedHorizonEnv::new(HORIZON));
+        let collector = ParallelCollector::new(
+            CollectorConfig::new(1, HORIZON)
+                .with_seed(7)
+                .with_threads(1),
+        );
+        b.iter(|| {
+            collector
+                .collect_serial(&agent, &mut venv)
+                .total_transitions()
+        })
+    });
+
+    // Vectorized path, batched forwards + one worker per core.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    group.bench_function(format!("vectorized_{cores}threads"), |b| {
+        let agent = rollout_bench_agent();
+        let mut venv = VecEnv::from_fn(EPISODES, |_| FixedHorizonEnv::new(HORIZON));
+        let collector = ParallelCollector::new(
+            CollectorConfig::new(1, HORIZON)
+                .with_seed(7)
+                .with_threads(0),
+        );
+        b.iter(|| collector.collect(&agent, &mut venv).total_transitions())
+    });
+
+    group.finish();
+}
+
 fn bench_training_episode(c: &mut Criterion) {
     let mut group = c.benchmark_group("mechanism");
     group.sample_size(10);
@@ -68,8 +121,34 @@ fn bench_training_episode(c: &mut Criterion) {
         let mut mechanism = IncentiveMechanism::with_reward_mode(config, RewardMode::Improvement);
         b.iter(|| mechanism.train_episodes(1));
     });
+    group.bench_function("algorithm1_8_episodes_serial", |b| {
+        let mut config = ExperimentConfig::paper_two_vmus();
+        config.drl = DrlConfig {
+            episodes: 8,
+            rounds_per_episode: 100,
+            ..DrlConfig::default()
+        };
+        let mut mechanism = IncentiveMechanism::with_reward_mode(config, RewardMode::Improvement);
+        b.iter(|| mechanism.train_episodes(8));
+    });
+    group.bench_function("algorithm1_8_episodes_parallel", |b| {
+        let mut config = ExperimentConfig::paper_two_vmus();
+        config.drl = DrlConfig {
+            episodes: 8,
+            rounds_per_episode: 100,
+            ..DrlConfig::default()
+        };
+        let mut mechanism = IncentiveMechanism::with_reward_mode(config, RewardMode::Improvement);
+        b.iter(|| mechanism.train_episodes_parallel(8, 8, 0));
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_policy_act, bench_ppo_update, bench_training_episode);
+criterion_group!(
+    benches,
+    bench_policy_act,
+    bench_ppo_update,
+    bench_rollout_collection,
+    bench_training_episode
+);
 criterion_main!(benches);

@@ -38,5 +38,10 @@ fn bench_numerical(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_outcome_at_price, bench_closed_form, bench_numerical);
+criterion_group!(
+    benches,
+    bench_outcome_at_price,
+    bench_closed_form,
+    bench_numerical
+);
 criterion_main!(benches);

@@ -22,11 +22,20 @@ fn bench_link_and_migration(c: &mut Criterion) {
     let mut group = c.benchmark_group("precopy_migration");
     for &size in &[100.0f64, 200.0, 400.0] {
         let twin = VehicularTwin::with_size_and_alpha(TwinId(0), size, 5.0);
-        group.bench_with_input(BenchmarkId::from_parameter(size as u64), &twin, |b, twin| {
-            b.iter(|| {
-                simulate_precopy_migration(twin, black_box(10e6), &link, &PreCopyConfig::default())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size as u64),
+            &twin,
+            |b, twin| {
+                b.iter(|| {
+                    simulate_precopy_migration(
+                        twin,
+                        black_box(10e6),
+                        &link,
+                        &PreCopyConfig::default(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -69,5 +78,10 @@ fn bench_highway_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_link_and_migration, bench_event_queue, bench_highway_run);
+criterion_group!(
+    benches,
+    bench_link_and_migration,
+    bench_event_queue,
+    bench_highway_run
+);
 criterion_main!(benches);

@@ -46,6 +46,10 @@ fn run_with<A: BandwidthAllocator>(allocator: &mut A, seed: u64) -> (f64, f64, f
     )
 }
 
+/// One allocator scenario: returns (mean AoTM, p95 AoTM, mean downtime,
+/// migration count, failure count).
+type AllocatorRun = Box<dyn FnMut() -> (f64, f64, f64, usize, usize)>;
+
 fn main() {
     println!("Supplementary — end-to-end AoTM by bandwidth allocator (6 VMUs, 8 RSUs, 600 s)\n");
     let mut table = ResultsTable::new([
@@ -57,7 +61,7 @@ fn main() {
         "failed",
     ]);
 
-    let allocators: Vec<(f64, Box<dyn FnMut() -> (f64, f64, f64, usize, usize)>)> = vec![
+    let allocators: Vec<(f64, AllocatorRun)> = vec![
         (0.0, {
             Box::new(move || {
                 let mut a = StackelbergAllocator::new(

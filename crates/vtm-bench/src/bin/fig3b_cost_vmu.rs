@@ -19,7 +19,9 @@ use vtm_core::stackelberg::AotmStackelbergGame;
 
 fn main() {
     let full = full_scale_requested();
-    println!("Fig. 3(b) — total VMU utility and bandwidth vs unit transmission cost (N = 2 VMUs)\n");
+    println!(
+        "Fig. 3(b) — total VMU utility and bandwidth vs unit transmission cost (N = 2 VMUs)\n"
+    );
 
     let mut table = ResultsTable::new([
         "cost",

@@ -14,6 +14,8 @@ use std::path::{Path, PathBuf};
 use vtm_core::config::{DrlConfig, ExperimentConfig};
 use vtm_core::env::RewardMode;
 use vtm_core::mechanism::{IncentiveMechanism, TrainingHistory};
+use vtm_rl::env::{ActionSpace, Environment, Step};
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
 
 /// A simple column-oriented results table that can be printed and saved as CSV.
 #[derive(Debug, Clone, Default)]
@@ -145,6 +147,60 @@ pub fn train_mechanism(
     (mechanism, history)
 }
 
+/// The 12-dimensional fixed-horizon environment shared by the DRL rollout
+/// benchmarks (`benches/drl.rs`) and the rollout acceptance test
+/// (`tests/rollout_speedup.rs`): `K`-round episodes like the paper's pricing
+/// game, reward peaking at action 25 inside the `[5, 50]` price box.
+#[derive(Debug, Clone)]
+pub struct FixedHorizonEnv {
+    t: usize,
+    horizon: usize,
+}
+
+impl FixedHorizonEnv {
+    /// Creates an environment whose episodes last exactly `horizon` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        Self { t: 0, horizon }
+    }
+}
+
+impl Environment for FixedHorizonEnv {
+    fn observation_dim(&self) -> usize {
+        12
+    }
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::scalar(5.0, 50.0)
+    }
+    fn reset(&mut self) -> Vec<f64> {
+        self.t = 0;
+        vec![0.1; 12]
+    }
+    fn step(&mut self, action: &[f64]) -> Step {
+        self.t += 1;
+        let mut observation = vec![0.1; 12];
+        observation[0] = self.t as f64 / self.horizon as f64;
+        Step {
+            observation,
+            reward: -(action[0] - 25.0).powi(2) / 100.0,
+            done: self.t >= self.horizon,
+        }
+    }
+}
+
+/// The PPO agent configuration used by the rollout benchmarks: 12-dim
+/// observations, scalar price action, fixed seed 7.
+pub fn rollout_bench_agent() -> PpoAgent {
+    PpoAgent::new(
+        PpoConfig::new(12, 1).with_seed(7),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+}
+
 /// Mean of a slice (0 when empty), used by several binaries.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -183,6 +239,17 @@ mod tests {
         assert_eq!(harness_drl_config(true, 1).episodes, 500);
         assert!(harness_drl_config(false, 1).episodes < 500);
         assert_eq!(harness_drl_config(false, 7).seed, 7);
+    }
+
+    #[test]
+    fn fixed_horizon_env_terminates_on_schedule() {
+        let mut env = FixedHorizonEnv::new(3);
+        assert_eq!(env.reset().len(), env.observation_dim());
+        assert!(!env.step(&[25.0]).done);
+        assert!(!env.step(&[25.0]).done);
+        assert!(env.step(&[25.0]).done);
+        let agent = rollout_bench_agent();
+        assert_eq!(agent.config().obs_dim, 12);
     }
 
     #[test]

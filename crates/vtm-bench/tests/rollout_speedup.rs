@@ -1,0 +1,76 @@
+//! Acceptance checks of the vectorized rollout engine.
+//!
+//! The wall-clock comparison is `#[ignore]`d because timing assertions are
+//! inherently load-sensitive; run it explicitly with
+//! `cargo test -p vtm-bench --release -- --ignored --nocapture`.
+//! The determinism check always runs.
+
+use std::time::Instant;
+
+use vtm_bench::{rollout_bench_agent as agent, FixedHorizonEnv};
+use vtm_rl::buffer::RolloutBuffer;
+use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
+
+const HORIZON: usize = 25;
+const EPISODES: usize = 64;
+
+/// Same seed => the parallel collector reproduces the serial collector's
+/// trajectories exactly, at the drl.rs benchmark scale.
+#[test]
+fn parallel_collection_is_deterministic_at_bench_scale() {
+    let agent = agent();
+    let config = CollectorConfig::new(1, HORIZON).with_seed(7);
+    let mut venv_serial = VecEnv::from_fn(EPISODES, |_| FixedHorizonEnv::new(HORIZON));
+    let mut venv_parallel = VecEnv::from_fn(EPISODES, |_| FixedHorizonEnv::new(HORIZON));
+    let serial = ParallelCollector::new(config.with_threads(1)).collect(&agent, &mut venv_serial);
+    let parallel =
+        ParallelCollector::new(config.with_threads(0)).collect(&agent, &mut venv_parallel);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.total_transitions(), EPISODES * HORIZON);
+}
+
+/// The parallel vectorized collector must beat the serial per-observation
+/// path by at least 2x at equal sample counts on a 4+-core machine.
+#[test]
+#[ignore = "wall-clock assertion; run explicitly in --release on an idle machine"]
+fn parallel_collection_is_at_least_2x_faster_than_serial() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    assert!(cores >= 4, "speedup target is defined for 4+-core machines");
+
+    // Warm up both paths once, then time several repetitions of each.
+    let reps = 5;
+
+    let mut serial_agent = agent();
+    let mut env = FixedHorizonEnv::new(HORIZON);
+    let mut buffer = RolloutBuffer::new();
+    serial_agent.collect_episodes(&mut env, EPISODES, HORIZON, &mut buffer);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut buffer = RolloutBuffer::new();
+        serial_agent.collect_episodes(&mut env, EPISODES, HORIZON, &mut buffer);
+        assert_eq!(buffer.len(), EPISODES * HORIZON);
+    }
+    let serial = start.elapsed();
+
+    let parallel_agent = agent();
+    let mut venv = VecEnv::from_fn(EPISODES, |_| FixedHorizonEnv::new(HORIZON));
+    let collector = ParallelCollector::new(CollectorConfig::new(1, HORIZON).with_seed(7));
+    collector.collect(&parallel_agent, &mut venv);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let rollouts = collector.collect(&parallel_agent, &mut venv);
+        assert_eq!(rollouts.total_transitions(), EPISODES * HORIZON);
+    }
+    let parallel = start.elapsed();
+
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+    println!(
+        "serial {:?}, parallel {:?} on {cores} cores => speedup {speedup:.2}x",
+        serial / reps as u32,
+        parallel / reps as u32
+    );
+    assert!(
+        speedup >= 2.0,
+        "parallel collector only {speedup:.2}x faster than serial"
+    );
+}

@@ -7,8 +7,6 @@
 //! migrating VMU purchases its best-response bandwidth, which then drives the
 //! pre-copy migration and hence the achieved AoTM.
 
-use serde::{Deserialize, Serialize};
-
 use vtm_sim::metaverse::BandwidthAllocator;
 use vtm_sim::radio::LinkBudget;
 use vtm_sim::twin::VehicularTwin;
@@ -18,7 +16,7 @@ use crate::config::MarketConfig;
 use crate::vmu::VmuProfile;
 
 /// How the allocator chooses the unit price it posts per migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PricingRule {
     /// Always post a fixed price.
     Fixed {
@@ -35,7 +33,7 @@ pub enum PricingRule {
 ///
 /// Bandwidth inside the game is expressed in MHz; the simulator expects Hz,
 /// so the granted amount is converted before being returned.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StackelbergAllocator {
     market: MarketConfig,
     link: LinkBudget,
@@ -174,7 +172,10 @@ mod tests {
         .with_min_bandwidth_mhz(2.0);
         let report = sim.run(&mut alloc);
         assert!(!report.migrations.is_empty());
-        assert_eq!(report.failed_migrations, 0, "priced migrations must succeed");
+        assert_eq!(
+            report.failed_migrations, 0,
+            "priced migrations must succeed"
+        );
         assert!(report.aotm_summary.mean.is_finite());
         assert!(report.aotm_summary.mean > 0.0);
     }

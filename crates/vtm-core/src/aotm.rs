@@ -11,13 +11,12 @@
 //! which is the normalisation under which the paper's reported equilibrium
 //! values are reproduced exactly.
 
-use serde::{Deserialize, Serialize};
 use vtm_sim::radio::LinkBudget;
 
 use crate::config::DATA_UNIT_MB;
 
 /// Age of Twin Migration in the paper's (dimensionless) time units.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct AgeOfTwinMigration(pub f64);
 
 impl AgeOfTwinMigration {
@@ -55,7 +54,11 @@ pub fn data_units_from_mb(size_mb: f64) -> f64 {
 /// treats it (no immersion).
 pub fn aotm(data_units: f64, bandwidth_mhz: f64, link: &LinkBudget) -> AgeOfTwinMigration {
     if bandwidth_mhz <= 0.0 || data_units <= 0.0 {
-        return AgeOfTwinMigration(if data_units <= 0.0 { 0.0 } else { f64::INFINITY });
+        return AgeOfTwinMigration(if data_units <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        });
     }
     let rate = bandwidth_mhz * spectral_efficiency(link);
     AgeOfTwinMigration(data_units / rate)

@@ -1,6 +1,5 @@
 //! Experiment and system configuration mirroring the paper's §V-A settings.
 
-use serde::{Deserialize, Serialize};
 use vtm_sim::radio::LinkBudget;
 
 use crate::vmu::VmuProfile;
@@ -15,7 +14,7 @@ use crate::vmu::VmuProfile;
 pub const DATA_UNIT_MB: f64 = 100.0;
 
 /// Market-level parameters of the bandwidth-trading game.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarketConfig {
     /// Unit transmission cost `C` of bandwidth borne by the MSP.
     pub unit_cost: f64,
@@ -42,10 +41,10 @@ impl MarketConfig {
     ///
     /// Returns a human-readable message when a bound is inconsistent.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.unit_cost > 0.0) {
+        if self.unit_cost.is_nan() || self.unit_cost <= 0.0 {
             return Err("unit cost must be positive".to_string());
         }
-        if !(self.max_bandwidth_mhz > 0.0) {
+        if self.max_bandwidth_mhz.is_nan() || self.max_bandwidth_mhz <= 0.0 {
             return Err("maximum bandwidth must be positive".to_string());
         }
         if self.max_price <= self.unit_cost {
@@ -59,7 +58,7 @@ impl MarketConfig {
 }
 
 /// Hyper-parameters of the DRL solution (paper §V-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DrlConfig {
     /// Observation history length `L` (past rounds of prices and demands).
     pub history_length: usize,
@@ -136,7 +135,7 @@ impl DrlConfig {
         if self.batch_size == 0 || self.update_epochs == 0 {
             return Err("batch size and update epochs must be positive".to_string());
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
             return Err("learning rate must be positive".to_string());
         }
         Ok(())
@@ -144,7 +143,7 @@ impl DrlConfig {
 }
 
 /// Full experiment configuration: VMUs, market, channel and DRL settings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// The participating VMUs.
     pub vmus: Vec<VmuProfile>,
@@ -254,10 +253,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_preserves_equality() {
         let cfg = ExperimentConfig::paper_two_vmus();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        let back = cfg.clone();
         assert_eq!(cfg, back);
     }
 }

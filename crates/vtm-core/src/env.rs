@@ -11,7 +11,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use vtm_rl::env::{ActionSpace, Environment, Step};
@@ -19,7 +18,7 @@ use vtm_rl::env::{ActionSpace, Environment, Step};
 use crate::stackelberg::{AotmStackelbergGame, EquilibriumOutcome};
 
 /// Reward definition used by the environment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RewardMode {
     /// The paper's sparse indicator reward of Eq. (12).
     #[default]
@@ -30,7 +29,7 @@ pub enum RewardMode {
 }
 
 /// One completed pricing round, kept for observation history and logging.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Posted unit price.
     pub price: f64,
@@ -53,7 +52,44 @@ pub struct PricingEnv {
     round: usize,
     best_utility: f64,
     last_outcome: Option<EquilibriumOutcome>,
+    stats: EpisodeStats,
     rng: StdRng,
+}
+
+/// Running aggregates over the current episode, kept so that callers driving
+/// the environment through the generic [`Environment`] trait (in particular
+/// the vectorized rollout collector, which never sees per-step outcomes) can
+/// still reconstruct the paper's per-episode training logs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpisodeStats {
+    /// Rounds played so far in the episode.
+    pub rounds: usize,
+    /// Sum of the MSP utilities over the episode's rounds.
+    pub utility_sum: f64,
+    /// Sum of the posted (clamped) prices over the episode's rounds.
+    pub price_sum: f64,
+    /// MSP utility of the most recent round.
+    pub final_utility: f64,
+}
+
+impl EpisodeStats {
+    /// Mean MSP utility per round (0.0 before the first round).
+    pub fn mean_utility(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.utility_sum / self.rounds as f64
+        }
+    }
+
+    /// Mean posted price per round (0.0 before the first round).
+    pub fn mean_price(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.price_sum / self.rounds as f64
+        }
+    }
 }
 
 impl PricingEnv {
@@ -70,7 +106,10 @@ impl PricingEnv {
         seed: u64,
     ) -> Self {
         assert!(history_length > 0, "history length must be positive");
-        assert!(rounds_per_episode > 0, "rounds per episode must be positive");
+        assert!(
+            rounds_per_episode > 0,
+            "rounds per episode must be positive"
+        );
         // Per-VMU demand normalisation: the largest demand a VMU can express
         // is its best response at the lowest admissible price (the cost C).
         let (price_lo, _) = game.msp().price_bounds();
@@ -98,6 +137,7 @@ impl PricingEnv {
             round: 0,
             best_utility: 0.0,
             last_outcome: None,
+            stats: EpisodeStats::default(),
             rng: StdRng::seed_from_u64(seed),
             game,
         }
@@ -121,6 +161,11 @@ impl PricingEnv {
     /// Best MSP utility observed so far in the current episode (`U_best`).
     pub fn best_utility(&self) -> f64 {
         self.best_utility
+    }
+
+    /// Aggregates over the rounds of the current episode.
+    pub fn episode_stats(&self) -> &EpisodeStats {
+        &self.stats
     }
 
     /// The reward mode in use.
@@ -188,6 +233,7 @@ impl Environment for PricingEnv {
         self.round = 0;
         self.best_utility = 0.0;
         self.last_outcome = None;
+        self.stats = EpisodeStats::default();
         // Paper: the first L observations are generated randomly.
         for _ in 0..self.history_length {
             let record = self.random_round();
@@ -205,6 +251,10 @@ impl Environment for PricingEnv {
         if outcome.msp_utility > self.best_utility {
             self.best_utility = outcome.msp_utility;
         }
+        self.stats.rounds += 1;
+        self.stats.utility_sum += outcome.msp_utility;
+        self.stats.price_sum += price;
+        self.stats.final_utility = outcome.msp_utility;
         self.push_round(RoundRecord {
             price,
             demands_mhz: outcome.demands_mhz.clone(),
@@ -335,7 +385,10 @@ mod tests {
         for price in [5.0, 15.0, 25.0, 35.0, 45.0, 50.0] {
             let step = e.step(&[price]);
             for v in step.observation {
-                assert!(v >= -1e-9 && v <= 1.5, "normalised observation {v} out of range");
+                assert!(
+                    (-1e-9..=1.5).contains(&v),
+                    "normalised observation {v} out of range"
+                );
             }
         }
     }

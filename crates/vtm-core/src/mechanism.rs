@@ -8,11 +8,10 @@
 //! learned policy against the baselines and against the complete-information
 //! Stackelberg equilibrium.
 
-use serde::{Deserialize, Serialize};
-
 use vtm_rl::buffer::{RolloutBuffer, Transition};
 use vtm_rl::env::Environment;
 use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
 
 use crate::config::ExperimentConfig;
 use crate::env::{PricingEnv, RewardMode};
@@ -20,7 +19,7 @@ use crate::schemes::PricingScheme;
 use crate::stackelberg::{AotmStackelbergGame, EquilibriumOutcome};
 
 /// Per-episode training log entry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpisodeLog {
     /// Episode index (0-based).
     pub episode: usize,
@@ -38,7 +37,7 @@ pub struct EpisodeLog {
 }
 
 /// Complete training history of the mechanism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingHistory {
     /// Per-episode logs in training order.
     pub episodes: Vec<EpisodeLog>,
@@ -70,7 +69,7 @@ impl TrainingHistory {
 }
 
 /// Result of evaluating a (deterministic) pricing policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationResult {
     /// Mean posted price over the evaluation rounds.
     pub mean_price: f64,
@@ -95,6 +94,11 @@ pub struct IncentiveMechanism {
     env: PricingEnv,
     agent: PpoAgent,
     reward_mode: RewardMode,
+    /// Collection rounds consumed by [`IncentiveMechanism::train_episodes_parallel`]
+    /// so far; advances the replica and noise seeds across calls, so that
+    /// incremental parallel training never replays an earlier call's random
+    /// streams (while staying deterministic for a fixed call sequence).
+    parallel_rounds: u64,
 }
 
 impl IncentiveMechanism {
@@ -143,6 +147,7 @@ impl IncentiveMechanism {
             env,
             agent,
             reward_mode,
+            parallel_rounds: 0,
         }
     }
 
@@ -181,20 +186,10 @@ impl IncentiveMechanism {
             let mut buffer = RolloutBuffer::new();
             let mut obs = self.env.reset();
             let mut episode_return = 0.0;
-            let mut utility_sum = 0.0;
-            let mut price_sum = 0.0;
-            let mut final_utility = 0.0;
             for k in 0..rounds {
                 let sample = self.agent.act(&obs);
                 let step = self.env.step(&sample.env_action);
-                let outcome = self
-                    .env
-                    .last_outcome()
-                    .expect("step always records an outcome");
                 episode_return += step.reward;
-                utility_sum += outcome.msp_utility;
-                price_sum += outcome.price;
-                final_utility = outcome.msp_utility;
                 buffer.push(Transition {
                     observation: obs,
                     action: sample.raw_action,
@@ -214,15 +209,95 @@ impl IncentiveMechanism {
                 true,
             );
             self.agent.update(&samples);
+            // The environment tracks per-episode aggregates itself, so the
+            // serial and vectorized paths log through the same code.
+            let stats = *self.env.episode_stats();
             history.episodes.push(EpisodeLog {
                 episode,
                 episode_return,
-                mean_msp_utility: utility_sum / rounds as f64,
-                final_msp_utility: final_utility,
+                mean_msp_utility: stats.mean_utility(),
+                final_msp_utility: stats.final_utility,
                 best_msp_utility: self.env.best_utility(),
-                mean_price: price_sum / rounds as f64,
+                mean_price: stats.mean_price(),
             });
         }
+        history
+    }
+
+    /// Vectorized Algorithm 1: trains on `num_envs` environment replicas
+    /// collected in parallel, one PPO update per collection round.
+    ///
+    /// Each replica plays the same Stackelberg game but owns its own
+    /// observation-history RNG (seeded from `drl.seed`, the replica index
+    /// and the mechanism's parallel-round counter) and its own policy-noise
+    /// stream, so a fixed call sequence is deterministic regardless of
+    /// thread scheduling, while repeated calls draw fresh randomness instead
+    /// of replaying the first call's streams. Every round contributes
+    /// `num_envs` episodes to one update, so the effective batch per update
+    /// is `num_envs` times larger than in
+    /// [`IncentiveMechanism::train_episodes`]; `episodes` is rounded up to a
+    /// whole number of rounds.
+    ///
+    /// `num_threads = 0` uses one worker per available CPU core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_envs` is zero.
+    pub fn train_episodes_parallel(
+        &mut self,
+        episodes: usize,
+        num_envs: usize,
+        num_threads: usize,
+    ) -> TrainingHistory {
+        assert!(num_envs > 0, "need at least one environment replica");
+        let rounds = self.config.drl.rounds_per_episode;
+        let game = self.env.game().clone();
+        let drl = &self.config.drl;
+        // Replica history seeds advance with the round counter so a second
+        // call does not regenerate the first call's warm-up histories.
+        let round_base = self.parallel_rounds;
+        let mut venv = VecEnv::from_fn(num_envs, |i| {
+            PricingEnv::new(
+                game.clone(),
+                drl.history_length,
+                rounds,
+                self.reward_mode,
+                drl.seed
+                    ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ round_base.wrapping_mul(0xA076_1D64_78BD_642F),
+            )
+        });
+        let base_config = CollectorConfig::new(1, rounds)
+            .with_seed(self.config.drl.seed)
+            .with_threads(num_threads);
+        let iterations = episodes.div_ceil(num_envs);
+        let mut history = TrainingHistory::default();
+        for iteration in 0..iterations {
+            let collector =
+                ParallelCollector::new(base_config.for_round(round_base + iteration as u64));
+            let rollouts = collector.collect(&self.agent, &mut venv);
+            for (i, (rollout, env)) in rollouts.per_env.iter().zip(venv.envs()).enumerate() {
+                let stats = env.episode_stats();
+                history.episodes.push(EpisodeLog {
+                    episode: iteration * num_envs + i,
+                    episode_return: rollout.returns.first().copied().unwrap_or(0.0),
+                    mean_msp_utility: stats.mean_utility(),
+                    final_msp_utility: stats.final_utility,
+                    best_msp_utility: env.best_utility(),
+                    mean_price: stats.mean_price(),
+                });
+            }
+            let mut buffer = RolloutBuffer::new();
+            rollouts.drain_into(&mut buffer);
+            let samples = buffer.process(
+                self.config.drl.discount,
+                self.config.drl.gae_lambda,
+                0.0,
+                true,
+            );
+            self.agent.update(&samples);
+        }
+        self.parallel_rounds = round_base + iterations as u64;
         history
     }
 
@@ -354,8 +429,59 @@ mod tests {
             assert!(log.episode_return >= 0.0);
             assert!(log.episode_return <= 30.0 + 1e-9);
             assert!(log.mean_msp_utility.is_finite());
-            assert!(log.best_msp_utility >= log.mean_msp_utility - 1e-9 || log.best_msp_utility > 0.0);
+            assert!(
+                log.best_msp_utility >= log.mean_msp_utility - 1e-9 || log.best_msp_utility > 0.0
+            );
             assert!((5.0..=50.0).contains(&log.mean_price));
+        }
+    }
+
+    #[test]
+    fn parallel_training_produces_history_and_is_deterministic() {
+        let mut a = IncentiveMechanism::new(fast_config());
+        let mut b = IncentiveMechanism::new(fast_config());
+        // 5 episodes over 4 replicas rounds up to 2 rounds = 8 logged episodes.
+        let ha = a.train_episodes_parallel(5, 4, 4);
+        let hb = b.train_episodes_parallel(5, 4, 1);
+        assert_eq!(ha.episodes.len(), 8);
+        for log in &ha.episodes {
+            assert!(log.episode_return.is_finite());
+            assert!(log.mean_msp_utility.is_finite());
+            assert!((5.0..=50.0).contains(&log.mean_price));
+            assert!(log.best_msp_utility + 1e-9 >= log.final_msp_utility.min(0.0));
+        }
+        // Same config => identical trajectories, regardless of thread count.
+        assert_eq!(ha.episodes.len(), hb.episodes.len());
+        for (x, y) in ha.episodes.iter().zip(hb.episodes.iter()) {
+            assert_eq!(x.episode, y.episode);
+            assert!((x.episode_return - y.episode_return).abs() < 1e-12);
+            assert!((x.mean_msp_utility - y.mean_msp_utility).abs() < 1e-12);
+            assert!((x.mean_price - y.mean_price).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_parallel_training_does_not_replay_random_streams() {
+        let mut mech = IncentiveMechanism::new(fast_config());
+        let first = mech.train_episodes_parallel(4, 4, 1);
+        let second = mech.train_episodes_parallel(4, 4, 1);
+        // A second call must continue with fresh exploration noise and env
+        // histories, not replay the first call's episodes.
+        let replayed = first
+            .episodes
+            .iter()
+            .zip(second.episodes.iter())
+            .all(|(a, b)| (a.episode_return - b.episode_return).abs() < 1e-12);
+        assert!(!replayed, "second call replayed the first call's streams");
+        // And the sequence as a whole stays deterministic.
+        let mut mech2 = IncentiveMechanism::new(fast_config());
+        let first2 = mech2.train_episodes_parallel(4, 4, 2);
+        let second2 = mech2.train_episodes_parallel(4, 4, 2);
+        for (a, b) in first.episodes.iter().zip(first2.episodes.iter()) {
+            assert!((a.episode_return - b.episode_return).abs() < 1e-12);
+        }
+        for (a, b) in second.episodes.iter().zip(second2.episodes.iter()) {
+            assert!((a.episode_return - b.episode_return).abs() < 1e-12);
         }
     }
 
@@ -375,7 +501,10 @@ mod tests {
         };
         assert!((history.tail_mean(2, |e| e.episode_return) - 8.5).abs() < 1e-12);
         assert!((history.tail_mean(100, |e| e.episode_return) - 4.5).abs() < 1e-12);
-        assert_eq!(TrainingHistory::default().tail_mean(3, |e| e.episode_return), 0.0);
+        assert_eq!(
+            TrainingHistory::default().tail_mean(3, |e| e.episode_return),
+            0.0
+        );
     }
 
     #[test]

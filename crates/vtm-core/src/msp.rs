@@ -6,7 +6,6 @@
 //! optimum `p* = sqrt(C · log2(1+SNR) · Σα_n / ΣD_n)` when every VMU is active
 //! and the cap does not bind.
 
-use serde::{Deserialize, Serialize};
 use vtm_sim::radio::LinkBudget;
 
 use crate::aotm::spectral_efficiency;
@@ -14,7 +13,7 @@ use crate::config::MarketConfig;
 use crate::vmu::VmuProfile;
 
 /// The MSP's market position: its cost and the market bounds it must respect.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Msp {
     market: MarketConfig,
 }
@@ -202,9 +201,7 @@ mod tests {
     #[test]
     fn total_demand_decreases_with_price() {
         let (msp, vmus, link) = setup();
-        assert!(
-            msp.total_demand(10.0, &vmus, &link) > msp.total_demand(20.0, &vmus, &link)
-        );
+        assert!(msp.total_demand(10.0, &vmus, &link) > msp.total_demand(20.0, &vmus, &link));
     }
 
     #[test]

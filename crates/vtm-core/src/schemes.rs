@@ -10,7 +10,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::stackelberg::AotmStackelbergGame;
 
@@ -31,7 +30,7 @@ pub trait PricingScheme {
 }
 
 /// Plays the same fixed price every round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FixedPricing {
     /// The price to post.
     pub price: f64,
@@ -140,7 +139,7 @@ impl PricingScheme for GreedyPricing {
 
     fn observe_utility(&mut self, price: f64, msp_utility: f64) {
         self.rounds_seen += 1;
-        if self.best.map_or(true, |(_, u)| msp_utility > u) {
+        if self.best.is_none_or(|(_, u)| msp_utility > u) {
             self.best = Some((price, msp_utility));
         }
     }
@@ -154,7 +153,7 @@ impl PricingScheme for GreedyPricing {
 
 /// The complete-information oracle: always posts the Stackelberg-equilibrium
 /// price (what the learning-based mechanism should converge to).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EquilibriumPricing;
 
 impl PricingScheme for EquilibriumPricing {
@@ -240,7 +239,10 @@ mod tests {
         assert!((5.0..=50.0).contains(&replay));
         // The greedy scheme's best utility approaches the equilibrium utility.
         let eq = g.closed_form_equilibrium().msp_utility;
-        assert!(best_utility > 0.8 * eq, "greedy best {best_utility} vs eq {eq}");
+        assert!(
+            best_utility > 0.8 * eq,
+            "greedy best {best_utility} vs eq {eq}"
+        );
     }
 
     #[test]
@@ -266,8 +268,14 @@ mod tests {
         let eq_mean = mean(&run_scheme(&mut EquilibriumPricing, &g, rounds));
         let random_mean = mean(&run_scheme(&mut RandomPricing::new(11), &g, rounds));
         let greedy_mean = mean(&run_scheme(&mut GreedyPricing::new(11, 1.0), &g, rounds));
-        assert!(eq_mean >= greedy_mean - 1e-9, "eq {eq_mean} vs greedy {greedy_mean}");
-        assert!(greedy_mean > random_mean, "greedy {greedy_mean} vs random {random_mean}");
+        assert!(
+            eq_mean >= greedy_mean - 1e-9,
+            "eq {eq_mean} vs greedy {greedy_mean}"
+        );
+        assert!(
+            greedy_mean > random_mean,
+            "greedy {greedy_mean} vs random {random_mean}"
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! [`vtm_game`], and the [`StackelbergGame`] trait implementation that lets
 //! the generic solver and the equilibrium verifier operate on the game.
 
-use serde::{Deserialize, Serialize};
 use vtm_game::optimize::golden_section_max;
 use vtm_game::stackelberg::{solve_stackelberg, SolveOptions, StackelbergGame};
 use vtm_sim::radio::LinkBudget;
@@ -18,7 +17,7 @@ use crate::msp::Msp;
 use crate::vmu::VmuProfile;
 
 /// A solved instance of the AoTM Stackelberg game.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EquilibriumOutcome {
     /// Equilibrium unit price `p*`.
     pub price: f64,
@@ -66,7 +65,7 @@ impl EquilibriumOutcome {
 
 /// The AoTM Stackelberg game instance: the MSP, the VMU population and the
 /// inter-RSU link they migrate over.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AotmStackelbergGame {
     msp: Msp,
     vmus: Vec<VmuProfile>,
@@ -97,7 +96,9 @@ impl AotmStackelbergGame {
     ///
     /// Panics if the configuration does not validate.
     pub fn from_config(config: &ExperimentConfig) -> Self {
-        config.validate().expect("experiment configuration must be valid");
+        config
+            .validate()
+            .expect("experiment configuration must be valid");
         Self::new(config.market, config.vmus.clone(), config.link)
     }
 
@@ -219,7 +220,7 @@ impl AotmStackelbergGame {
         let mut best: Option<(f64, f64)> = None;
         for &price in &candidates {
             let utility = self.msp_utility_at(price);
-            if best.map_or(true, |(_, u)| utility > u) {
+            if best.is_none_or(|(_, u)| utility > u) {
                 best = Some((price, utility));
             }
         }
@@ -369,7 +370,10 @@ mod tests {
             last_price = eq.price;
         }
         // Paper: price ≈ 34 at unit cost 9.
-        assert!((last_price - 34.0).abs() < 1.0, "price at C=9 is {last_price}");
+        assert!(
+            (last_price - 34.0).abs() < 1.0,
+            "price at C=9 is {last_price}"
+        );
     }
 
     #[test]
@@ -403,9 +407,8 @@ mod tests {
         let eq = game.closed_form_equilibrium();
         assert!(eq.total_bandwidth_mhz() <= 0.5 + 1e-9);
         // With a binding cap the price rises above the unconstrained optimum.
-        let unconstrained =
-            AotmStackelbergGame::from_config(&ExperimentConfig::paper_n_vmus(6))
-                .closed_form_equilibrium();
+        let unconstrained = AotmStackelbergGame::from_config(&ExperimentConfig::paper_n_vmus(6))
+            .closed_form_equilibrium();
         assert!(eq.price >= unconstrained.price);
         assert!(eq.bandwidth_cap_binding || eq.price > unconstrained.price);
     }
@@ -423,14 +426,10 @@ mod tests {
     fn outcome_statistics_are_consistent() {
         let game = paper_game();
         let eq = game.outcome_at_price(20.0);
-        assert!((eq.total_bandwidth_mhz()
-            - eq.demands_mhz.iter().sum::<f64>())
-        .abs()
-            < 1e-12);
+        assert!((eq.total_bandwidth_mhz() - eq.demands_mhz.iter().sum::<f64>()).abs() < 1e-12);
         assert!(
-            (eq.average_vmu_utility() * eq.vmu_utilities.len() as f64
-                - eq.total_vmu_utility())
-            .abs()
+            (eq.average_vmu_utility() * eq.vmu_utilities.len() as f64 - eq.total_vmu_utility())
+                .abs()
                 < 1e-12
         );
         assert!(eq.average_bandwidth_mhz() > 0.0);

@@ -6,13 +6,12 @@
 //! Theorem 1 shows the unique maximiser (Eq. (8)) is
 //! `b_n* = α_n / p − D_n / log2(1 + SNR)`.
 
-use serde::{Deserialize, Serialize};
 use vtm_sim::radio::LinkBudget;
 
 use crate::aotm::{aotm, data_units_from_mb, immersion, spectral_efficiency};
 
 /// A VMU participating in the bandwidth market.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmuProfile {
     /// Identifier of the VMU (and of its twin).
     pub id: usize,
@@ -43,10 +42,10 @@ impl VmuProfile {
     ///
     /// Returns a message when the data size or immersion coefficient is not positive.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.data_size_mb > 0.0) {
+        if self.data_size_mb.is_nan() || self.data_size_mb <= 0.0 {
             return Err(format!("VMU {}: data size must be positive", self.id));
         }
-        if !(self.alpha > 0.0) {
+        if self.alpha.is_nan() || self.alpha <= 0.0 {
             return Err(format!(
                 "VMU {}: immersion coefficient must be positive",
                 self.id
@@ -152,7 +151,13 @@ mod tests {
     fn utility_is_concave_in_bandwidth() {
         let l = link();
         let v = vmu();
-        assert!(is_concave_on(|b| v.utility(b, 25.0, &l), 0.01, 2.0, 40, 1e-6));
+        assert!(is_concave_on(
+            |b| v.utility(b, 25.0, &l),
+            0.01,
+            2.0,
+            40,
+            1e-6
+        ));
     }
 
     #[test]

@@ -6,12 +6,10 @@
 //! by scanning a grid of deviations, which the integration tests use to
 //! certify both the closed-form solution and the learning-based one.
 
-use serde::{Deserialize, Serialize};
-
 use crate::stackelberg::{solve_follower_equilibrium, SolveOptions, StackelbergGame};
 
 /// Outcome of a numerical equilibrium verification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EquilibriumReport {
     /// Largest utility gain the leader could obtain by deviating (non-positive
     /// within tolerance when the profile is an equilibrium).
@@ -73,15 +71,19 @@ pub fn verify_equilibrium<G: StackelbergGame>(
     let mut follower_best_gain = f64::NEG_INFINITY;
     let mut follower_best_deviation = (0usize, 0.0f64);
     for f in 0..game.num_followers() {
-        let base = game.follower_utility(f, leader_action, follower_strategies[f], follower_strategies);
+        let base = game.follower_utility(
+            f,
+            leader_action,
+            follower_strategies[f],
+            follower_strategies,
+        );
         let (blo, bhi) = game.follower_strategy_bounds(f);
         for i in 0..grid {
             let b = blo + (bhi - blo) * i as f64 / (grid - 1) as f64;
             let mut deviated = follower_strategies.to_vec();
             deviated[f] = b;
             game.project_followers(leader_action, &mut deviated);
-            let gain =
-                game.follower_utility(f, leader_action, deviated[f], &deviated) - base;
+            let gain = game.follower_utility(f, leader_action, deviated[f], &deviated) - base;
             candidates += 1;
             if gain > follower_best_gain {
                 follower_best_gain = gain;
@@ -133,7 +135,11 @@ mod tests {
 
     #[test]
     fn solved_game_verifies_as_equilibrium() {
-        let game = Monopoly { a: 10.0, c: 2.0, n: 2 };
+        let game = Monopoly {
+            a: 10.0,
+            c: 2.0,
+            n: 2,
+        };
         let opts = SolveOptions::default();
         let sol = solve_stackelberg(&game, &opts).unwrap();
         let report = verify_equilibrium(
@@ -149,7 +155,11 @@ mod tests {
 
     #[test]
     fn non_equilibrium_is_rejected() {
-        let game = Monopoly { a: 10.0, c: 2.0, n: 2 };
+        let game = Monopoly {
+            a: 10.0,
+            c: 2.0,
+            n: 2,
+        };
         let opts = SolveOptions::default();
         // Price far below optimum with followers not best-responding.
         let report = verify_equilibrium(&game, 2.5, &[0.1, 0.1], 101, &opts);
@@ -160,7 +170,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "strategy profile length")]
     fn profile_length_mismatch_panics() {
-        let game = Monopoly { a: 10.0, c: 2.0, n: 2 };
+        let game = Monopoly {
+            a: 10.0,
+            c: 2.0,
+            n: 2,
+        };
         let opts = SolveOptions::default();
         let _ = verify_equilibrium(&game, 3.0, &[1.0], 11, &opts);
     }
@@ -174,8 +188,8 @@ mod tests {
             follower_best_deviation: (0, 1.0),
             candidates_checked: 10,
         };
-        let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("leader_best_gain"));
+        let debug = format!("{report:?}");
+        assert!(debug.contains("leader_best_gain"));
         assert!(report.is_equilibrium(1e-9));
     }
 }

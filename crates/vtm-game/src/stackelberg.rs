@@ -7,8 +7,6 @@
 //! per follower — so the concrete AoTM game in `vtm-core` as well as the test
 //! games used to validate the solvers can share the same machinery.
 
-use serde::{Deserialize, Serialize};
-
 use crate::optimize::{golden_section_max, OptimizeError};
 
 /// A single-leader, multi-follower game with scalar strategies.
@@ -34,8 +32,13 @@ pub trait StackelbergGame {
     /// Utility of follower `i` when the leader plays `leader_action`, the
     /// follower plays `own` and the remaining followers play `others`
     /// (indexed by follower id, the entry at `i` being ignored).
-    fn follower_utility(&self, follower: usize, leader_action: f64, own: f64, others: &[f64])
-        -> f64;
+    fn follower_utility(
+        &self,
+        follower: usize,
+        leader_action: f64,
+        own: f64,
+        others: &[f64],
+    ) -> f64;
 
     /// Best response of follower `i`. The default implementation maximises
     /// [`follower_utility`](StackelbergGame::follower_utility) numerically on
@@ -63,7 +66,7 @@ pub trait StackelbergGame {
 }
 
 /// Options controlling the numerical Stackelberg solution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveOptions {
     /// Convergence tolerance for the iterated-best-response follower stage.
     pub follower_tolerance: f64,
@@ -88,7 +91,7 @@ impl Default for SolveOptions {
 
 /// A solved Stackelberg game: the leader's optimal action, the follower
 /// equilibrium it induces and the resulting utilities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackelbergSolution {
     /// Leader's optimal action (e.g. the equilibrium unit price `p*`).
     pub leader_action: f64,
@@ -182,7 +185,12 @@ pub fn solve_stackelberg<G: StackelbergGame>(
     let follower_strategies = solve_follower_equilibrium(game, leader_action, options);
     let follower_utilities = (0..game.num_followers())
         .map(|i| {
-            game.follower_utility(i, leader_action, follower_strategies[i], &follower_strategies)
+            game.follower_utility(
+                i,
+                leader_action,
+                follower_strategies[i],
+                &follower_strategies,
+            )
         })
         .collect();
     Ok(StackelbergSolution {
@@ -230,10 +238,7 @@ mod tests {
         }
 
         fn leader_utility(&self, leader_action: f64, followers: &[f64]) -> f64 {
-            followers
-                .iter()
-                .map(|b| (leader_action - self.c) * b)
-                .sum()
+            followers.iter().map(|b| (leader_action - self.c) * b).sum()
         }
     }
 
@@ -245,7 +250,11 @@ mod tests {
             followers: 3,
         };
         let sol = solve_stackelberg(&game, &SolveOptions::default()).unwrap();
-        assert!((sol.leader_action - 6.0).abs() < 1e-3, "p* = {}", sol.leader_action);
+        assert!(
+            (sol.leader_action - 6.0).abs() < 1e-3,
+            "p* = {}",
+            sol.leader_action
+        );
         for b in &sol.follower_strategies {
             assert!((b - 4.0).abs() < 1e-3);
         }
@@ -322,8 +331,8 @@ mod tests {
             leader_utility: 3.0,
             follower_utilities: vec![4.0],
         };
-        let json = serde_json::to_string(&sol).unwrap();
-        assert!(json.contains("leader_action"));
+        let debug = format!("{sol:?}");
+        assert!(debug.contains("leader_action"));
     }
 
     #[test]

@@ -1,9 +1,25 @@
-//! Property-based tests of the optimisation and Stackelberg-solving invariants.
+//! Randomized property tests of the optimisation and Stackelberg-solving
+//! invariants.
+//!
+//! Originally written with `proptest`; the offline build has no access to
+//! crates.io, so each property is checked over a fixed number of
+//! pseudo-random cases drawn from a deterministically seeded generator.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use vtm_game::optimize::{bisect_decreasing_root, golden_section_max, grid_search_max, is_concave_on};
+use vtm_game::optimize::{
+    bisect_decreasing_root, golden_section_max, grid_search_max, is_concave_on,
+};
 use vtm_game::stackelberg::{solve_stackelberg, SolveOptions, StackelbergGame};
+
+/// Runs `check` over `n` independent deterministic cases.
+fn cases(n: usize, seed: u64, mut check: impl FnMut(&mut StdRng)) {
+    for case in 0..n as u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        check(&mut rng);
+    }
+}
 
 /// Linear-demand monopoly with textbook solution p* = (a + c) / 2.
 struct Monopoly {
@@ -30,64 +46,88 @@ impl StackelbergGame for Monopoly {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Golden-section search finds the vertex of an arbitrary downward parabola.
-    #[test]
-    fn golden_section_finds_parabola_vertex(
-        center in -50.0f64..50.0,
-        height in -10.0f64..10.0,
-        width in 1.0f64..100.0,
-    ) {
+/// Golden-section search finds the vertex of an arbitrary downward parabola.
+#[test]
+fn golden_section_finds_parabola_vertex() {
+    cases(48, 0x11, |rng| {
+        let center = rng.gen_range(-50.0..50.0);
+        let height = rng.gen_range(-10.0..10.0);
+        let width = rng.gen_range(1.0..100.0);
         let lo = center - width;
         let hi = center + width;
         let m = golden_section_max(|x| height - (x - center).powi(2), lo, hi, 1e-10, 300).unwrap();
-        prop_assert!((m.argmax - center).abs() < 1e-4);
-        prop_assert!((m.value - height).abs() < 1e-7);
-    }
+        assert!((m.argmax - center).abs() < 1e-4);
+        assert!((m.value - height).abs() < 1e-7);
+    });
+}
 
-    /// Bisection on a decreasing affine function recovers its root.
-    #[test]
-    fn bisection_recovers_affine_root(root in -20.0f64..20.0, slope in 0.1f64..10.0) {
+/// Bisection on a decreasing affine function recovers its root.
+#[test]
+fn bisection_recovers_affine_root() {
+    cases(48, 0x12, |rng| {
+        let root = rng.gen_range(-20.0..20.0);
+        let slope = rng.gen_range(0.1..10.0);
         let f = |x: f64| slope * (root - x);
         let found = bisect_decreasing_root(f, -100.0, 100.0, 1e-10, 500).unwrap();
-        prop_assert!((found - root).abs() < 1e-7);
-    }
+        assert!((found - root).abs() < 1e-7);
+    });
+}
 
-    /// The golden-section maximum is never worse than a coarse grid maximum of
-    /// the same unimodal function.
-    #[test]
-    fn golden_section_dominates_grid_search(center in -5.0f64..5.0) {
+/// The golden-section maximum is never worse than a coarse grid maximum of
+/// the same unimodal function.
+#[test]
+fn golden_section_dominates_grid_search() {
+    cases(48, 0x13, |rng| {
+        let center = rng.gen_range(-5.0..5.0);
         let f = |x: f64| -(x - center).powi(2);
         let gs = golden_section_max(f, -10.0, 10.0, 1e-10, 300).unwrap();
         let grid = grid_search_max(f, -10.0, 10.0, 50).unwrap();
-        prop_assert!(gs.value + 1e-9 >= grid.value);
-    }
+        assert!(gs.value + 1e-9 >= grid.value);
+    });
+}
 
-    /// Downward parabolas are detected as concave, upward ones are not.
-    #[test]
-    fn concavity_detection_on_parabolas(a in 0.1f64..5.0, c in -3.0f64..3.0) {
-        prop_assert!(is_concave_on(|x| -a * (x - c).powi(2), -10.0, 10.0, 30, 1e-6));
-        prop_assert!(!is_concave_on(|x| a * (x - c).powi(2), -10.0, 10.0, 30, 1e-6));
-    }
+/// Downward parabolas are detected as concave, upward ones are not.
+#[test]
+fn concavity_detection_on_parabolas() {
+    cases(48, 0x14, |rng| {
+        let a = rng.gen_range(0.1..5.0);
+        let c = rng.gen_range(-3.0..3.0);
+        assert!(is_concave_on(
+            |x| -a * (x - c).powi(2),
+            -10.0,
+            10.0,
+            30,
+            1e-6
+        ));
+        assert!(!is_concave_on(
+            |x| a * (x - c).powi(2),
+            -10.0,
+            10.0,
+            30,
+            1e-6
+        ));
+    });
+}
 
-    /// The generic Stackelberg solver recovers the textbook monopoly solution
-    /// for arbitrary demand intercepts and costs.
-    #[test]
-    fn stackelberg_solver_matches_textbook_monopoly(
-        a in 5.0f64..50.0,
-        margin in 1.0f64..4.0,
-        n in 1usize..5,
-    ) {
+/// The generic Stackelberg solver recovers the textbook monopoly solution
+/// for arbitrary demand intercepts and costs.
+#[test]
+fn stackelberg_solver_matches_textbook_monopoly() {
+    cases(48, 0x15, |rng| {
+        let a = rng.gen_range(5.0..50.0);
+        let margin = rng.gen_range(1.0..4.0);
+        let n = rng.gen_range(1..5usize);
         let c = a / margin / 2.0; // keep c < a
         let game = Monopoly { a, c, n };
         let solution = solve_stackelberg(&game, &SolveOptions::default()).unwrap();
         let expected_price = (a + c) / 2.0;
-        prop_assert!((solution.leader_action - expected_price).abs() < 1e-2,
-            "price {} vs textbook {expected_price}", solution.leader_action);
+        assert!(
+            (solution.leader_action - expected_price).abs() < 1e-2,
+            "price {} vs textbook {expected_price}",
+            solution.leader_action
+        );
         for b in &solution.follower_strategies {
-            prop_assert!((b - (a - expected_price)).abs() < 1e-2);
+            assert!((b - (a - expected_price)).abs() < 1e-2);
         }
-    }
+    });
 }

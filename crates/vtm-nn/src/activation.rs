@@ -5,12 +5,10 @@
 //! closures. The derivative is expressed with respect to the *pre-activation*
 //! input `z`, which is what the dense-layer backward pass caches.
 
-use serde::{Deserialize, Serialize};
-
 use crate::matrix::Matrix;
 
 /// Supported element-wise activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Activation {
     /// Identity: `f(z) = z`.
     #[default]
@@ -169,8 +167,7 @@ mod tests {
         let h = 1e-6;
         for act in ALL {
             for z in [-2.3, -0.7, 0.4, 1.9] {
-                let numeric =
-                    (act.apply_scalar(z + h) - act.apply_scalar(z - h)) / (2.0 * h);
+                let numeric = (act.apply_scalar(z + h) - act.apply_scalar(z - h)) / (2.0 * h);
                 let analytic = act.derivative_scalar(z);
                 assert!(
                     (numeric - analytic).abs() < 1e-5,

@@ -32,12 +32,7 @@ impl GradCheckReport {
 ///
 /// The closure must be a pure function of the network parameters (it is called
 /// repeatedly on perturbed copies of `net`).
-pub fn check_gradients<F>(
-    net: &Mlp,
-    analytic: &MlpGrads,
-    loss: F,
-    h: f64,
-) -> GradCheckReport
+pub fn check_gradients<F>(net: &Mlp, analytic: &MlpGrads, loss: F, h: f64) -> GradCheckReport
 where
     F: Fn(&Mlp) -> f64,
 {
@@ -126,17 +121,11 @@ mod tests {
         let net = MlpConfig::new(5, &[16, 16], 3)
             .hidden_activation(Activation::Tanh)
             .build(&mut rng);
-        let x = Matrix::from_rows(&[
-            &[0.1, -0.3, 0.5, 0.7, -0.9],
-            &[1.1, 0.2, -0.6, 0.0, 0.4],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[0.1, -0.3, 0.5, 0.7, -0.9], &[1.1, 0.2, -0.6, 0.0, 0.4]])
+            .unwrap();
         let report = check_output_mean_gradient(&net, &x, 1e-6);
         assert!(report.checked > 0);
-        assert!(
-            report.passes(1e-5),
-            "gradient check failed: {report:?}"
-        );
+        assert!(report.passes(1e-5), "gradient check failed: {report:?}");
     }
 
     #[test]

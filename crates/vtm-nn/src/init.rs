@@ -1,12 +1,11 @@
 //! Weight initialisation schemes for dense layers.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::matrix::Matrix;
 
 /// Weight initialisation strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Initializer {
     /// All weights zero (useful for output heads whose initial action should be neutral).
     Zeros,

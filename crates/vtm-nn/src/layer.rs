@@ -1,7 +1,6 @@
 //! Fully connected (dense) layer with explicit forward / backward passes.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::init::Initializer;
@@ -11,7 +10,7 @@ use crate::matrix::{Matrix, ShapeError};
 ///
 /// Inputs are batches of row vectors: an input of shape `batch x fan_in`
 /// produces an output of shape `batch x fan_out`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     weights: Matrix,
     bias: Matrix,
@@ -307,7 +306,11 @@ mod tests {
         g2.bias.map_inplace(|_| 4.0);
         g.accumulate(&g2).unwrap();
         g.scale_inplace(0.5);
-        assert!(g.weights.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(g
+            .weights
+            .as_slice()
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-12));
         assert!(g.bias.as_slice().iter().all(|&x| (x - 2.0).abs() < 1e-12));
         assert!(g.norm() > 0.0);
     }

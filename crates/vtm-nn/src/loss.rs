@@ -139,8 +139,7 @@ mod tests {
             pp[(0, c)] += h;
             let mut pm = p.clone();
             pm[(0, c)] -= h;
-            let numeric =
-                (huber(&pp, &t, 1.0).unwrap() - huber(&pm, &t, 1.0).unwrap()) / (2.0 * h);
+            let numeric = (huber(&pp, &t, 1.0).unwrap() - huber(&pm, &t, 1.0).unwrap()) / (2.0 * h);
             assert!((numeric - g[(0, c)]).abs() < 1e-6);
         }
     }

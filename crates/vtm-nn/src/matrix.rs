@@ -5,7 +5,6 @@
 //! [`ShapeError`] rather than panics so that callers composing layers can
 //! surface configuration errors cleanly.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
 
@@ -44,7 +43,7 @@ impl std::error::Error for ShapeError {}
 /// let c = a.matmul(&b).unwrap();
 /// assert_eq!(c, a);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -226,7 +225,9 @@ impl Matrix {
     /// Panics if `c >= self.cols()`.
     pub fn column(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Matrix transpose.
@@ -462,14 +463,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -486,7 +493,8 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.sub_elem(rhs).expect("matrix subtraction shape mismatch")
+        self.sub_elem(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -670,10 +678,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn into_vec_roundtrip() {
         let a = Matrix::from_rows(&[&[1.5, -2.5], &[0.0, 4.25]]).unwrap();
-        let json = serde_json::to_string(&a).unwrap();
-        let back: Matrix = serde_json::from_str(&json).unwrap();
+        let back = Matrix::from_vec(2, 2, a.clone().into_vec()).unwrap();
         assert_eq!(a, back);
     }
 

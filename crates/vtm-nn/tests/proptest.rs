@@ -1,76 +1,102 @@
-//! Property-based tests of the linear-algebra and autodiff invariants.
+//! Randomized property tests of the linear-algebra and autodiff invariants.
+//!
+//! Originally written with `proptest`; the offline build has no access to
+//! crates.io, so each property is checked over a fixed number of
+//! pseudo-random cases drawn from a deterministically seeded generator.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use vtm_nn::activation::Activation;
 use vtm_nn::gradcheck::check_output_mean_gradient;
 use vtm_nn::matrix::Matrix;
 use vtm_nn::mlp::MlpConfig;
 
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized data"))
+/// Runs `check` over `n` independent deterministic cases.
+fn cases(n: usize, seed: u64, mut check: impl FnMut(&mut StdRng)) {
+    for case in 0..n as u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        check(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.gen_range(-10.0..10.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("sized data")
+}
 
-    /// (A B) C == A (B C) within floating-point tolerance.
-    #[test]
-    fn matmul_is_associative(
-        a in matrix_strategy(3, 4),
-        b in matrix_strategy(4, 2),
-        c in matrix_strategy(2, 5),
-    ) {
+/// (A B) C == A (B C) within floating-point tolerance.
+#[test]
+fn matmul_is_associative() {
+    cases(64, 0x31, |rng| {
+        let a = random_matrix(rng, 3, 4);
+        let b = random_matrix(rng, 4, 2);
+        let c = random_matrix(rng, 2, 5);
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.approx_eq(&right, 1e-6));
-    }
+        assert!(left.approx_eq(&right, 1e-6));
+    });
+}
 
-    /// (A B)^T == B^T A^T.
-    #[test]
-    fn transpose_reverses_products(
-        a in matrix_strategy(3, 4),
-        b in matrix_strategy(4, 2),
-    ) {
+/// (A B)^T == B^T A^T.
+#[test]
+fn transpose_reverses_products() {
+    cases(64, 0x32, |rng| {
+        let a = random_matrix(rng, 3, 4);
+        let b = random_matrix(rng, 4, 2);
         let left = a.matmul(&b).unwrap().transpose();
         let right = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(left.approx_eq(&right, 1e-9));
-    }
+        assert!(left.approx_eq(&right, 1e-9));
+    });
+}
 
-    /// Matrix multiplication distributes over addition.
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in matrix_strategy(3, 3),
-        b in matrix_strategy(3, 2),
-        c in matrix_strategy(3, 2),
-    ) {
+/// Matrix multiplication distributes over addition.
+#[test]
+fn matmul_distributes_over_addition() {
+    cases(64, 0x33, |rng| {
+        let a = random_matrix(rng, 3, 3);
+        let b = random_matrix(rng, 3, 2);
+        let c = random_matrix(rng, 3, 2);
         let left = a.matmul(&b.add_elem(&c).unwrap()).unwrap();
-        let right = a.matmul(&b).unwrap().add_elem(&a.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.approx_eq(&right, 1e-8));
-    }
+        let right = a
+            .matmul(&b)
+            .unwrap()
+            .add_elem(&a.matmul(&c).unwrap())
+            .unwrap();
+        assert!(left.approx_eq(&right, 1e-8));
+    });
+}
 
-    /// Identity is neutral for multiplication on both sides.
-    #[test]
-    fn identity_is_neutral(a in matrix_strategy(4, 4)) {
+/// Identity is neutral for multiplication on both sides.
+#[test]
+fn identity_is_neutral() {
+    cases(64, 0x34, |rng| {
+        let a = random_matrix(rng, 4, 4);
         let i = Matrix::identity(4);
-        prop_assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-12));
-        prop_assert!(i.matmul(&a).unwrap().approx_eq(&a, 1e-12));
-    }
+        assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-12));
+        assert!(i.matmul(&a).unwrap().approx_eq(&a, 1e-12));
+    });
+}
 
-    /// The Frobenius norm is absolutely homogeneous: ||sA|| = |s| ||A||.
-    #[test]
-    fn norm_is_homogeneous(a in matrix_strategy(3, 3), s in -5.0f64..5.0) {
+/// The Frobenius norm is absolutely homogeneous: ||sA|| = |s| ||A||.
+#[test]
+fn norm_is_homogeneous() {
+    cases(64, 0x35, |rng| {
+        let a = random_matrix(rng, 3, 3);
+        let s = rng.gen_range(-5.0..5.0);
         let lhs = a.scale(s).frobenius_norm();
         let rhs = s.abs() * a.frobenius_norm();
-        prop_assert!((lhs - rhs).abs() < 1e-8);
-    }
+        assert!((lhs - rhs).abs() < 1e-8);
+    });
+}
 
-    /// Activation derivatives agree with central finite differences.
-    #[test]
-    fn activation_derivatives_match_finite_differences(z in -4.0f64..4.0) {
+/// Activation derivatives agree with central finite differences.
+#[test]
+fn activation_derivatives_match_finite_differences() {
+    cases(64, 0x36, |rng| {
+        let z = rng.gen_range(-4.0..4.0);
         let h = 1e-6;
         for act in [
             Activation::Linear,
@@ -80,18 +106,22 @@ proptest! {
             Activation::LeakyRelu,
         ] {
             let numeric = (act.apply_scalar(z + h) - act.apply_scalar(z - h)) / (2.0 * h);
-            prop_assert!((numeric - act.derivative_scalar(z)).abs() < 1e-4);
+            assert!((numeric - act.derivative_scalar(z)).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    /// Backpropagation through a randomly initialised tanh MLP matches
-    /// numerical gradients of the mean output.
-    #[test]
-    fn mlp_backprop_matches_numerical_gradient(seed in 0u64..500, input in prop::collection::vec(-2.0f64..2.0, 3)) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let net = MlpConfig::new(3, &[8], 2).build(&mut rng);
+/// Backpropagation through a randomly initialised tanh MLP matches
+/// numerical gradients of the mean output.
+#[test]
+fn mlp_backprop_matches_numerical_gradient() {
+    cases(64, 0x37, |rng| {
+        let seed = rng.gen_range(0..500u64);
+        let input: Vec<f64> = (0..3).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut net_rng = StdRng::seed_from_u64(seed);
+        let net = MlpConfig::new(3, &[8], 2).build(&mut net_rng);
         let x = Matrix::row_vector(&input);
         let report = check_output_mean_gradient(&net, &x, 1e-6);
-        prop_assert!(report.passes(1e-4), "gradient check failed: {report:?}");
-    }
+        assert!(report.passes(1e-4), "gradient check failed: {report:?}");
+    });
 }

@@ -8,7 +8,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::env::{ActionSpace, Environment};
 
@@ -62,7 +61,7 @@ impl SimpleAgent for RandomAgent {
 }
 
 /// Always plays the same action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixedAgent {
     action: Vec<f64>,
 }
@@ -108,7 +107,13 @@ impl EpsilonGreedyBandit {
     ///
     /// Panics if the action space is not one-dimensional, `arms < 2`, or the
     /// exploration parameters are out of range.
-    pub fn new(space: ActionSpace, arms: usize, epsilon: f64, epsilon_decay: f64, seed: u64) -> Self {
+    pub fn new(
+        space: ActionSpace,
+        arms: usize,
+        epsilon: f64,
+        epsilon_decay: f64,
+        seed: u64,
+    ) -> Self {
         assert_eq!(space.dim(), 1, "the bandit supports scalar actions only");
         assert!(arms >= 2, "the bandit needs at least two arms");
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
@@ -275,8 +280,7 @@ mod tests {
     #[test]
     fn bandit_learns_the_best_arm() {
         let mut env = PeakBandit { target: 7.0 };
-        let mut bandit =
-            EpsilonGreedyBandit::new(env.action_space(), 21, 1.0, 0.995, 11);
+        let mut bandit = EpsilonGreedyBandit::new(env.action_space(), 21, 1.0, 0.995, 11);
         run_simple_agent(&mut bandit, &mut env, 2000, 1);
         let best_action = bandit.arm_action(bandit.best_arm());
         assert!(

@@ -7,13 +7,12 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::gae::{gae_advantages, normalize_advantages};
 
 /// A single stored transition, including the quantities needed by PPO
 /// (the behaviour policy's log-probability and the critic's value estimate).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Observation the agent acted on.
     pub observation: Vec<f64>,
@@ -30,7 +29,7 @@ pub struct Transition {
 }
 
 /// A processed sample ready for a PPO update.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessedSample {
     /// Observation the agent acted on.
     pub observation: Vec<f64>,
@@ -46,7 +45,7 @@ pub struct ProcessedSample {
 
 /// On-policy rollout buffer that accumulates whole episodes and converts them
 /// into PPO-ready samples with GAE.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RolloutBuffer {
     transitions: Vec<Transition>,
     episode_starts: Vec<usize>,
@@ -71,10 +70,7 @@ impl RolloutBuffer {
     /// Stores a transition. The first transition of each episode is detected
     /// automatically from the previous transition's `done` flag.
     pub fn push(&mut self, transition: Transition) {
-        let starts_new_episode = self
-            .transitions
-            .last()
-            .map_or(true, |prev| prev.done);
+        let starts_new_episode = self.transitions.last().is_none_or(|prev| prev.done);
         if starts_new_episode {
             self.episode_starts.push(self.transitions.len());
         }
@@ -128,7 +124,7 @@ impl RolloutBuffer {
         for episode in self.episode_slices() {
             let rewards: Vec<f64> = episode.iter().map(|t| t.reward).collect();
             let values: Vec<f64> = episode.iter().map(|t| t.value).collect();
-            let bootstrap = if episode.last().map_or(true, |t| t.done) {
+            let bootstrap = if episode.last().is_none_or(|t| t.done) {
                 0.0
             } else {
                 terminal_value
@@ -275,11 +271,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let mut buf = RolloutBuffer::new();
         buf.push(transition(1.0, 0.5, true));
-        let json = serde_json::to_string(&buf).unwrap();
-        let back: RolloutBuffer = serde_json::from_str(&json).unwrap();
+        let back = buf.clone();
         assert_eq!(buf, back);
     }
 }

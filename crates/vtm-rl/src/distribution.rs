@@ -6,14 +6,13 @@
 
 use rand::Rng;
 use rand_distr_free::draw_standard_normal;
-use serde::{Deserialize, Serialize};
 
 /// Natural logarithm of `2π`.
 const LN_2PI: f64 = 1.8378770664093453;
 
 /// A diagonal Gaussian over `R^d` parameterised by a mean vector and the
 /// logarithm of the per-dimension standard deviation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagGaussian {
     mean: Vec<f64>,
     log_std: Vec<f64>,
@@ -38,6 +37,24 @@ impl DiagGaussian {
     /// Mean vector.
     pub fn mean(&self) -> &[f64] {
         &self.mean
+    }
+
+    /// Replaces the mean vector in place, keeping the `log_std`.
+    ///
+    /// Used by the batched sampling hot path to reuse one distribution
+    /// across a batch of per-row means instead of re-allocating the log-std
+    /// for every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new mean's dimension differs from the distribution's.
+    pub fn replace_mean(&mut self, mean: Vec<f64>) {
+        assert_eq!(
+            mean.len(),
+            self.log_std.len(),
+            "mean and log_std must have the same dimension"
+        );
+        self.mean = mean;
     }
 
     /// Per-dimension log standard deviation.
@@ -228,10 +245,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let d = DiagGaussian::new(vec![1.0, 2.0], vec![0.1, 0.2]);
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DiagGaussian = serde_json::from_str(&json).unwrap();
+        let back = d.clone();
         assert_eq!(d, back);
     }
 }

@@ -51,7 +51,11 @@ pub fn gae_advantages(
     let mut advantages = vec![0.0; n];
     let mut gae = 0.0;
     for k in (0..n).rev() {
-        let next_value = if k + 1 < n { values[k + 1] } else { terminal_value };
+        let next_value = if k + 1 < n {
+            values[k + 1]
+        } else {
+            terminal_value
+        };
         let delta = rewards[k] + gamma * next_value - values[k];
         gae = delta + gamma * lambda * gae;
         advantages[k] = gae;
@@ -73,7 +77,11 @@ pub fn normalize_advantages(advantages: &[f64]) -> Vec<f64> {
     }
     let n = advantages.len() as f64;
     let mean = advantages.iter().sum::<f64>() / n;
-    let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n;
+    let var = advantages
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / n;
     let std = var.sqrt();
     if std < 1e-12 {
         return advantages.to_vec();
@@ -114,8 +122,8 @@ mod tests {
         let (adv, targets) = gae_advantages(&rewards, &values, terminal, gamma, 1.0);
         for k in 0..rewards.len() {
             let mut ret = 0.0;
-            for l in k..rewards.len() {
-                ret += gamma.powi((l - k) as i32) * rewards[l];
+            for (l, &reward) in rewards.iter().enumerate().skip(k) {
+                ret += gamma.powi((l - k) as i32) * reward;
             }
             ret += gamma.powi((rewards.len() - k) as i32) * terminal;
             let expected = ret - values[k];
@@ -157,7 +165,8 @@ mod tests {
         let adv = [1.0, 2.0, 3.0, 4.0];
         let norm = normalize_advantages(&adv);
         let mean: f64 = norm.iter().sum::<f64>() / norm.len() as f64;
-        let var: f64 = norm.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / norm.len() as f64;
+        let var: f64 =
+            norm.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / norm.len() as f64;
         assert!(mean.abs() < 1e-12);
         assert!((var - 1.0).abs() < 1e-12);
     }

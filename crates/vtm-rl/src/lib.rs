@@ -2,8 +2,11 @@
 //!
 //! The learning machinery used by the paper's incentive mechanism (§IV):
 //! a partially observable environment abstraction, rollout storage,
-//! Generalized Advantage Estimation, a diagonal-Gaussian policy and a PPO
-//! actor-critic agent built on the [`vtm_nn`] network substrate.
+//! Generalized Advantage Estimation, a diagonal-Gaussian policy, a PPO
+//! actor-critic agent built on the [`vtm_nn`] network substrate, and a
+//! vectorized rollout engine ([`vec_env`]) that collects episodes from many
+//! environment replicas with batched forward passes and chunk-level thread
+//! parallelism — deterministically for a fixed seed.
 //!
 //! The crate is deliberately domain-agnostic: the Stackelberg pricing
 //! environment itself lives in `vtm-core`, which plugs into the
@@ -43,6 +46,7 @@ pub mod env;
 pub mod gae;
 pub mod ppo;
 pub mod running_stat;
+pub mod vec_env;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -55,6 +59,9 @@ pub mod prelude {
     pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
     pub use crate::ppo::{ActionSample, PpoAgent, PpoConfig, PpoUpdateStats};
     pub use crate::running_stat::{LinearSchedule, RunningMeanStd};
+    pub use crate::vec_env::{
+        CollectedRollouts, CollectorConfig, EnvRollout, ParallelCollector, VecEnv,
+    };
 }
 
 #[cfg(test)]

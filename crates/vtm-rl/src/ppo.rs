@@ -8,8 +8,7 @@
 //! Estimation.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use rand::{Rng, SeedableRng};
 
 use vtm_nn::matrix::Matrix;
 use vtm_nn::mlp::{Mlp, MlpConfig};
@@ -24,7 +23,7 @@ use crate::env::{ActionSpace, Environment};
 /// The defaults follow the paper's §V-A experimental settings where stated
 /// (two hidden layers of 64 units, learning rate `1e-5`, `M = 10` update
 /// epochs, mini-batch size `|I| = 20`) and standard PPO practice elsewhere.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PpoConfig {
     /// Observation dimensionality.
     pub obs_dim: usize,
@@ -96,9 +95,15 @@ impl PpoConfig {
     fn validate(&self) {
         assert!(self.obs_dim > 0, "obs_dim must be positive");
         assert!(self.action_dim > 0, "action_dim must be positive");
-        assert!(self.actor_lr > 0.0 && self.critic_lr > 0.0, "learning rates must be positive");
+        assert!(
+            self.actor_lr > 0.0 && self.critic_lr > 0.0,
+            "learning rates must be positive"
+        );
         assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
-        assert!((0.0..=1.0).contains(&self.gae_lambda), "lambda must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.gae_lambda),
+            "lambda must be in [0,1]"
+        );
         assert!(self.clip_epsilon > 0.0, "clip epsilon must be positive");
         assert!(self.update_epochs > 0, "update_epochs must be positive");
         assert!(self.minibatch_size > 0, "minibatch_size must be positive");
@@ -106,7 +111,7 @@ impl PpoConfig {
 }
 
 /// Statistics of one PPO update, useful for monitoring convergence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PpoUpdateStats {
     /// Mean clipped-surrogate policy loss.
     pub policy_loss: f64,
@@ -123,7 +128,7 @@ pub struct PpoUpdateStats {
 }
 
 /// An action sampled from the policy together with the quantities PPO must store.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActionSample {
     /// Raw (unsquashed) policy output; this is what the buffer must store.
     pub raw_action: Vec<f64>,
@@ -136,7 +141,7 @@ pub struct ActionSample {
 }
 
 /// Simple per-element Adam state for the trainable log-std vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct VectorAdam {
     lr: f64,
     beta1: f64,
@@ -175,7 +180,7 @@ impl VectorAdam {
 }
 
 /// The PPO agent: Gaussian actor, value critic and their optimizers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PpoAgent {
     config: PpoConfig,
     action_space: ActionSpace,
@@ -190,7 +195,7 @@ pub struct PpoAgent {
 
 /// Serializable wrapper around the RNG seed/state. The RNG itself is rebuilt
 /// from the stored seed and a draw counter so that agents can be serialised.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct StdRngState {
     seed: u64,
     draws: u64,
@@ -211,8 +216,8 @@ impl PpoAgent {
             "action space dimension must match config.action_dim"
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let actor = MlpConfig::new(config.obs_dim, &config.hidden, config.action_dim)
-            .build(&mut rng);
+        let actor =
+            MlpConfig::new(config.obs_dim, &config.hidden, config.action_dim).build(&mut rng);
         let critic = MlpConfig::new(config.obs_dim, &config.hidden, 1).build(&mut rng);
         let log_std = vec![config.initial_log_std; config.action_dim];
         Self {
@@ -253,7 +258,11 @@ impl PpoAgent {
 
     fn next_rng(&mut self) -> StdRng {
         self.rng.draws += 1;
-        StdRng::seed_from_u64(self.rng.seed.wrapping_add(self.rng.draws.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        StdRng::seed_from_u64(
+            self.rng
+                .seed
+                .wrapping_add(self.rng.draws.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     fn policy_mean(&self, observation: &[f64]) -> Vec<f64> {
@@ -271,10 +280,21 @@ impl PpoAgent {
 
     /// Samples a stochastic action (used during training).
     pub fn act(&mut self, observation: &[f64]) -> ActionSample {
+        let mut rng = self.next_rng();
+        self.act_with_rng(observation, &mut rng)
+    }
+
+    /// Samples a stochastic action from an external RNG stream, leaving the
+    /// agent's internal stream untouched.
+    ///
+    /// This is the building block of the vectorized rollout collector: each
+    /// parallel environment owns one deterministic stream, so the trajectory
+    /// of an environment depends only on its own stream and the (frozen)
+    /// policy parameters — never on scheduling.
+    pub fn act_with_rng<R: Rng + ?Sized>(&self, observation: &[f64], rng: &mut R) -> ActionSample {
         let mean = self.policy_mean(observation);
         let dist = DiagGaussian::new(mean, self.log_std.clone());
-        let mut rng = self.next_rng();
-        let raw = dist.sample(&mut rng);
+        let raw = dist.sample(rng);
         let log_prob = dist.log_prob(&raw);
         ActionSample {
             env_action: self.action_space.squash(&raw),
@@ -282,6 +302,68 @@ impl PpoAgent {
             value: self.value(observation),
             raw_action: raw,
         }
+    }
+
+    /// Batched policy/value evaluation: one actor and one critic forward pass
+    /// for the whole batch, then one Gaussian draw per row from its matching
+    /// RNG stream.
+    ///
+    /// A batch of `B` observations costs one matrix product per layer instead
+    /// of `2B` row-vector forward passes, which is the dominant cost of
+    /// rollout collection. The result is bit-identical to calling
+    /// [`PpoAgent::act_with_rng`] row by row with the same streams (see
+    /// [`vtm_nn::mlp::Mlp::forward_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` and `rngs` have different lengths, or if an
+    /// observation does not match the configured observation dimension.
+    pub fn act_batch<R: Rng>(&self, observations: &[&[f64]], rngs: &mut [R]) -> Vec<ActionSample> {
+        assert_eq!(
+            observations.len(),
+            rngs.len(),
+            "one RNG stream per observation"
+        );
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        let means = self
+            .actor
+            .forward_rows(observations)
+            .expect("observation dimension mismatch with actor network");
+        let values = self.values_batch(observations);
+        // One distribution reused across rows: only the mean changes, so the
+        // hot path allocates one log-std clone per batch instead of per row.
+        let mut dist = DiagGaussian::new(means.row(0).to_vec(), self.log_std.clone());
+        rngs.iter_mut()
+            .enumerate()
+            .map(|(i, rng)| {
+                dist.replace_mean(means.row(i).to_vec());
+                let raw = dist.sample(rng);
+                let log_prob = dist.log_prob(&raw);
+                ActionSample {
+                    env_action: self.action_space.squash(&raw),
+                    log_prob,
+                    value: values[i],
+                    raw_action: raw,
+                }
+            })
+            .collect()
+    }
+
+    /// Batched critic evaluation: one forward pass for all observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observation does not match the configured dimension.
+    pub fn values_batch(&self, observations: &[&[f64]]) -> Vec<f64> {
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        self.critic
+            .forward_rows(observations)
+            .expect("observation dimension mismatch with critic network")
+            .into_vec()
     }
 
     /// Returns the deterministic (mean) action for evaluation.
@@ -302,8 +384,7 @@ impl PpoAgent {
         let mut total_batches = 0usize;
         let mut rng = self.next_rng();
         for _ in 0..self.config.update_epochs {
-            let batches =
-                RolloutBuffer::minibatches(samples, self.config.minibatch_size, &mut rng);
+            let batches = RolloutBuffer::minibatches(samples, self.config.minibatch_size, &mut rng);
             for batch in batches {
                 let batch_stats = self.update_minibatch(&batch);
                 stats.policy_loss += batch_stats.policy_loss;
@@ -364,7 +445,11 @@ impl PpoAgent {
             // d(-min(surr1, surr2))/d(log pi): -A * ratio when the unclipped
             // branch is active, 0 otherwise (the clipped branch is constant in
             // the parameters).
-            let dloss_dlogp = if surr1 <= surr2 { -advantage * ratio } else { 0.0 } * inv_n;
+            let dloss_dlogp = if surr1 <= surr2 {
+                -advantage * ratio
+            } else {
+                0.0
+            } * inv_n;
             if dloss_dlogp != 0.0 {
                 let gm = dist.log_prob_grad_mean(&sample.action);
                 let gs = dist.log_prob_grad_log_std(&sample.action);
@@ -385,7 +470,8 @@ impl PpoAgent {
             .expect("actor backward failed");
         actor_grads.clip_global_norm(self.config.max_grad_norm);
         self.actor_optimizer.step(&mut self.actor, &actor_grads);
-        self.log_std_optimizer.step(&mut self.log_std, &grad_log_std);
+        self.log_std_optimizer
+            .step(&mut self.log_std, &grad_log_std);
         for ls in &mut self.log_std {
             *ls = ls.max(self.config.min_log_std);
         }
@@ -555,6 +641,40 @@ mod tests {
             assert!(a1.action_space().contains(&s1.env_action));
             assert!(s1.log_prob.is_finite());
         }
+    }
+
+    #[test]
+    fn act_batch_matches_per_sample_path() {
+        let cfg = PpoConfig::new(3, 1).with_seed(21);
+        let agent = PpoAgent::new(cfg, ActionSpace::scalar(5.0, 50.0));
+        let observations: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 * 0.1, -0.3, 0.7]).collect();
+        let obs_refs: Vec<&[f64]> = observations.iter().map(Vec::as_slice).collect();
+        let mut batch_rngs: Vec<StdRng> = (0..9).map(|i| StdRng::seed_from_u64(1000 + i)).collect();
+        let mut single_rngs = batch_rngs.clone();
+        let batch = agent.act_batch(&obs_refs, &mut batch_rngs);
+        assert_eq!(batch.len(), 9);
+        for (i, sample) in batch.iter().enumerate() {
+            let single = agent.act_with_rng(&observations[i], &mut single_rngs[i]);
+            assert_eq!(sample.raw_action, single.raw_action, "row {i} raw action");
+            assert_eq!(sample.env_action, single.env_action, "row {i} env action");
+            assert!((sample.log_prob - single.log_prob).abs() <= 1e-12);
+            assert!((sample.value - single.value).abs() <= 1e-12);
+        }
+        // The consumed noise must also match, so subsequent draws agree.
+        assert_eq!(batch_rngs, single_rngs);
+    }
+
+    #[test]
+    fn values_batch_matches_scalar_value() {
+        let cfg = PpoConfig::new(2, 1).with_seed(8);
+        let agent = PpoAgent::new(cfg, ActionSpace::scalar(0.0, 1.0));
+        let observations = [vec![0.2, -0.4], vec![1.5, 0.0], vec![-2.0, 2.0]];
+        let refs: Vec<&[f64]> = observations.iter().map(Vec::as_slice).collect();
+        let batched = agent.values_batch(&refs);
+        for (obs, v) in observations.iter().zip(batched.iter()) {
+            assert!((agent.value(obs) - v).abs() <= 1e-12);
+        }
+        assert!(agent.values_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Streaming statistics and simple hyper-parameter schedules.
 
-use serde::{Deserialize, Serialize};
-
 /// Numerically stable streaming mean / variance (Welford's algorithm) over
 /// vectors, used for optional observation normalisation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunningMeanStd {
     count: f64,
     mean: Vec<f64>,
@@ -58,10 +56,10 @@ impl RunningMeanStd {
     pub fn update(&mut self, x: &[f64]) {
         assert_eq!(x.len(), self.dim(), "observation dimension mismatch");
         self.count += 1.0;
-        for i in 0..x.len() {
-            let delta = x[i] - self.mean[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let delta = xi - self.mean[i];
             self.mean[i] += delta / self.count;
-            let delta2 = x[i] - self.mean[i];
+            let delta2 = xi - self.mean[i];
             self.m2[i] += delta * delta2;
         }
     }
@@ -88,7 +86,7 @@ impl RunningMeanStd {
 
 /// A linear schedule interpolating from `start` to `end` over `steps` calls,
 /// used for learning-rate and exploration annealing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearSchedule {
     start: f64,
     end: f64,

@@ -5,7 +5,6 @@
 //! orthogonal slice of the MSP's spectrum. This module models that spectrum
 //! as a pool of subcarriers which concurrent migrations allocate and release.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -52,7 +51,7 @@ impl fmt::Display for ChannelError {
 impl std::error::Error for ChannelError {}
 
 /// An OFDMA spectrum pool of fixed-width subcarriers shared by migration flows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfdmaChannel {
     subcarrier_bandwidth_hz: f64,
     total_subcarriers: usize,
@@ -73,7 +72,10 @@ impl OfdmaChannel {
             subcarrier_bandwidth_hz > 0.0,
             "subcarrier bandwidth must be positive"
         );
-        assert!(total_subcarriers > 0, "channel needs at least one subcarrier");
+        assert!(
+            total_subcarriers > 0,
+            "channel needs at least one subcarrier"
+        );
         Self {
             subcarrier_bandwidth_hz,
             total_subcarriers,
@@ -84,7 +86,11 @@ impl OfdmaChannel {
 
     /// Creates a channel matching the paper's setup: `total_bandwidth_hz` of
     /// spectrum split into `subcarriers` equal slices over the default link.
-    pub fn with_total_bandwidth(total_bandwidth_hz: f64, subcarriers: usize, link: LinkBudget) -> Self {
+    pub fn with_total_bandwidth(
+        total_bandwidth_hz: f64,
+        subcarriers: usize,
+        link: LinkBudget,
+    ) -> Self {
         assert!(subcarriers > 0, "channel needs at least one subcarrier");
         Self::new(total_bandwidth_hz / subcarriers as f64, subcarriers, link)
     }

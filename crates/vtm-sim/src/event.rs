@@ -104,7 +104,10 @@ impl<T> EventQueue<T> {
     ///
     /// Panics if `delay` is negative or not finite.
     pub fn schedule_in(&mut self, delay: f64, payload: T) {
-        assert!(delay.is_finite() && delay >= 0.0, "delay must be non-negative");
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be non-negative"
+        );
         self.schedule_at(self.now + delay, payload);
     }
 

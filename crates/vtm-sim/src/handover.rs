@@ -7,13 +7,11 @@
 //! trigger interacts with the incentive mechanism (how often migrations are
 //! purchased, and therefore how much bandwidth is traded).
 
-use serde::{Deserialize, Serialize};
-
 use crate::mobility::{Position, Velocity};
 use crate::rsu::{Corridor, RsuId};
 
 /// Decision produced by a handover policy for one vehicle at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HandoverDecision {
     /// Keep the twin at the current RSU.
     Stay,
@@ -37,7 +35,7 @@ pub trait HandoverPolicy {
 
 /// Migrate as soon as another RSU is strictly closer than the serving one
 /// (the baseline behaviour of the paper's system model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NearestRsuPolicy;
 
 impl HandoverPolicy for NearestRsuPolicy {
@@ -60,7 +58,7 @@ impl HandoverPolicy for NearestRsuPolicy {
 /// Migrate only when the candidate RSU is closer than the serving RSU by at
 /// least `hysteresis_m` metres. Suppresses ping-pong migrations near the
 /// midpoint between two RSUs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HysteresisPolicy {
     /// Required distance advantage of the candidate RSU (metres).
     pub hysteresis_m: f64,
@@ -106,7 +104,7 @@ impl HandoverPolicy for HysteresisPolicy {
 /// seconds ahead and migrates towards the RSU that will then be nearest,
 /// provided it is different from the serving RSU. Starting the migration
 /// before coverage is lost hides (part of) the AoTM from the user.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictivePolicy {
     /// How far ahead the vehicle position is extrapolated (seconds).
     pub lookahead_s: f64,
@@ -223,7 +221,12 @@ mod tests {
         assert_eq!(decision, HandoverDecision::MigrateTo(RsuId(1)));
         // The plain nearest policy would not migrate yet.
         assert_eq!(
-            NearestRsuPolicy.decide(&c, RsuId(0), &Position::new(420.0, 0.0), &Velocity::new(25.0, 0.0)),
+            NearestRsuPolicy.decide(
+                &c,
+                RsuId(0),
+                &Position::new(420.0, 0.0),
+                &Velocity::new(25.0, 0.0)
+            ),
             HandoverDecision::Stay
         );
     }

@@ -48,7 +48,6 @@ pub mod prelude {
     pub use crate::handover::{
         HandoverDecision, HandoverPolicy, HysteresisPolicy, NearestRsuPolicy, PredictivePolicy,
     };
-    pub use crate::trace::{Range, Trace, TraceConfig, Trip};
     pub use crate::metaverse::{
         BandwidthAllocator, EqualShareAllocator, FixedAllocator, MetaverseConfig, MetaverseSim,
         MigrationRecord, SimulationReport, VmuEntry,
@@ -63,6 +62,7 @@ pub mod prelude {
     pub use crate::radio::{Db, Dbm, LinkBudget, Milliwatts};
     pub use crate::rsu::{Corridor, Rsu, RsuId};
     pub use crate::stats::{percentile_sorted, Summary};
+    pub use crate::trace::{Range, Trace, TraceConfig, Trip};
     pub use crate::twin::{TwinDataProfile, TwinId, VehicularTwin};
     pub use crate::vehicle::{Vehicle, VehicleId};
 }

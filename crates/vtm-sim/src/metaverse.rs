@@ -10,7 +10,6 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::migration::{simulate_precopy_migration, MigrationError, PreCopyConfig};
@@ -32,7 +31,7 @@ pub trait BandwidthAllocator {
 }
 
 /// Grants every migration the same fixed bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FixedAllocator {
     /// Bandwidth granted to each migration (Hz).
     pub bandwidth_hz: f64,
@@ -46,7 +45,7 @@ impl BandwidthAllocator for FixedAllocator {
 
 /// Splits the RSU's total bandwidth equally among an expected number of
 /// concurrent migrations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EqualShareAllocator {
     /// Expected number of concurrent migrations.
     pub expected_concurrent: usize,
@@ -59,7 +58,7 @@ impl BandwidthAllocator for EqualShareAllocator {
 }
 
 /// One VMU participating in the simulation: its vehicle and its twin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmuEntry {
     /// The vehicle carrying the VMU.
     pub vehicle: Vehicle,
@@ -68,7 +67,7 @@ pub struct VmuEntry {
 }
 
 /// A completed (or failed) migration, as recorded by the simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MigrationRecord {
     /// Simulation time when the migration was triggered (seconds).
     pub triggered_at_s: f64,
@@ -95,7 +94,7 @@ impl MigrationRecord {
 }
 
 /// Configuration of the end-to-end simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetaverseConfig {
     /// Number of RSUs along the corridor.
     pub rsu_count: usize,
@@ -134,7 +133,7 @@ impl Default for MetaverseConfig {
 }
 
 /// Aggregate results of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Every migration that was triggered.
     pub migrations: Vec<MigrationRecord>,
@@ -188,11 +187,8 @@ impl MetaverseSim<PerturbedHighway> {
                     Position::new(50.0 * i as f64, 0.0),
                     Velocity::new(25.0, 0.0),
                 );
-                let twin = VehicularTwin::with_size_and_alpha(
-                    crate::twin::TwinId(i),
-                    twin_size_mb,
-                    alpha,
-                );
+                let twin =
+                    VehicularTwin::with_size_and_alpha(crate::twin::TwinId(i), twin_size_mb, alpha);
                 VmuEntry { vehicle, twin }
             })
             .collect();
@@ -383,10 +379,7 @@ mod tests {
         assert!(report.aotm_summary.mean.is_finite());
         assert!(report.total_distance_m > 0.0);
         assert!(report.simulated_time_s >= 400.0 - 1e-9);
-        assert_eq!(
-            report.successful_migrations(),
-            report.migrations.len()
-        );
+        assert_eq!(report.successful_migrations(), report.migrations.len());
     }
 
     #[test]

@@ -9,13 +9,11 @@
 //! simulator's packet-level AoTM and the analytic `D_n / γ_n` coincide when
 //! the dirty rate is zero.
 
-use serde::{Deserialize, Serialize};
-
 use crate::radio::LinkBudget;
 use crate::twin::VehicularTwin;
 
 /// Configuration of the pre-copy migration algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PreCopyConfig {
     /// Maximum number of iterative pre-copy rounds before stop-and-copy.
     pub max_rounds: usize,
@@ -34,7 +32,7 @@ impl Default for PreCopyConfig {
 }
 
 /// Outcome of one migration round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationRound {
     /// Round index (0 is the full copy, subsequent rounds copy dirty pages).
     pub round: usize,
@@ -45,7 +43,7 @@ pub struct MigrationRound {
 }
 
 /// Complete report of a simulated twin migration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MigrationReport {
     /// Bandwidth allocated to the migration (Hz).
     pub bandwidth_hz: f64,
@@ -213,8 +211,7 @@ mod tests {
     fn zero_dirty_rate_matches_analytic_aotm() {
         let link = LinkBudget::default();
         let t = twin(150.0, 0.0);
-        let report =
-            simulate_precopy_migration(&t, 5e6, &link, &PreCopyConfig::default()).unwrap();
+        let report = simulate_precopy_migration(&t, 5e6, &link, &PreCopyConfig::default()).unwrap();
         let analytic = analytic_aotm_seconds(150.0, 5e6, &link);
         assert!((report.aotm_s - analytic).abs() < 1e-9);
         assert!(report.converged);
@@ -227,8 +224,7 @@ mod tests {
     fn dirty_pages_extend_migration_but_it_terminates() {
         let link = LinkBudget::default();
         let t = twin(200.0, 3.0);
-        let report =
-            simulate_precopy_migration(&t, 1e6, &link, &PreCopyConfig::default()).unwrap();
+        let report = simulate_precopy_migration(&t, 1e6, &link, &PreCopyConfig::default()).unwrap();
         let analytic = analytic_aotm_seconds(200.0, 1e6, &link);
         assert!(report.aotm_s > analytic, "dirtying must add time");
         assert!(report.total_transferred_mb > 200.0);
@@ -240,10 +236,8 @@ mod tests {
     fn more_bandwidth_reduces_aotm_and_downtime() {
         let link = LinkBudget::default();
         let t = twin(200.0, 3.0);
-        let slow =
-            simulate_precopy_migration(&t, 1e6, &link, &PreCopyConfig::default()).unwrap();
-        let fast =
-            simulate_precopy_migration(&t, 10e6, &link, &PreCopyConfig::default()).unwrap();
+        let slow = simulate_precopy_migration(&t, 1e6, &link, &PreCopyConfig::default()).unwrap();
+        let fast = simulate_precopy_migration(&t, 10e6, &link, &PreCopyConfig::default()).unwrap();
         assert!(fast.aotm_s < slow.aotm_s);
         assert!(fast.downtime_s <= slow.downtime_s + 1e-12);
     }
@@ -285,9 +279,12 @@ mod tests {
         let link = LinkBudget::default();
         let rate_mb = link.rate_bps(1e3) / 8e6;
         let t = twin(100.0, rate_mb * 2.0);
-        let err = simulate_precopy_migration(&t, 1e3, &link, &PreCopyConfig::default())
-            .unwrap_err();
-        assert!(matches!(err, MigrationError::DirtyRateExceedsLinkRate { .. }));
+        let err =
+            simulate_precopy_migration(&t, 1e3, &link, &PreCopyConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            MigrationError::DirtyRateExceedsLinkRate { .. }
+        ));
         assert!(!err.to_string().is_empty());
     }
 }

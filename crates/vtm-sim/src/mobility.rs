@@ -5,10 +5,9 @@
 //! movement that triggers migrations in the end-to-end simulator.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A 2-D position in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Position {
     /// X coordinate (metres), conventionally along the road.
     pub x: f64,
@@ -29,7 +28,7 @@ impl Position {
 }
 
 /// A 2-D velocity in metres per second.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Velocity {
     /// X component (m/s).
     pub vx: f64,
@@ -63,7 +62,7 @@ pub trait MobilityModel {
 
 /// Constant-velocity highway motion along the x axis (the canonical scenario
 /// for RSU hand-overs along a road corridor).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstantVelocity;
 
 impl MobilityModel for ConstantVelocity {
@@ -83,7 +82,7 @@ impl MobilityModel for ConstantVelocity {
 
 /// Highway motion with Gaussian speed perturbation, clamped to a speed band.
 /// Models stop-and-go traffic without changing direction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerturbedHighway {
     /// Standard deviation of the per-step speed perturbation (m/s).
     pub speed_jitter: f64,
@@ -124,7 +123,7 @@ impl MobilityModel for PerturbedHighway {
 
 /// Random-waypoint motion inside a rectangle: the vehicle heads to a random
 /// waypoint at a random speed and picks a new one on arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RandomWaypoint {
     /// Width of the area (metres).
     pub width: f64,
@@ -243,7 +242,12 @@ mod tests {
     fn perturbed_highway_preserves_negative_direction() {
         let model = PerturbedHighway::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let (_, v) = model.advance(Position::default(), Velocity::new(-20.0, 0.0), 1.0, &mut rng);
+        let (_, v) = model.advance(
+            Position::default(),
+            Velocity::new(-20.0, 0.0),
+            1.0,
+            &mut rng,
+        );
         assert!(v.vx < 0.0);
     }
 

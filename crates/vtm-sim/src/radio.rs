@@ -7,18 +7,16 @@
 //! `N0` given in dBm/dB. This module provides those quantities as strongly
 //! typed values so that dB and linear domains cannot be mixed up.
 
-use serde::{Deserialize, Serialize};
-
 /// A power expressed in dBm (decibel-milliwatts).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Dbm(pub f64);
 
 /// A dimensionless gain expressed in dB.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Db(pub f64);
 
 /// A power expressed in milliwatts (linear domain).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Milliwatts(pub f64);
 
 impl Dbm {
@@ -62,7 +60,7 @@ impl Db {
 /// Defaults correspond to the paper's §V-A settings: transmit power 40 dBm,
 /// unit channel gain −20 dB, RSU distance 500 m, path-loss exponent 2 and
 /// average noise power −150 dBm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkBudget {
     /// Transmit power ρ of the source RSU.
     pub transmit_power: Dbm,
@@ -185,8 +183,10 @@ mod tests {
 
     #[test]
     fn spectral_efficiency_increases_with_power() {
-        let mut strong = LinkBudget::default();
-        strong.transmit_power = Dbm(46.0);
+        let strong = LinkBudget {
+            transmit_power: Dbm(46.0),
+            ..LinkBudget::default()
+        };
         assert!(strong.spectral_efficiency() > LinkBudget::default().spectral_efficiency());
     }
 }

@@ -6,12 +6,10 @@
 //! along a road so that a moving vehicle periodically leaves coverage and its
 //! twin has to be migrated to the next RSU.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mobility::Position;
 
 /// Identifier of an RSU within a topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RsuId(pub usize);
 
 impl std::fmt::Display for RsuId {
@@ -21,7 +19,7 @@ impl std::fmt::Display for RsuId {
 }
 
 /// A roadside unit hosting an edge server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rsu {
     id: RsuId,
     position: Position,
@@ -99,7 +97,7 @@ impl Rsu {
 }
 
 /// A linear corridor of RSUs along a road (the canonical hand-over topology).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Corridor {
     rsus: Vec<Rsu>,
 }

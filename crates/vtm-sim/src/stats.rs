@@ -1,9 +1,7 @@
 //! Descriptive statistics for simulation outputs.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample of `f64` values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,

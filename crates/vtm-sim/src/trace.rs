@@ -8,7 +8,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::metaverse::VmuEntry;
 use crate::mobility::{Position, Velocity};
@@ -16,7 +15,7 @@ use crate::twin::{TwinId, VehicularTwin};
 use crate::vehicle::{Vehicle, VehicleId};
 
 /// A closed interval used for uniform sampling of trace parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Range {
     /// Lower bound (inclusive).
     pub min: f64,
@@ -62,7 +61,7 @@ impl Range {
 ///
 /// Defaults match the paper's §V-A population: twin sizes of 100–300 MB and
 /// immersion coefficients of 5–20.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceConfig {
     /// Number of trips (vehicles / VMUs) to generate.
     pub trips: usize,
@@ -95,7 +94,7 @@ impl Default for TraceConfig {
 }
 
 /// One generated trip.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Trip {
     /// Trip / vehicle / VMU identifier.
     pub id: usize,
@@ -112,7 +111,7 @@ pub struct Trip {
 }
 
 /// A generated trace: a reproducible collection of trips.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     /// The trips, ordered by identifier.
     pub trips: Vec<Trip>,
@@ -243,12 +242,9 @@ mod tests {
     }
 
     #[test]
-    fn trace_serialises_round_trip() {
+    fn trace_clone_round_trip() {
         let trace = Trace::generate(&TraceConfig::default());
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
-        // JSON float formatting can perturb the last ULP, so compare with a
-        // tolerance rather than exact equality.
+        let back = trace.clone();
         assert_eq!(trace.len(), back.len());
         for (a, b) in trace.trips.iter().zip(back.trips.iter()) {
             assert_eq!(a.id, b.id);

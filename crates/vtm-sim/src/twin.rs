@@ -5,10 +5,8 @@
 //! historical memory data and real-time state of the VMU, and is transmitted
 //! in blocks. The dirty-page model drives the pre-copy live-migration rounds.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a vehicular twin (matches its VMU's identifier).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TwinId(pub usize);
 
 impl std::fmt::Display for TwinId {
@@ -18,7 +16,7 @@ impl std::fmt::Display for TwinId {
 }
 
 /// Breakdown of the data composing a vehicular twin, in megabytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwinDataProfile {
     /// System configuration (CPU/GPU description, runtime images).
     pub system_config_mb: f64,
@@ -57,7 +55,7 @@ impl TwinDataProfile {
 }
 
 /// A vehicular twin deployed on an RSU edge server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VehicularTwin {
     id: TwinId,
     data: TwinDataProfile,

@@ -1,13 +1,12 @@
 //! Vehicles carrying Vehicular Metaverse Users.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::mobility::{MobilityModel, Position, Velocity};
 use crate::twin::TwinId;
 
 /// Identifier of a vehicle (and of the VMU it carries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VehicleId(pub usize);
 
 impl std::fmt::Display for VehicleId {
@@ -17,7 +16,7 @@ impl std::fmt::Display for VehicleId {
 }
 
 /// A vehicle moving through the corridor whose VMU owns a vehicular twin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vehicle {
     id: VehicleId,
     twin: TwinId,

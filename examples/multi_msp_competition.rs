@@ -48,8 +48,14 @@ fn main() {
         duopoly.converged,
         duopoly.iterations
     );
-    println!("  MSP utilities    = {:?}",
-        duopoly.msp_utilities.iter().map(|u| format!("{u:.3}")).collect::<Vec<_>>());
+    println!(
+        "  MSP utilities    = {:?}",
+        duopoly
+            .msp_utilities
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect::<Vec<_>>()
+    );
     println!("  total MSP profit = {:.3}", duopoly.total_msp_utility());
     println!(
         "  total VMU utility= {:.3}",

@@ -46,14 +46,23 @@ fn main() {
     // Cross-check with the numerical solver built on the generic game-theory crate.
     let numeric = game.numerical_equilibrium();
     println!("\nNumerical cross-check:");
-    println!("  price    (closed form vs numeric): {:.4} vs {:.4}", eq.price, numeric.price);
+    println!(
+        "  price    (closed form vs numeric): {:.4} vs {:.4}",
+        eq.price, numeric.price
+    );
     println!(
         "  utility  (closed form vs numeric): {:.4} vs {:.4}",
         eq.msp_utility, numeric.msp_utility
     );
 
     // Verify Definition 1: no profitable unilateral deviation.
-    let report = verify_equilibrium(&game, eq.price, &eq.demands_mhz, 201, &SolveOptions::default());
+    let report = verify_equilibrium(
+        &game,
+        eq.price,
+        &eq.demands_mhz,
+        201,
+        &SolveOptions::default(),
+    );
     println!(
         "\nEquilibrium verification: leader best gain {:.2e}, follower best gain {:.2e} -> {}",
         report.leader_best_gain,

@@ -24,7 +24,10 @@ fn main() {
     let equilibrium = game.closed_form_equilibrium();
 
     // Train the DRL policy (incomplete information), then freeze it.
-    println!("Training the DRL policy ({} episodes)...", config.drl.episodes);
+    println!(
+        "Training the DRL policy ({} episodes)...",
+        config.drl.episodes
+    );
     let mut mechanism =
         IncentiveMechanism::with_reward_mode(config.clone(), RewardMode::Improvement);
     mechanism.train();

@@ -47,7 +47,10 @@ fn main() {
 
     let eval = mechanism.evaluate(50);
     println!("\nDeterministic evaluation over 50 rounds:");
-    println!("  mean posted price   = {:.3} (equilibrium {:.3})", eval.mean_price, equilibrium.price);
+    println!(
+        "  mean posted price   = {:.3} (equilibrium {:.3})",
+        eval.mean_price, equilibrium.price
+    );
     println!(
         "  mean MSP utility    = {:.3} ({:.1}% of the equilibrium utility)",
         eval.mean_msp_utility,

@@ -1,0 +1,280 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository cannot reach crates.io, so the
+//! `vtm-bench` benchmarks link against this minimal harness instead. It
+//! reproduces the slice of the criterion 0.5 API the benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — and reports a median wall-clock time per iteration.
+//!
+//! It performs no statistical analysis beyond the median of per-batch means;
+//! numbers are indicative, not publication-grade. The measurement budget per
+//! benchmark can be tuned with the `VTM_BENCH_BUDGET_MS` environment
+//! variable (default 300 ms after a 50 ms warm-up).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Formats a nanosecond figure with a human-friendly unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn budget_from_env() -> Duration {
+    let ms = std::env::var("VTM_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Passed to the closure given to `bench_function`; runs and times it.
+pub struct Bencher {
+    /// Measurement wall-clock budget, inherited from the [`Criterion`].
+    budget: Duration,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = self.budget;
+        // Warm-up: run until 50 ms have elapsed (at least once) and estimate
+        // how many iterations fit in one ~10 ms measurement batch.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let batch = ((10_000_000.0 / est_ns) as u64).clamp(1, 1_000_000);
+
+        let mut batch_means = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < budget || batch_means.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            batch_means.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        batch_means.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.ns_per_iter = batch_means[batch_means.len() / 2];
+    }
+}
+
+/// Identifies a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<D: Display>(function_name: &str, parameter: D) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    /// Reads the measurement budget from `VTM_BENCH_BUDGET_MS` (default
+    /// 300 ms per benchmark).
+    fn default() -> Self {
+        Self {
+            budget: budget_from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget (tests use this
+    /// instead of mutating the process environment).
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Runs a single benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.budget,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        println!("{name:<50} time: {:>12}/iter", format_ns(b.ns_per_iter));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirrors criterion's sample-count knob; accepted and ignored (the shim
+    /// sizes batches by wall-clock budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Mirrors criterion's measurement-time knob; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.id);
+        println!("{label:<50} time: {:>12}/iter", format_ns(b.ns_per_iter));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use directly).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default().with_budget(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = quick();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut count = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+            count += 1;
+        });
+        group.bench_function("plain", |b| {
+            b.iter(|| std::hint::black_box(0));
+            count += 1;
+        });
+        group.finish();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -9,7 +9,8 @@
 //!   mechanism and the baseline pricing schemes (the paper's contribution),
 //! * [`sim`](vtm_sim) — the vehicular-metaverse simulator substrate
 //!   (mobility, RSUs, channel, pre-copy live migration),
-//! * [`rl`](vtm_rl) — the PPO reinforcement-learning substrate,
+//! * [`rl`](vtm_rl) — the PPO reinforcement-learning substrate, including
+//!   the deterministic parallel vectorized rollout engine,
 //! * [`nn`](vtm_nn) — the neural-network substrate,
 //! * [`game`](vtm_game) — the generic Stackelberg game-theory substrate.
 //!

@@ -55,7 +55,11 @@ fn equilibrium_price_is_flat_in_n_without_a_binding_cap() {
         let eq = AotmStackelbergGame::from_config(&ExperimentConfig::paper_n_vmus(n))
             .closed_form_equilibrium();
         if let Some(p) = last {
-            assert!((eq.price - p).abs() < 1e-6, "price changed with N: {} vs {p}", eq.price);
+            assert!(
+                (eq.price - p).abs() < 1e-6,
+                "price changed with N: {} vs {p}",
+                eq.price
+            );
         }
         last = Some(eq.price);
     }
@@ -90,7 +94,10 @@ fn average_vmu_utility_declines_as_population_grows_under_a_cap() {
     let cap = 0.45;
     let at2 = utility_at(2, cap);
     let at6 = utility_at(6, cap);
-    assert!(at6 < at2, "average VMU utility must decline: {at2} -> {at6}");
+    assert!(
+        at6 < at2,
+        "average VMU utility must decline: {at2} -> {at6}"
+    );
 }
 
 #[test]
@@ -123,7 +130,13 @@ fn equilibrium_satisfies_definition_one_for_heterogeneous_vmus() {
     ];
     let game = AotmStackelbergGame::from_config(&config);
     let eq = game.closed_form_equilibrium();
-    let report = verify_equilibrium(&game, eq.price, &eq.demands_mhz, 201, &SolveOptions::default());
+    let report = verify_equilibrium(
+        &game,
+        eq.price,
+        &eq.demands_mhz,
+        201,
+        &SolveOptions::default(),
+    );
     assert!(
         report.is_equilibrium(1e-2 * eq.msp_utility.max(1.0)),
         "{report:?}"

@@ -120,8 +120,7 @@ fn stackelberg_priced_migrations_succeed_in_the_simulator() {
     // The packet-level AoTM must be at least the analytic lower bound for the
     // granted bandwidth (pre-copy re-transfers dirty pages, never less).
     for record in &report.migrations {
-        let analytic =
-            analytic_aotm_seconds(150.0, record.bandwidth_hz, &LinkBudget::default());
+        let analytic = analytic_aotm_seconds(150.0, record.bandwidth_hz, &LinkBudget::default());
         assert!(record.aotm_s.unwrap() + 1e-9 >= analytic * 0.999);
     }
 }
