@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use vtm_bench::{rollout_bench_agent, FixedHorizonEnv};
+use vtm_bench::{rollout_bench_agent, update_bench_agent, update_bench_samples, FixedHorizonEnv};
 use vtm_core::config::{DrlConfig, ExperimentConfig};
 use vtm_core::env::RewardMode;
 use vtm_core::mechanism::IncentiveMechanism;
@@ -55,6 +55,26 @@ fn bench_ppo_update(c: &mut Criterion) {
     c.bench_function("ppo/update_100_samples", |b| {
         b.iter(|| agent.update(black_box(&samples)))
     });
+}
+
+/// Fused (allocation-free, batched) vs reference (allocating, per-sample)
+/// PPO update at the paper's training shapes: obs_dim 7, 64x64 MLP,
+/// mini-batch 20, M = 10 epochs over 200 samples. The acceptance target for
+/// the fused path is a >= 1.5x speedup (recorded by `bench_json` in
+/// `results/BENCH_ppo.json`).
+fn bench_ppo_update_paper_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppo_update");
+    group.bench_function("fused_paper_shape", |b| {
+        let mut agent = update_bench_agent(3);
+        let samples = update_bench_samples(&agent, 200, 42);
+        b.iter(|| agent.update(black_box(&samples)))
+    });
+    group.bench_function("reference_paper_shape", |b| {
+        let mut agent = update_bench_agent(3);
+        let samples = update_bench_samples(&agent, 200, 42);
+        b.iter(|| agent.update_reference(black_box(&samples)))
+    });
+    group.finish();
 }
 
 /// Serial per-observation collection vs the vectorized parallel collector at
@@ -148,6 +168,7 @@ criterion_group!(
     benches,
     bench_policy_act,
     bench_ppo_update,
+    bench_ppo_update_paper_shape,
     bench_rollout_collection,
     bench_training_episode
 );

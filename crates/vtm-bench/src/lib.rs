@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use vtm_core::config::{DrlConfig, ExperimentConfig};
 use vtm_core::env::RewardMode;
 use vtm_core::mechanism::{IncentiveMechanism, TrainingHistory};
+use vtm_rl::buffer::ProcessedSample;
 use vtm_rl::env::{ActionSpace, Environment, Step};
 use vtm_rl::ppo::{PpoAgent, PpoConfig};
 
@@ -199,6 +200,42 @@ pub fn rollout_bench_agent() -> PpoAgent {
         PpoConfig::new(12, 1).with_seed(7),
         ActionSpace::scalar(5.0, 50.0),
     )
+}
+
+/// The PPO agent at the paper's training shapes — 7-dim observation, scalar
+/// price action, two hidden layers of 64 units, mini-batch `|I| = 20`,
+/// `M = 10` update epochs — shared by the update-path benchmarks, the
+/// fused/reference equivalence test and the `bench_json` emitter.
+pub fn update_bench_agent(seed: u64) -> PpoAgent {
+    PpoAgent::new(
+        PpoConfig::new(7, 1).with_seed(seed),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+}
+
+/// Deterministic synthetic PPO samples at the paper's shapes for exercising
+/// the update path without running an environment. Advantages and
+/// log-probability offsets are spread wide enough that both the clipped and
+/// unclipped surrogate branches are taken.
+pub fn update_bench_samples(agent: &PpoAgent, n: usize, seed: u64) -> Vec<ProcessedSample> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let obs_dim = agent.config().obs_dim;
+    let action_dim = agent.config().action_dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let observation: Vec<f64> = (0..obs_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let action: Vec<f64> = (0..action_dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            ProcessedSample {
+                old_log_prob: rng.gen_range(-3.0..0.0),
+                advantage: rng.gen_range(-2.0..2.0),
+                value_target: rng.gen_range(-1.0..1.0),
+                observation,
+                action,
+            }
+        })
+        .collect()
 }
 
 /// Mean of a slice (0 when empty), used by several binaries.

@@ -179,6 +179,12 @@ impl IncentiveMechanism {
 
     /// Runs Algorithm 1 for an explicit number of episodes (useful for tests
     /// and for the ablation sweeps).
+    ///
+    /// The per-episode PPO update runs through the agent's fused,
+    /// allocation-free path ([`PpoAgent::update`]): the agent owns a
+    /// persistent update workspace, so the `M x |BF|/|I|` gradient steps of
+    /// Algorithm 1 lines 10-13 reuse the same buffers across all episodes of
+    /// a training run.
     pub fn train_episodes(&mut self, episodes: usize) -> TrainingHistory {
         let rounds = self.config.drl.rounds_per_episode;
         let mut history = TrainingHistory::default();

@@ -74,6 +74,42 @@ impl Activation {
         }
     }
 
+    /// Derivative with respect to `z`, computed from the pre-activation `z`
+    /// *and* the already-computed output `a = f(z)`.
+    ///
+    /// For activations whose derivative is a function of the output (tanh:
+    /// `1 - a²`, sigmoid: `a(1-a)`, (leaky-)ReLU: sign tests on `a`) this
+    /// avoids re-evaluating the transcendental, which is the hot cost of the
+    /// backward pass; softplus falls back to the `z`-based formula. Results
+    /// are bit-identical to [`Activation::derivative_scalar`]: `a` carries
+    /// the exact bits of `f(z)`, so e.g. `1 - a*a` equals the reference's
+    /// `let t = z.tanh(); 1 - t*t` exactly.
+    pub fn derivative_from_parts(self, z: f64, a: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            // a = max(0, z): a > 0 exactly when z > 0.
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Softplus => sigmoid(z),
+            // Branch on z, not on a: a = 0.01 z underflows to -0.0 for tiny
+            // negative z, which would flip an a-based sign test.
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+
     /// Applies the activation element-wise to a matrix.
     pub fn apply(self, z: &Matrix) -> Matrix {
         z.map(|x| self.apply_scalar(x))
@@ -172,6 +208,24 @@ mod tests {
                 assert!(
                     (numeric - analytic).abs() < 1e-5,
                     "{act} derivative mismatch at {z}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_from_parts_matches_derivative_scalar_bitwise() {
+        for act in ALL {
+            // Includes -1e-323: 0.01 * z underflows to -0.0 there, which an
+            // output-sign test would misclassify for LeakyRelu.
+            for z in [
+                -3.0, -1.2, -0.5, -0.0, 0.0, 0.3, 1.7, 25.0, -25.0, -1e-323, 1e-323,
+            ] {
+                let a = act.apply_scalar(z);
+                assert_eq!(
+                    act.derivative_from_parts(z, a),
+                    act.derivative_scalar(z),
+                    "{act} derivative-from-output mismatch at z = {z}"
                 );
             }
         }

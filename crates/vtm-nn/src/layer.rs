@@ -44,6 +44,14 @@ impl DenseGrads {
         }
     }
 
+    /// Resizes the gradient buffers to match `layer`'s parameter shapes,
+    /// reusing existing allocations. Contents are unspecified afterwards (the
+    /// fused backward kernel overwrites them completely).
+    pub fn ensure_like(&mut self, layer: &Dense) {
+        self.weights.resize(layer.fan_in(), layer.fan_out());
+        self.bias.resize(1, layer.fan_out());
+    }
+
     /// Accumulates another gradient into this one (`self += other`).
     ///
     /// # Errors
@@ -174,6 +182,114 @@ impl Dense {
         ))
     }
 
+    /// Fused training forward kernel writing into caller-owned buffers.
+    ///
+    /// Computes `pre = input · W + b` and `out = activation(pre)` in one pass
+    /// per row, without allocating: `pre` and `out` are resized in place
+    /// (allocation-free once they reach steady-state capacity) and the input
+    /// is *not* cloned — the caller keeps it alive for the backward pass
+    /// instead, replacing the owning [`DenseCache`]. Results are bit-identical
+    /// to [`Dense::forward_train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `input.cols() != fan_in`.
+    pub fn affine_into(
+        &self,
+        input: &Matrix,
+        pre: &mut Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        let (batch, fan_in) = input.shape();
+        if fan_in != self.fan_in() {
+            return Err(ShapeError {
+                op: "affine_into",
+                lhs: input.shape(),
+                rhs: self.weights.shape(),
+            });
+        }
+        let fan_out = self.fan_out();
+        // z = x · W, accumulated in the same k order as `matmul`, then z += b
+        // and a = f(z) in one epilogue pass per row — bit-identical to
+        // `matmul` + `add_row_broadcast` + `Activation::apply`.
+        input
+            .matmul_into(&self.weights, pre)
+            .expect("shape already checked");
+        out.resize(batch, fan_out);
+        let bias = self.bias.as_slice();
+        let act = self.activation;
+        let pre_data = pre.as_mut_slice();
+        let out_data = out.as_mut_slice();
+        for i in 0..batch {
+            let pre_row = &mut pre_data[i * fan_out..(i + 1) * fan_out];
+            let out_row = &mut out_data[i * fan_out..(i + 1) * fan_out];
+            for ((p, o), &b) in pre_row.iter_mut().zip(out_row.iter_mut()).zip(bias.iter()) {
+                *p += b;
+                *o = act.apply_scalar(*p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused backward kernel writing into caller-owned buffers.
+    ///
+    /// `input`, `pre` and `output` must come from a matching
+    /// [`Dense::affine_into`] (or [`Dense::forward_train`]) call; the cached
+    /// output lets the activation derivative reuse the forward tanh/sigmoid
+    /// via [`Activation::derivative_from_parts`] instead of re-evaluating it.
+    /// `grad_pre` is scratch for `dL/dz`; `grads` is fully overwritten with
+    /// the parameter gradients; when `grad_input` is `Some`, the gradient
+    /// with respect to the layer input is written there (pass `None` for the
+    /// first layer to skip the unused product). No transpose is materialised:
+    /// `dL/dW = xᵀ · dZ` uses [`Matrix::matmul_at_b_into`] and `dL/dx = dZ ·
+    /// Wᵀ` uses [`Matrix::matmul_a_bt_into`], both bit-identical to
+    /// [`Dense::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `grad_output` does not match `pre`'s
+    /// shape or the cached shapes are inconsistent.
+    #[allow(clippy::too_many_arguments)] // backward kernel; every operand is a distinct cache
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        output: &Matrix,
+        grad_output: &Matrix,
+        grad_pre: &mut Matrix,
+        grads: &mut DenseGrads,
+        grad_input: Option<&mut Matrix>,
+    ) -> Result<(), ShapeError> {
+        // dL/dz = dL/da * f'(z), fused with the activation derivative so no
+        // intermediate derivative matrix is materialised.
+        if grad_output.shape() != pre.shape() || output.shape() != pre.shape() {
+            return Err(ShapeError {
+                op: "backward_into",
+                lhs: grad_output.shape(),
+                rhs: pre.shape(),
+            });
+        }
+        let (batch, fan_out) = pre.shape();
+        grad_pre.resize(batch, fan_out);
+        let act = self.activation;
+        for (((g, &go), &z), &a) in grad_pre
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice().iter())
+            .zip(pre.as_slice().iter())
+            .zip(output.as_slice().iter())
+        {
+            *g = go * act.derivative_from_parts(z, a);
+        }
+        grads.ensure_like(self);
+        input.matmul_at_b_into(grad_pre, &mut grads.weights)?;
+        grad_pre.sum_rows_into(&mut grads.bias);
+        if let Some(gi) = grad_input {
+            grad_pre.matmul_a_bt_into(&self.weights, gi)?;
+        }
+        Ok(())
+    }
+
     /// Backward pass.
     ///
     /// `grad_output` is the gradient of the loss with respect to the layer's
@@ -295,6 +411,69 @@ mod tests {
                 assert!((numeric - grad_input[(r, c)]).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn affine_into_matches_forward_train_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let l = Dense::new(5, 4, Activation::Tanh, Initializer::XavierUniform, &mut rng);
+        let x = Matrix::from_rows(&[
+            &[0.3, -0.8, 1.2, 0.05, -1.4],
+            &[0.9, 0.1, -0.4, -1.0, 0.6],
+            &[0.0, 2.0, -2.0, 0.5, 0.0],
+        ])
+        .unwrap();
+        let (out_ref, cache) = l.forward_train(&x).unwrap();
+        let mut pre = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        l.affine_into(&x, &mut pre, &mut out).unwrap();
+        assert_eq!(pre, cache.pre_activation);
+        assert_eq!(out, out_ref);
+        // Rejects mismatched input width.
+        let bad = Matrix::zeros(2, 3);
+        assert!(l.affine_into(&bad, &mut pre, &mut out).is_err());
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let l = Dense::new(4, 3, Activation::Tanh, Initializer::XavierUniform, &mut rng);
+        let x = Matrix::from_rows(&[&[0.3, -0.8, 1.2, 0.05], &[0.9, 0.1, -0.4, -1.0]]).unwrap();
+        let (out, cache) = l.forward_train(&x).unwrap();
+        let grad_out = out.map(|v| 0.5 * v - 0.25);
+        let (grad_input_ref, grads_ref) = l.backward(&cache, &grad_out).unwrap();
+
+        let mut pre = Matrix::zeros(0, 0);
+        let mut act = Matrix::zeros(0, 0);
+        l.affine_into(&x, &mut pre, &mut act).unwrap();
+        let mut grad_pre = Matrix::zeros(0, 0);
+        let mut grads = DenseGrads::zeros_like(&l);
+        let mut grad_input = Matrix::zeros(0, 0);
+        l.backward_into(
+            &x,
+            &pre,
+            &act,
+            &grad_out,
+            &mut grad_pre,
+            &mut grads,
+            Some(&mut grad_input),
+        )
+        .unwrap();
+        assert_eq!(grads.weights, grads_ref.weights);
+        assert_eq!(grads.bias, grads_ref.bias);
+        assert_eq!(grad_input, grad_input_ref);
+
+        // `None` skips the input gradient but still produces parameter grads.
+        let mut grads2 = DenseGrads::zeros_like(&l);
+        l.backward_into(&x, &pre, &act, &grad_out, &mut grad_pre, &mut grads2, None)
+            .unwrap();
+        assert_eq!(grads2.weights, grads_ref.weights);
+
+        // Mismatched upstream gradient is rejected.
+        let bad = Matrix::zeros(2, 5);
+        assert!(l
+            .backward_into(&x, &pre, &act, &bad, &mut grad_pre, &mut grads, None)
+            .is_err());
     }
 
     #[test]

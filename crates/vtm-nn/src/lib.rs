@@ -52,8 +52,8 @@ pub mod prelude {
     pub use crate::init::Initializer;
     pub use crate::layer::{Dense, DenseGrads};
     pub use crate::matrix::{Matrix, ShapeError};
-    pub use crate::mlp::{Mlp, MlpConfig, MlpGrads};
-    pub use crate::optimizer::{Adam, Optimizer, Sgd};
+    pub use crate::mlp::{Mlp, MlpConfig, MlpGrads, TrainWorkspace};
+    pub use crate::optimizer::{Adam, Optimizer, Sgd, VectorAdam};
 }
 
 #[cfg(test)]

@@ -230,6 +230,23 @@ impl Matrix {
             .collect()
     }
 
+    /// Reshapes the matrix to `rows x cols`, reusing the backing allocation.
+    ///
+    /// Once the backing vector has grown to its steady-state capacity, further
+    /// calls never allocate. Element contents after a resize are unspecified
+    /// (the training kernels overwrite their outputs completely); use
+    /// [`Matrix::fill`] when a defined value is required.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);
@@ -242,6 +259,11 @@ impl Matrix {
     }
 
     /// Matrix multiplication `self * rhs`.
+    ///
+    /// This is the simple reference kernel (row-major `i/k/j` loops); the
+    /// training hot path uses the register-blocked [`Matrix::matmul_into`],
+    /// which produces bit-identical results because every output element
+    /// accumulates its `k` terms in the same increasing order.
     ///
     /// # Errors
     ///
@@ -258,9 +280,6 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
@@ -269,6 +288,221 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// Matrix multiplication `self * rhs` written into a caller-owned buffer.
+    ///
+    /// `out` is resized to `self.rows() x rhs.cols()`; when its backing vector
+    /// already has enough capacity no allocation is performed, which makes
+    /// this the building block of the allocation-free training kernels.
+    /// Accumulation runs in increasing-`k` order per output element, exactly
+    /// like [`Matrix::matmul`], so the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) -> Result<(), ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError {
+                op: "matmul_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize(self.rows, rhs.cols);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        // Four output rows per pass: `rhs` is streamed once per row *block*
+        // instead of once per row, quartering the memory traffic on the
+        // dominant square layers. Each output element still accumulates its
+        // `k` terms in increasing order, so results stay bit-identical to the
+        // naive kernel.
+        let mut i = 0;
+        while i + 4 <= m {
+            let (o01, o23) = out.data[i * n..(i + 4) * n].split_at_mut(2 * n);
+            let (o0, o1) = o01.split_at_mut(n);
+            let (o2, o3) = o23.split_at_mut(n);
+            o0.fill(0.0);
+            o1.fill(0.0);
+            o2.fill(0.0);
+            o3.fill(0.0);
+            for kk in 0..k {
+                let a0 = self.data[i * k + kk];
+                let a1 = self.data[(i + 1) * k + kk];
+                let a2 = self.data[(i + 2) * k + kk];
+                let a3 = self.data[(i + 3) * k + kk];
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for ((((&b, o0), o1), o2), o3) in b_row
+                    .iter()
+                    .zip(o0.iter_mut())
+                    .zip(o1.iter_mut())
+                    .zip(o2.iter_mut())
+                    .zip(o3.iter_mut())
+                {
+                    *o0 += a0 * b;
+                    *o1 += a1 * b;
+                    *o2 += a2 * b;
+                    *o3 += a3 * b;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            out_row.fill(0.0);
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Transpose-free product `selfᵀ * rhs` written into a caller-owned buffer.
+    ///
+    /// Equivalent to `self.transpose().matmul(rhs)` without materialising the
+    /// transpose: the backward pass uses it for `xᵀ · dZ`. Terms accumulate in
+    /// the same `k` order as the transpose-then-multiply path, so results are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.rows() != rhs.rows()`.
+    pub fn matmul_at_b_into(&self, rhs: &Self, out: &mut Self) -> Result<(), ShapeError> {
+        if self.rows != rhs.rows {
+            return Err(ShapeError {
+                op: "matmul_at_b_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize(self.cols, rhs.cols);
+        out.data.fill(0.0);
+        let (batch, m, n) = (self.rows, self.cols, rhs.cols);
+        // Four output rows (columns of `self`) per pass so `rhs` is streamed
+        // once per block instead of once per output row; the reduction over
+        // `k` (the batch dimension) stays in increasing order per element,
+        // keeping the result bit-identical to transpose-then-multiply.
+        let mut i = 0;
+        while i + 4 <= m {
+            let (o01, o23) = out.data[i * n..(i + 4) * n].split_at_mut(2 * n);
+            let (o0, o1) = o01.split_at_mut(n);
+            let (o2, o3) = o23.split_at_mut(n);
+            for k in 0..batch {
+                let a_row = &self.data[k * m..(k + 1) * m];
+                let (a0, a1, a2, a3) = (a_row[i], a_row[i + 1], a_row[i + 2], a_row[i + 3]);
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for ((((&b, o0), o1), o2), o3) in b_row
+                    .iter()
+                    .zip(o0.iter_mut())
+                    .zip(o1.iter_mut())
+                    .zip(o2.iter_mut())
+                    .zip(o3.iter_mut())
+                {
+                    *o0 += a0 * b;
+                    *o1 += a1 * b;
+                    *o2 += a2 * b;
+                    *o3 += a3 * b;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for k in 0..batch {
+                let a = self.data[k * m + i];
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Transpose-free product `self * rhsᵀ` written into a caller-owned buffer.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose())` without materialising the
+    /// transpose: the backward pass uses it for `dZ · Wᵀ`. Each output element
+    /// is a dot product of two contiguous rows accumulated in increasing-`k`
+    /// order, bit-identical to the transpose-then-multiply path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_a_bt_into(&self, rhs: &Self, out: &mut Self) -> Result<(), ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError {
+                op: "matmul_a_bt_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize(self.rows, rhs.rows);
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        // 2x4 register blocking: eight independent accumulator chains hide
+        // the floating-point add latency a single running dot product would
+        // serialise on, and each `rhs` row block is streamed once per *pair*
+        // of output rows. Every output element still sums its `k` terms in
+        // increasing order, so results stay bit-identical to
+        // transpose-then-multiply.
+        let mut i = 0;
+        while i + 2 <= m {
+            let a0_row = &self.data[i * k..(i + 1) * k];
+            let a1_row = &self.data[(i + 1) * k..(i + 2) * k];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let mut s = [0.0f64; 8];
+                for kk in 0..k {
+                    let a0 = a0_row[kk];
+                    let a1 = a1_row[kk];
+                    s[0] += a0 * b0[kk];
+                    s[1] += a0 * b1[kk];
+                    s[2] += a0 * b2[kk];
+                    s[3] += a0 * b3[kk];
+                    s[4] += a1 * b0[kk];
+                    s[5] += a1 * b1[kk];
+                    s[6] += a1 * b2[kk];
+                    s[7] += a1 * b3[kk];
+                }
+                out.data[i * n + j..i * n + j + 4].copy_from_slice(&s[..4]);
+                out.data[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&s[4..]);
+                j += 4;
+            }
+            while j < n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let (mut s0, mut s1) = (0.0, 0.0);
+                for kk in 0..k {
+                    s0 += a0_row[kk] * b_row[kk];
+                    s1 += a1_row[kk] * b_row[kk];
+                }
+                out.data[i * n + j] = s0;
+                out.data[(i + 1) * n + j] = s1;
+                j += 1;
+            }
+            i += 2;
+        }
+        while i < m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+            i += 1;
+        }
+        Ok(())
     }
 
     /// Element-wise addition.
@@ -296,6 +530,34 @@ impl Matrix {
     /// Returns a [`ShapeError`] when the shapes differ.
     pub fn hadamard(&self, rhs: &Self) -> Result<Self, ShapeError> {
         self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Element-wise (Hadamard) product written into a caller-owned buffer.
+    ///
+    /// `out` is resized to the operand shape; no allocation happens once the
+    /// buffer has reached its steady-state capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the operand shapes differ.
+    pub fn hadamard_into(&self, rhs: &Self, out: &mut Self) -> Result<(), ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError {
+                op: "hadamard_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.resize(self.rows, self.cols);
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(rhs.data.iter())
+        {
+            *o = a * b;
+        }
+        Ok(())
     }
 
     /// Applies a binary closure element-wise across two equally shaped matrices.
@@ -398,12 +660,20 @@ impl Matrix {
     /// Sums every row into a single `1 x cols` row vector.
     pub fn sum_rows(&self) -> Self {
         let mut out = Self::zeros(1, self.cols);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums every row into a caller-owned `1 x cols` row vector (resized as
+    /// needed). Accumulation order matches [`Matrix::sum_rows`] exactly.
+    pub fn sum_rows_into(&self, out: &mut Self) {
+        out.resize(1, self.cols);
+        out.data.fill(0.0);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c] += self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -456,6 +726,14 @@ impl Matrix {
                 .iter()
                 .zip(other.data.iter())
                 .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 x 0` matrix — the natural seed for reusable buffers that
+    /// are later sized with [`Matrix::resize`] or the `_into` kernels.
+    fn default() -> Self {
+        Self::zeros(0, 0)
     }
 }
 
@@ -581,6 +859,99 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         assert!(a.matmul(&b).is_err());
+    }
+
+    /// Deterministic pseudo-random matrix for kernel equivalence tests
+    /// (no RNG dependency in this crate's unit tests).
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = pseudo_random(5, 7, 1);
+        let b = pseudo_random(7, 4, 2);
+        let expected = a.matmul(&b).unwrap();
+        // Deliberately mis-shaped and dirty buffer: the kernel must resize
+        // and fully overwrite it.
+        let mut out = Matrix::filled(2, 9, f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        // Reuse without reallocation is transparent to the result.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        assert!(a.matmul_into(&Matrix::zeros(3, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_at_b_into_matches_transpose_then_matmul() {
+        let a = pseudo_random(6, 3, 3);
+        let b = pseudo_random(6, 5, 4);
+        let expected = a.transpose().matmul(&b).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_at_b_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        assert!(a.matmul_at_b_into(&Matrix::zeros(5, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_a_bt_into_matches_matmul_with_transpose() {
+        let a = pseudo_random(4, 6, 5);
+        let b = pseudo_random(3, 6, 6);
+        let expected = a.matmul(&b.transpose()).unwrap();
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_a_bt_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        assert!(a.matmul_a_bt_into(&Matrix::zeros(3, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_does_not_skip_zero_rows() {
+        // The old kernel skipped `a == 0.0` inner-loop entries, which silently
+        // suppressed NaN/inf propagation (0.0 * inf = NaN must surface).
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[f64::INFINITY], &[2.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c[(0, 0)].is_nan(), "0 * inf must propagate NaN");
+    }
+
+    #[test]
+    fn hadamard_into_matches_hadamard() {
+        let a = pseudo_random(3, 4, 7);
+        let b = pseudo_random(3, 4, 8);
+        let expected = a.hadamard(&b).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        a.hadamard_into(&b, &mut out).unwrap();
+        assert_eq!(out, expected);
+        assert!(a.hadamard_into(&Matrix::zeros(4, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn sum_rows_into_matches_sum_rows() {
+        let a = pseudo_random(5, 3, 9);
+        let mut out = Matrix::filled(2, 2, 1.0);
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+    }
+
+    #[test]
+    fn resize_and_fill_reuse_buffer() {
+        let mut m = Matrix::zeros(4, 4);
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        m.fill(2.5);
+        assert!(m.as_slice().iter().all(|&x| x == 2.5));
+        m.resize(3, 3);
+        assert_eq!(m.len(), 9);
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl MlpConfig {
 }
 
 /// Gradients for every layer of an [`Mlp`], ordered from input layer to output layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MlpGrads {
     /// Per-layer parameter gradients.
     pub layers: Vec<DenseGrads>,
@@ -123,6 +123,25 @@ impl MlpGrads {
     pub fn zeros_like(net: &Mlp) -> Self {
         Self {
             layers: net.layers.iter().map(DenseGrads::zeros_like).collect(),
+        }
+    }
+
+    /// An empty gradient container, ready to be sized by
+    /// [`MlpGrads::ensure_like`] (used for reusable scratch).
+    pub fn empty() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Resizes the per-layer buffers to match `net`'s parameter shapes,
+    /// reusing existing allocations. Contents are unspecified afterwards
+    /// ([`Mlp::backward_ws`] overwrites them completely).
+    pub fn ensure_like(&mut self, net: &Mlp) {
+        self.layers.resize_with(net.layers.len(), || DenseGrads {
+            weights: Matrix::zeros(0, 0),
+            bias: Matrix::zeros(0, 0),
+        });
+        for (g, layer) in self.layers.iter_mut().zip(net.layers.iter()) {
+            g.ensure_like(layer);
         }
     }
 
@@ -161,6 +180,71 @@ impl MlpGrads {
             self.scale_inplace(max_norm / norm);
         }
         norm
+    }
+}
+
+/// Reusable per-network training buffers for the allocation-free
+/// [`Mlp::forward_train_ws`] / [`Mlp::backward_ws`] path.
+///
+/// The workspace owns one pre-activation and one activation matrix per layer
+/// (replacing the per-call [`DenseCache`](crate::layer::DenseCache) clones of
+/// [`Mlp::forward_train`], which also cloned the layer input) plus the
+/// backward-pass scratch. All buffers are resized in place, so after the
+/// first use at a given batch size no call allocates.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+/// use vtm_nn::matrix::Matrix;
+/// use vtm_nn::mlp::{MlpConfig, MlpGrads, TrainWorkspace};
+///
+/// let net = MlpConfig::new(3, &[8], 2).build(&mut StdRng::seed_from_u64(0));
+/// let x = Matrix::zeros(4, 3);
+/// let mut ws = TrainWorkspace::new();
+/// let mut grads = MlpGrads::empty();
+/// let out = net.forward_train_ws(&x, &mut ws).unwrap().clone();
+/// net.backward_ws(&x, &mut ws, &out, &mut grads).unwrap();
+/// assert_eq!(grads.layers.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainWorkspace {
+    /// Per-layer pre-activations `z = x W + b` (`batch x fan_out`).
+    pre: Vec<Matrix>,
+    /// Per-layer activated outputs (`batch x fan_out`).
+    act: Vec<Matrix>,
+    /// Per-layer `dL/dz` scratch for the backward pass.
+    grad_pre: Vec<Matrix>,
+    /// Per-layer `dL/d(input of layer)` scratch for the backward pass.
+    grad_act: Vec<Matrix>,
+    /// Batch size of the last forward pass (guards backward consistency).
+    batch: usize,
+}
+
+impl TrainWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The activated output of the last [`Mlp::forward_train_ws`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has populated the workspace yet.
+    pub fn output(&self) -> &Matrix {
+        self.act
+            .last()
+            .expect("workspace not populated by a forward pass")
+    }
+
+    fn ensure(&mut self, net: &Mlp) {
+        let n = net.layers.len();
+        self.pre.resize_with(n, || Matrix::zeros(0, 0));
+        self.act.resize_with(n, || Matrix::zeros(0, 0));
+        self.grad_pre.resize_with(n, || Matrix::zeros(0, 0));
+        self.grad_act.resize_with(n, || Matrix::zeros(0, 0));
     }
 }
 
@@ -269,6 +353,111 @@ impl Mlp {
             x = out;
         }
         Ok((x, caches))
+    }
+
+    /// Allocation-free training forward pass using a reusable workspace.
+    ///
+    /// Equivalent to [`Mlp::forward_train`] — results are bit-identical — but
+    /// caches pre-activations and activations in `ws`'s buffers instead of
+    /// allocating a fresh [`DenseCache`] (with its input clone) per layer.
+    /// Returns the network output, which lives inside `ws` until the next
+    /// forward pass. The caller must keep `input` alive and unchanged until
+    /// the matching [`Mlp::backward_ws`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the input width does not match
+    /// [`Mlp::input_dim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers.
+    pub fn forward_train_ws<'w>(
+        &self,
+        input: &Matrix,
+        ws: &'w mut TrainWorkspace,
+    ) -> Result<&'w Matrix, ShapeError> {
+        assert!(!self.layers.is_empty(), "network must have layers");
+        ws.ensure(self);
+        ws.batch = input.rows();
+        for (idx, layer) in self.layers.iter().enumerate() {
+            if idx == 0 {
+                layer.affine_into(input, &mut ws.pre[0], &mut ws.act[0])?;
+            } else {
+                let (before, after) = ws.act.split_at_mut(idx);
+                layer.affine_into(&before[idx - 1], &mut ws.pre[idx], &mut after[0])?;
+            }
+        }
+        Ok(ws.output())
+    }
+
+    /// Allocation-free backward pass over the caches of the last
+    /// [`Mlp::forward_train_ws`] call.
+    ///
+    /// `input` must be the same matrix that was passed to the forward call and
+    /// `grad_output` the loss gradient with respect to the network output.
+    /// `grads` is fully overwritten (resized in place on first use). Unlike
+    /// [`Mlp::backward`], the gradient with respect to the network *input* is
+    /// not computed — PPO's update never consumes it, and skipping it saves
+    /// one `batch x input_dim` product per step. Parameter gradients are
+    /// bit-identical to [`Mlp::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when shapes are inconsistent with the cached
+    /// forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace was not populated by a forward pass over a
+    /// batch of the same size.
+    pub fn backward_ws(
+        &self,
+        input: &Matrix,
+        ws: &mut TrainWorkspace,
+        grad_output: &Matrix,
+        grads: &mut MlpGrads,
+    ) -> Result<(), ShapeError> {
+        assert_eq!(
+            ws.act.len(),
+            self.layers.len(),
+            "workspace must be populated by a forward pass over this network"
+        );
+        assert_eq!(
+            ws.batch,
+            input.rows(),
+            "workspace batch does not match the input batch"
+        );
+        grads.ensure_like(self);
+        let last = self.layers.len() - 1;
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            // Upstream gradient: the caller's for the last layer, otherwise
+            // the input-gradient the layer above just wrote. Split borrows so
+            // grad_act[idx + 1] can be read while grad_act[idx] is written.
+            let (ga_head, ga_tail) = ws.grad_act.split_at_mut(idx + 1);
+            let upstream = if idx == last {
+                grad_output
+            } else {
+                &ga_tail[0]
+            };
+            let layer_input = if idx == 0 { input } else { &ws.act[idx - 1] };
+            // Layer 0's input gradient is never used: skip the product.
+            let grad_input = if idx == 0 {
+                None
+            } else {
+                Some(&mut ga_head[idx])
+            };
+            layer.backward_into(
+                layer_input,
+                &ws.pre[idx],
+                &ws.act[idx],
+                upstream,
+                &mut ws.grad_pre[idx],
+                &mut grads.layers[idx],
+                grad_input,
+            )?;
+        }
+        Ok(())
     }
 
     /// Backward pass through the whole network.
@@ -395,6 +584,97 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn workspace_forward_matches_forward_train_bitwise() {
+        let n = net(9);
+        let x =
+            Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-1.1, 0.3, 0.7], &[0.0, 0.0, 0.0]]).unwrap();
+        let (y_ref, caches) = n.forward_train(&x).unwrap();
+        let mut ws = TrainWorkspace::new();
+        let y = n.forward_train_ws(&x, &mut ws).unwrap();
+        assert_eq!(*y, y_ref);
+        // Cached pre-activations match the allocating caches bit for bit.
+        for (idx, cache) in caches.iter().enumerate() {
+            assert_eq!(ws.pre[idx], cache.pre_activation);
+        }
+        // A second pass reuses the buffers and still agrees.
+        let y2 = n.forward_train_ws(&x, &mut ws).unwrap().clone();
+        assert_eq!(y2, y_ref);
+    }
+
+    #[test]
+    fn workspace_backward_matches_backward_bitwise() {
+        let n = net(10);
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-1.1, 0.3, 0.7]]).unwrap();
+        let (y, caches) = n.forward_train(&x).unwrap();
+        let (_, grads_ref) = n.backward(&caches, &y).unwrap();
+
+        let mut ws = TrainWorkspace::new();
+        let mut grads = MlpGrads::empty();
+        let grad_out = n.forward_train_ws(&x, &mut ws).unwrap().clone();
+        n.backward_ws(&x, &mut ws, &grad_out, &mut grads).unwrap();
+        assert_eq!(grads.layers.len(), grads_ref.layers.len());
+        for (a, b) in grads.layers.iter().zip(grads_ref.layers.iter()) {
+            assert_eq!(a.weights, b.weights);
+            assert_eq!(a.bias, b.bias);
+        }
+        // Reused grads scratch across batch-size changes stays correct.
+        let x2 = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let (y2, caches2) = n.forward_train(&x2).unwrap();
+        let (_, grads_ref2) = n.backward(&caches2, &y2).unwrap();
+        let grad_out2 = n.forward_train_ws(&x2, &mut ws).unwrap().clone();
+        n.backward_ws(&x2, &mut ws, &grad_out2, &mut grads).unwrap();
+        for (a, b) in grads.layers.iter().zip(grads_ref2.layers.iter()) {
+            assert_eq!(a.weights, b.weights);
+            assert_eq!(a.bias, b.bias);
+        }
+    }
+
+    #[test]
+    fn workspace_backward_matches_numerical_gradient() {
+        use crate::gradcheck::check_gradients;
+        let n = net(11);
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-1.1, 0.3, 0.7]]).unwrap();
+        // Loss = 0.5 * sum(y^2), so dL/dy = y.
+        let mut ws = TrainWorkspace::new();
+        let mut grads = MlpGrads::empty();
+        let grad_out = n.forward_train_ws(&x, &mut ws).unwrap().clone();
+        n.backward_ws(&x, &mut ws, &grad_out, &mut grads).unwrap();
+        let report = check_gradients(
+            &n,
+            &grads,
+            |net| {
+                0.5 * net
+                    .forward(&x)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+            },
+            1e-6,
+        );
+        assert!(
+            report.passes(1e-4),
+            "fused-path gradcheck failed: max rel error {}",
+            report.max_rel_error
+        );
+        assert_eq!(report.checked, n.parameter_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace batch")]
+    fn workspace_backward_rejects_stale_batch() {
+        let n = net(12);
+        let x = Matrix::zeros(3, 3);
+        let mut ws = TrainWorkspace::new();
+        let _ = n.forward_train_ws(&x, &mut ws).unwrap();
+        let wrong = Matrix::zeros(2, 3);
+        let grad = Matrix::zeros(2, 2);
+        let mut grads = MlpGrads::empty();
+        let _ = n.backward_ws(&wrong, &mut ws, &grad, &mut grads);
     }
 
     #[test]

@@ -182,16 +182,134 @@ impl Adam {
         bias1: f64,
         bias2: f64,
     ) {
-        for i in 0..param.len() {
-            let g = grad.as_slice()[i];
-            let mi = beta1 * m.as_slice()[i] + (1.0 - beta1) * g;
-            let vi = beta2 * v.as_slice()[i] + (1.0 - beta2) * g * g;
-            m.as_mut_slice()[i] = mi;
-            v.as_mut_slice()[i] = vi;
-            let m_hat = mi / bias1;
-            let v_hat = vi / bias2;
-            param.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        adam_step_slice(
+            param.as_mut_slice(),
+            grad.as_slice(),
+            m.as_mut_slice(),
+            v.as_mut_slice(),
+            lr,
+            beta1,
+            beta2,
+            eps,
+            bias1,
+            bias2,
+        );
+    }
+}
+
+/// The element-wise Adam update on raw slices, shared by [`Adam`] (matrix
+/// parameters) and [`VectorAdam`] (plain `Vec<f64>` parameters such as a
+/// policy's log-std) so the two stay numerically identical by construction.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[allow(clippy::too_many_arguments)] // all scalars are Adam state
+pub fn adam_step_slice(
+    params: &mut [f64],
+    grads: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    bias1: f64,
+    bias2: f64,
+) {
+    assert!(
+        params.len() == grads.len() && params.len() == m.len() && params.len() == v.len(),
+        "adam slice length mismatch"
+    );
+    for i in 0..params.len() {
+        let g = grads[i];
+        let mi = beta1 * m[i] + (1.0 - beta1) * g;
+        let vi = beta2 * v[i] + (1.0 - beta2) * g * g;
+        m[i] = mi;
+        v[i] = vi;
+        let m_hat = mi / bias1;
+        let v_hat = vi / bias2;
+        params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+/// Adam for a flat `f64` parameter vector (e.g. a Gaussian policy's
+/// trainable log-std), sharing the element-wise kernel with [`Adam`].
+///
+/// Previously `vtm-rl` carried its own private copy of this optimizer next to
+/// the PPO agent; it lives here so every crate uses one implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorAdam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl VectorAdam {
+    /// Creates the optimizer for a `dim`-element parameter vector with the
+    /// conventional defaults `beta1 = 0.9`, `beta2 = 0.999`, `epsilon = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive.
+    pub fn new(learning_rate: f64, dim: usize) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
         }
+    }
+
+    /// Applies one Adam step to `params` given `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the optimizer's dimension.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        self.step += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
+        adam_step_slice(
+            params,
+            grads,
+            &mut self.m,
+            &mut self.v,
+            self.learning_rate,
+            self.beta1,
+            self.beta2,
+            self.epsilon,
+            bias1,
+            bias2,
+        );
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Overrides the learning rate (used by schedules).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        self.learning_rate = lr;
+    }
+
+    /// Resets the accumulated moments and step counter.
+    pub fn reset(&mut self) {
+        self.m.fill(0.0);
+        self.v.fill(0.0);
+        self.step = 0;
     }
 }
 
@@ -321,6 +439,64 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn adam_rejects_nonpositive_lr() {
         let _ = Adam::new(0.0);
+    }
+
+    #[test]
+    fn vector_adam_matches_matrix_adam_on_same_problem() {
+        // A 1x1-weight, zero-bias "network" updated by Adam must evolve
+        // exactly like a 1-element vector updated by VectorAdam with the
+        // same gradients — they share the slice kernel.
+        let w0 = 0.7;
+        let layer = crate::layer::Dense::from_parameters(
+            Matrix::filled(1, 1, w0),
+            Matrix::zeros(1, 1),
+            Activation::Linear,
+        )
+        .unwrap();
+        let mut net = crate::mlp::Mlp::from_layers(vec![layer]).unwrap();
+        let mut adam = Adam::new(0.05);
+        let mut vadam = VectorAdam::new(0.05, 1);
+        let mut params = [w0];
+        for step in 0..25 {
+            let g = 0.3 * (step as f64 + 1.0).sin();
+            let grads = crate::mlp::MlpGrads {
+                layers: vec![crate::layer::DenseGrads {
+                    weights: Matrix::filled(1, 1, g),
+                    bias: Matrix::zeros(1, 1),
+                }],
+            };
+            adam.step(&mut net, &grads);
+            vadam.step(&mut params, &[g]);
+            assert_eq!(net.layers()[0].weights()[(0, 0)], params[0], "step {step}");
+        }
+        // Reset clears the moments.
+        vadam.reset();
+        let before = params[0];
+        vadam.step(&mut params, &[0.0]);
+        assert_eq!(params[0], before);
+    }
+
+    #[test]
+    fn vector_adam_accessors_and_descent() {
+        let mut opt = VectorAdam::new(0.1, 2);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.05);
+        assert_eq!(opt.learning_rate(), 0.05);
+        // Constant gradient: parameters must move against it.
+        let mut params = [1.0, -1.0];
+        for _ in 0..50 {
+            opt.step(&mut params, &[1.0, -1.0]);
+        }
+        assert!(params[0] < 1.0);
+        assert!(params[1] > -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "adam slice length mismatch")]
+    fn vector_adam_rejects_wrong_dim() {
+        let mut opt = VectorAdam::new(0.1, 2);
+        let mut params = [0.0];
+        opt.step(&mut params, &[1.0]);
     }
 
     #[test]

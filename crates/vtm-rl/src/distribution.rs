@@ -6,6 +6,7 @@
 
 use rand::Rng;
 use rand_distr_free::draw_standard_normal;
+use vtm_nn::matrix::Matrix;
 
 /// Natural logarithm of `2π`.
 const LN_2PI: f64 = 1.8378770664093453;
@@ -55,6 +56,37 @@ impl DiagGaussian {
             "mean and log_std must have the same dimension"
         );
         self.mean = mean;
+    }
+
+    /// Copies a new mean in place without allocating (unlike
+    /// [`DiagGaussian::replace_mean`], which takes ownership of a vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new mean's dimension differs from the distribution's.
+    pub fn set_mean(&mut self, mean: &[f64]) {
+        assert_eq!(
+            mean.len(),
+            self.log_std.len(),
+            "mean and log_std must have the same dimension"
+        );
+        self.mean.copy_from_slice(mean);
+    }
+
+    /// Copies a new log-std in place without allocating. The batched PPO
+    /// update reuses one distribution across minibatches while the trainable
+    /// log-std evolves underneath it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new log-std's dimension differs from the distribution's.
+    pub fn set_log_std(&mut self, log_std: &[f64]) {
+        assert_eq!(
+            log_std.len(),
+            self.mean.len(),
+            "mean and log_std must have the same dimension"
+        );
+        self.log_std.copy_from_slice(log_std);
     }
 
     /// Per-dimension log standard deviation.
@@ -120,6 +152,96 @@ impl DiagGaussian {
             .zip(x.iter())
             .map(|((&m, &ls), &xi)| (xi - m) / (2.0 * ls).exp())
             .collect()
+    }
+
+    /// Batched [`DiagGaussian::log_prob`]: row `i` of `out` is the log-density
+    /// of `actions.row(i)` under a Gaussian with mean `means.row(i)` and this
+    /// distribution's log-std (the stored mean is ignored).
+    ///
+    /// Each row sums its per-dimension terms in the same order as the scalar
+    /// path, so results are bit-identical to constructing one distribution
+    /// per row. `out` is cleared and refilled; with retained capacity the
+    /// call does not allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` and `actions` shapes differ or their width is not
+    /// the distribution's dimension.
+    pub fn log_prob_rows(&self, means: &Matrix, actions: &Matrix, out: &mut Vec<f64>) {
+        self.check_rows(means, actions);
+        out.clear();
+        for i in 0..means.rows() {
+            let lp: f64 = means
+                .row(i)
+                .iter()
+                .zip(self.log_std.iter())
+                .zip(actions.row(i).iter())
+                .map(|((&m, &ls), &xi)| {
+                    let var = (2.0 * ls).exp();
+                    -0.5 * ((xi - m) * (xi - m) / var + 2.0 * ls + LN_2PI)
+                })
+                .sum();
+            out.push(lp);
+        }
+    }
+
+    /// Batched [`DiagGaussian::log_prob_grad_mean`]: row `i` of `out` is the
+    /// gradient of `log_prob(actions.row(i))` with respect to the mean, for a
+    /// Gaussian with mean `means.row(i)` and this distribution's log-std.
+    /// Bit-identical to the scalar path per row; `out` is resized in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` and `actions` shapes differ or their width is not
+    /// the distribution's dimension.
+    pub fn grad_mean_rows(&self, means: &Matrix, actions: &Matrix, out: &mut Matrix) {
+        self.check_rows(means, actions);
+        out.resize(means.rows(), self.dim());
+        for i in 0..means.rows() {
+            for (((o, &m), &ls), &xi) in out
+                .row_mut(i)
+                .iter_mut()
+                .zip(means.row(i).iter())
+                .zip(self.log_std.iter())
+                .zip(actions.row(i).iter())
+            {
+                *o = (xi - m) / (2.0 * ls).exp();
+            }
+        }
+    }
+
+    /// Batched [`DiagGaussian::log_prob_grad_log_std`]: row `i` of `out` is
+    /// the gradient of `log_prob(actions.row(i))` with respect to the log-std
+    /// vector. Bit-identical to the scalar path per row; `out` is resized in
+    /// place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` and `actions` shapes differ or their width is not
+    /// the distribution's dimension.
+    pub fn grad_log_std_rows(&self, means: &Matrix, actions: &Matrix, out: &mut Matrix) {
+        self.check_rows(means, actions);
+        out.resize(means.rows(), self.dim());
+        for i in 0..means.rows() {
+            for (((o, &m), &ls), &xi) in out
+                .row_mut(i)
+                .iter_mut()
+                .zip(means.row(i).iter())
+                .zip(self.log_std.iter())
+                .zip(actions.row(i).iter())
+            {
+                *o = (xi - m) * (xi - m) / (2.0 * ls).exp() - 1.0;
+            }
+        }
+    }
+
+    fn check_rows(&self, means: &Matrix, actions: &Matrix) {
+        assert_eq!(
+            means.shape(),
+            actions.shape(),
+            "means and actions must have the same shape"
+        );
+        assert_eq!(means.cols(), self.dim(), "sample dimension mismatch");
     }
 
     /// Gradient of [`DiagGaussian::log_prob`] with respect to the log-std vector.
@@ -229,6 +351,68 @@ mod tests {
                 / (2.0 * h);
             assert!((numeric - gs[i]).abs() < 1e-6, "log_std grad {i}");
         }
+    }
+
+    #[test]
+    fn batched_row_ops_match_scalar_path_on_random_batches() {
+        use rand::Rng;
+        // Fixed-seed property test: for many random (mean, log_std, action)
+        // batches, the batched row ops must agree bit-for-bit with one
+        // scalar-path distribution per row.
+        let mut rng = StdRng::seed_from_u64(1234);
+        for case in 0..50 {
+            let dim = 1 + (case % 4);
+            let rows = 1 + (case % 7);
+            let log_std: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..0.5)).collect();
+            let mean_data: Vec<f64> = (0..rows * dim).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let act_data: Vec<f64> = (0..rows * dim).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let means = Matrix::from_vec(rows, dim, mean_data).unwrap();
+            let actions = Matrix::from_vec(rows, dim, act_data).unwrap();
+            let d = DiagGaussian::new(vec![0.0; dim], log_std.clone());
+
+            let mut lps = Vec::new();
+            let mut gm = Matrix::zeros(0, 0);
+            let mut gs = Matrix::zeros(0, 0);
+            d.log_prob_rows(&means, &actions, &mut lps);
+            d.grad_mean_rows(&means, &actions, &mut gm);
+            d.grad_log_std_rows(&means, &actions, &mut gs);
+            assert_eq!(lps.len(), rows);
+            for (i, &lp) in lps.iter().enumerate() {
+                let scalar = DiagGaussian::new(means.row(i).to_vec(), log_std.clone());
+                assert_eq!(lp, scalar.log_prob(actions.row(i)), "case {case} row {i}");
+                assert_eq!(
+                    gm.row(i),
+                    scalar.log_prob_grad_mean(actions.row(i)).as_slice(),
+                    "case {case} row {i} grad_mean"
+                );
+                assert_eq!(
+                    gs.row(i),
+                    scalar.log_prob_grad_log_std(actions.row(i)).as_slice(),
+                    "case {case} row {i} grad_log_std"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_mean_and_set_log_std_update_in_place() {
+        let mut d = DiagGaussian::new(vec![0.0, 0.0], vec![0.0, 0.0]);
+        d.set_mean(&[1.0, -2.0]);
+        d.set_log_std(&[-0.5, 0.25]);
+        assert_eq!(d.mean(), &[1.0, -2.0]);
+        assert_eq!(d.log_std(), &[-0.5, 0.25]);
+        let reference = DiagGaussian::new(vec![1.0, -2.0], vec![-0.5, 0.25]);
+        assert_eq!(d.log_prob(&[0.3, 0.7]), reference.log_prob(&[0.3, 0.7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample dimension mismatch")]
+    fn batched_ops_reject_wrong_width() {
+        let d = DiagGaussian::new(vec![0.0], vec![0.0]);
+        let means = Matrix::zeros(2, 2);
+        let actions = Matrix::zeros(2, 2);
+        let mut out = Vec::new();
+        d.log_prob_rows(&means, &actions, &mut out);
     }
 
     #[test]

@@ -10,9 +10,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use rand::seq::SliceRandom;
 use vtm_nn::matrix::Matrix;
-use vtm_nn::mlp::{Mlp, MlpConfig};
-use vtm_nn::optimizer::{Adam, Optimizer};
+use vtm_nn::mlp::{Mlp, MlpConfig, MlpGrads, TrainWorkspace};
+use vtm_nn::optimizer::{Adam, Optimizer, VectorAdam};
 
 use crate::buffer::{ProcessedSample, RolloutBuffer, Transition};
 use crate::distribution::DiagGaussian;
@@ -140,47 +141,53 @@ pub struct ActionSample {
     pub value: f64,
 }
 
-/// Simple per-element Adam state for the trainable log-std vector.
-#[derive(Debug, Clone, PartialEq)]
-struct VectorAdam {
-    lr: f64,
-    beta1: f64,
-    beta2: f64,
-    epsilon: f64,
-    step: u64,
-    m: Vec<f64>,
-    v: Vec<f64>,
-}
-
-impl VectorAdam {
-    fn new(lr: f64, dim: usize) -> Self {
-        Self {
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            epsilon: 1e-8,
-            step: 0,
-            m: vec![0.0; dim],
-            v: vec![0.0; dim],
-        }
-    }
-
-    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        self.step += 1;
-        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
-        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
-        for i in 0..params.len() {
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
-            let m_hat = self.m[i] / bias1;
-            let v_hat = self.v[i] / bias2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
-        }
-    }
+/// Reusable buffers for the fused, allocation-free PPO update path.
+///
+/// The agent owns one workspace for its whole lifetime: minibatch gathers,
+/// forward/backward caches ([`TrainWorkspace`]), gradient scratch
+/// ([`MlpGrads`]) and the batched-Gaussian intermediates are all resized in
+/// place, so steady-state updates perform zero heap allocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct UpdateWorkspace {
+    /// Shuffled sample indices, re-dealt each epoch.
+    indices: Vec<usize>,
+    /// Gathered minibatch observations (`batch x obs_dim`).
+    obs: Matrix,
+    /// Gathered minibatch actions (`batch x action_dim`).
+    actions: Matrix,
+    /// Gathered behaviour-policy log-probabilities.
+    old_log_probs: Vec<f64>,
+    /// Gathered advantages.
+    advantages: Vec<f64>,
+    /// Gathered value targets.
+    value_targets: Vec<f64>,
+    /// New-policy log-probabilities (batched Gaussian output).
+    new_log_probs: Vec<f64>,
+    /// Batched `d log_prob / d mean` rows.
+    grad_mean_rows: Matrix,
+    /// Batched `d log_prob / d log_std` rows.
+    grad_log_std_rows: Matrix,
+    /// Loss gradient w.r.t. the actor output (means).
+    grad_mean: Matrix,
+    /// Loss gradient w.r.t. the critic output (values).
+    grad_values: Matrix,
+    /// Accumulated log-std gradient.
+    grad_log_std: Vec<f64>,
+    /// Actor forward/backward caches.
+    actor_ws: TrainWorkspace,
+    /// Critic forward/backward caches.
+    critic_ws: TrainWorkspace,
+    /// Actor parameter-gradient scratch.
+    actor_grads: MlpGrads,
+    /// Critic parameter-gradient scratch.
+    critic_grads: MlpGrads,
+    /// One Gaussian reused across all minibatches (mean/log-std are copied
+    /// in place, never reallocated).
+    dist: Option<DiagGaussian>,
 }
 
 /// The PPO agent: Gaussian actor, value critic and their optimizers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PpoAgent {
     config: PpoConfig,
     action_space: ActionSpace,
@@ -191,6 +198,23 @@ pub struct PpoAgent {
     critic_optimizer: Adam,
     log_std_optimizer: VectorAdam,
     rng: StdRngState,
+    /// Scratch for the fused update path; excluded from [`PartialEq`] because
+    /// it is pure cache (its contents never influence future results).
+    update_ws: UpdateWorkspace,
+}
+
+impl PartialEq for PpoAgent {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.action_space == other.action_space
+            && self.actor == other.actor
+            && self.critic == other.critic
+            && self.log_std == other.log_std
+            && self.actor_optimizer == other.actor_optimizer
+            && self.critic_optimizer == other.critic_optimizer
+            && self.log_std_optimizer == other.log_std_optimizer
+            && self.rng == other.rng
+    }
 }
 
 /// Serializable wrapper around the RNG seed/state. The RNG itself is rebuilt
@@ -233,7 +257,18 @@ impl PpoAgent {
             actor,
             critic,
             log_std,
+            update_ws: UpdateWorkspace::default(),
         }
+    }
+
+    /// Immutable view of the actor network (used by equivalence tests).
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// Immutable view of the critic network (used by equivalence tests).
+    pub fn critic(&self) -> &Mlp {
+        &self.critic
     }
 
     /// The agent's configuration.
@@ -376,7 +411,63 @@ impl PpoAgent {
     ///
     /// Returns per-update statistics. The samples are typically produced by
     /// [`RolloutBuffer::process`] with this agent's `gamma`/`lambda`.
+    ///
+    /// This is the fused, fully batched update path: minibatches are gathered
+    /// into the agent's persistent [`UpdateWorkspace`], forward/backward
+    /// passes run through [`Mlp::forward_train_ws`] / [`Mlp::backward_ws`]
+    /// and the Gaussian surrogate terms are evaluated with the batched
+    /// [`DiagGaussian`] row ops, so steady-state updates perform zero heap
+    /// allocation. Results are bit-identical to
+    /// [`PpoAgent::update_reference`] (asserted by
+    /// `vtm-bench/tests/update_equivalence.rs`).
     pub fn update(&mut self, samples: &[ProcessedSample]) -> PpoUpdateStats {
+        if samples.is_empty() {
+            return PpoUpdateStats::default();
+        }
+        // The workspace is moved out so minibatch updates can borrow the
+        // agent mutably alongside it; moving a struct allocates nothing.
+        let mut ws = std::mem::take(&mut self.update_ws);
+        let mut stats = PpoUpdateStats::default();
+        let mut total_batches = 0usize;
+        let mut rng = self.next_rng();
+        let minibatch = self.config.minibatch_size;
+        for _ in 0..self.config.update_epochs {
+            // Same deal as `RolloutBuffer::minibatches` (identical RNG
+            // consumption), without allocating the per-batch vectors.
+            ws.indices.clear();
+            ws.indices.extend(0..samples.len());
+            ws.indices.shuffle(&mut rng);
+            let mut start = 0;
+            while start < samples.len() {
+                let end = (start + minibatch).min(samples.len());
+                let batch_stats = self.update_minibatch_fused(&mut ws, samples, start, end);
+                stats.policy_loss += batch_stats.policy_loss;
+                stats.value_loss += batch_stats.value_loss;
+                stats.entropy += batch_stats.entropy;
+                stats.approx_kl += batch_stats.approx_kl;
+                stats.clip_fraction += batch_stats.clip_fraction;
+                total_batches += 1;
+                start = end;
+            }
+        }
+        self.update_ws = ws;
+        if total_batches > 0 {
+            let n = total_batches as f64;
+            stats.policy_loss /= n;
+            stats.value_loss /= n;
+            stats.entropy /= n;
+            stats.approx_kl /= n;
+            stats.clip_fraction /= n;
+        }
+        stats.gradient_steps = total_batches;
+        stats
+    }
+
+    /// The pre-fusion PPO update, kept as the reference implementation: it
+    /// allocates fresh matrices for every step and evaluates the Gaussian
+    /// per sample. `vtm-bench` pins [`PpoAgent::update`] bit-identical to
+    /// this path and benchmarks the speedup between the two.
+    pub fn update_reference(&mut self, samples: &[ProcessedSample]) -> PpoUpdateStats {
         if samples.is_empty() {
             return PpoUpdateStats::default();
         }
@@ -386,7 +477,7 @@ impl PpoAgent {
         for _ in 0..self.config.update_epochs {
             let batches = RolloutBuffer::minibatches(samples, self.config.minibatch_size, &mut rng);
             for batch in batches {
-                let batch_stats = self.update_minibatch(&batch);
+                let batch_stats = self.update_minibatch_reference(&batch);
                 stats.policy_loss += batch_stats.policy_loss;
                 stats.value_loss += batch_stats.value_loss;
                 stats.entropy += batch_stats.entropy;
@@ -407,7 +498,151 @@ impl PpoAgent {
         stats
     }
 
-    fn update_minibatch(&mut self, batch: &[&ProcessedSample]) -> PpoUpdateStats {
+    /// One fused minibatch step over `samples[ws.indices[start..end]]`.
+    ///
+    /// Mirrors [`PpoAgent::update_minibatch_reference`] operation for
+    /// operation — every sum accumulates in the same order — so the two paths
+    /// stay bit-identical while this one reuses `ws` instead of allocating.
+    fn update_minibatch_fused(
+        &mut self,
+        ws: &mut UpdateWorkspace,
+        samples: &[ProcessedSample],
+        start: usize,
+        end: usize,
+    ) -> PpoUpdateStats {
+        let batch_size = end - start;
+        let inv_n = 1.0 / batch_size as f64;
+        let obs_dim = self.config.obs_dim;
+        let action_dim = self.config.action_dim;
+
+        // ---------------- Gather ----------------
+        ws.obs.resize(batch_size, obs_dim);
+        ws.actions.resize(batch_size, action_dim);
+        ws.old_log_probs.clear();
+        ws.advantages.clear();
+        ws.value_targets.clear();
+        for (r, &idx) in ws.indices[start..end].iter().enumerate() {
+            let s = &samples[idx];
+            ws.obs.row_mut(r).copy_from_slice(&s.observation);
+            ws.actions.row_mut(r).copy_from_slice(&s.action);
+            ws.old_log_probs.push(s.old_log_prob);
+            ws.advantages.push(s.advantage);
+            ws.value_targets.push(s.value_target);
+        }
+
+        // ---------------- Actor ----------------
+        self.actor
+            .forward_train_ws(&ws.obs, &mut ws.actor_ws)
+            .expect("actor forward failed");
+        let dist = ws
+            .dist
+            .get_or_insert_with(|| DiagGaussian::new(vec![0.0; action_dim], vec![0.0; action_dim]));
+        dist.set_log_std(&self.log_std);
+        let means = ws.actor_ws.output();
+        dist.log_prob_rows(means, &ws.actions, &mut ws.new_log_probs);
+        dist.grad_mean_rows(means, &ws.actions, &mut ws.grad_mean_rows);
+        dist.grad_log_std_rows(means, &ws.actions, &mut ws.grad_log_std_rows);
+        let entropy_each = dist.entropy();
+
+        ws.grad_mean.resize(batch_size, action_dim);
+        ws.grad_log_std.clear();
+        ws.grad_log_std.resize(action_dim, 0.0);
+        let mut policy_loss = 0.0;
+        let mut entropy_total = 0.0;
+        let mut approx_kl = 0.0;
+        let mut clipped = 0usize;
+        let eps = self.config.clip_epsilon;
+
+        for i in 0..batch_size {
+            let new_log_prob = ws.new_log_probs[i];
+            let ratio = (new_log_prob - ws.old_log_probs[i]).exp();
+            let advantage = ws.advantages[i];
+            let surr1 = ratio * advantage;
+            let clipped_ratio = ratio.clamp(1.0 - eps, 1.0 + eps);
+            let surr2 = clipped_ratio * advantage;
+            policy_loss += -surr1.min(surr2) * inv_n;
+            entropy_total += entropy_each * inv_n;
+            approx_kl += (ws.old_log_probs[i] - new_log_prob) * inv_n;
+            if (ratio - clipped_ratio).abs() > 1e-12 {
+                clipped += 1;
+            }
+
+            // d(-min(surr1, surr2))/d(log pi): -A * ratio when the unclipped
+            // branch is active, 0 otherwise (the clipped branch is constant in
+            // the parameters).
+            let dloss_dlogp = if surr1 <= surr2 {
+                -advantage * ratio
+            } else {
+                0.0
+            } * inv_n;
+            if dloss_dlogp != 0.0 {
+                for j in 0..action_dim {
+                    ws.grad_mean[(i, j)] = dloss_dlogp * ws.grad_mean_rows[(i, j)];
+                    ws.grad_log_std[j] += dloss_dlogp * ws.grad_log_std_rows[(i, j)];
+                }
+            } else {
+                ws.grad_mean.row_mut(i).fill(0.0);
+            }
+            // Entropy bonus: loss -= entropy_coef * H, dH/dlog_std_j = 1.
+            for g in ws.grad_log_std.iter_mut() {
+                *g -= self.config.entropy_coef * inv_n;
+            }
+        }
+
+        self.actor
+            .backward_ws(
+                &ws.obs,
+                &mut ws.actor_ws,
+                &ws.grad_mean,
+                &mut ws.actor_grads,
+            )
+            .expect("actor backward failed");
+        ws.actor_grads.clip_global_norm(self.config.max_grad_norm);
+        self.actor_optimizer.step(&mut self.actor, &ws.actor_grads);
+        self.log_std_optimizer
+            .step(&mut self.log_std, &ws.grad_log_std);
+        for ls in &mut self.log_std {
+            *ls = ls.max(self.config.min_log_std);
+        }
+
+        // ---------------- Critic ----------------
+        self.critic
+            .forward_train_ws(&ws.obs, &mut ws.critic_ws)
+            .expect("critic forward failed");
+        ws.grad_values.resize(batch_size, 1);
+        let mut value_loss = 0.0;
+        {
+            let values = ws.critic_ws.output();
+            for i in 0..batch_size {
+                let v = values[(i, 0)];
+                let err = v - ws.value_targets[i];
+                value_loss += err * err * inv_n;
+                ws.grad_values[(i, 0)] = self.config.value_loss_coef * 2.0 * err * inv_n;
+            }
+        }
+        self.critic
+            .backward_ws(
+                &ws.obs,
+                &mut ws.critic_ws,
+                &ws.grad_values,
+                &mut ws.critic_grads,
+            )
+            .expect("critic backward failed");
+        ws.critic_grads.clip_global_norm(self.config.max_grad_norm);
+        self.critic_optimizer
+            .step(&mut self.critic, &ws.critic_grads);
+
+        PpoUpdateStats {
+            policy_loss,
+            value_loss,
+            entropy: entropy_total,
+            approx_kl,
+            clip_fraction: clipped as f64 / batch_size as f64,
+            gradient_steps: 1,
+        }
+    }
+
+    fn update_minibatch_reference(&mut self, batch: &[&ProcessedSample]) -> PpoUpdateStats {
         let batch_size = batch.len();
         let inv_n = 1.0 / batch_size as f64;
         let obs_rows: Vec<&[f64]> = batch.iter().map(|s| s.observation.as_slice()).collect();
@@ -720,6 +955,44 @@ mod tests {
             (final_action - 7.0).abs() < 2.0,
             "final deterministic action {final_action} too far from target"
         );
+    }
+
+    #[test]
+    fn fused_update_is_bit_identical_to_reference_path() {
+        let mut env = Bandit {
+            target: 6.0,
+            space: ActionSpace::scalar(0.0, 10.0),
+        };
+        let cfg = PpoConfig::new(2, 1).with_seed(17);
+        let mut fused = PpoAgent::new(cfg.clone(), env.action_space());
+        let mut reference = PpoAgent::new(cfg, env.action_space());
+        let mut buffer = RolloutBuffer::new();
+        fused.collect_episodes(&mut env, 50, 1, &mut buffer);
+        // Keep both agents' internal RNG streams aligned.
+        let mut scratch = RolloutBuffer::new();
+        reference.collect_episodes(&mut env, 50, 1, &mut scratch);
+        let samples = buffer.process(0.95, 0.95, 0.0, true);
+        for round in 0..3 {
+            let sf = fused.update(&samples);
+            let sr = reference.update_reference(&samples);
+            assert_eq!(sf, sr, "stats diverged at round {round}");
+            assert_eq!(
+                fused.actor(),
+                reference.actor(),
+                "actor diverged at round {round}"
+            );
+            assert_eq!(
+                fused.critic(),
+                reference.critic(),
+                "critic diverged at round {round}"
+            );
+            assert_eq!(
+                fused.log_std(),
+                reference.log_std(),
+                "log_std diverged at round {round}"
+            );
+        }
+        assert_eq!(fused, reference);
     }
 
     #[test]
