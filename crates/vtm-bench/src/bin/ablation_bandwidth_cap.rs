@@ -1,49 +1,11 @@
-//! Ablation E7: how the aggregate bandwidth cap `B_max` shapes the
-//! equilibrium price, the MSP utility and the per-VMU bandwidth as the
-//! population grows.
-//!
-//! The paper explains Fig. 3(c)/(d) by bandwidth scarcity; this ablation makes
-//! the mechanism explicit by sweeping both the VMU count (1–12) and the cap
-//! (tight, medium, and the paper's stated 50 MHz) and reporting where the cap
-//! starts to bind.
+//! Thin wrapper over the manifest-driven runner: ablation E7, the effect of
+//! the aggregate bandwidth cap on the equilibrium. Equivalent to
+//! `experiments -- --run ablation-bandwidth-cap`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin ablation_bandwidth_cap
 //! ```
 
-use vtm_bench::ResultsTable;
-use vtm_core::config::ExperimentConfig;
-use vtm_core::stackelberg::AotmStackelbergGame;
-
 fn main() {
-    println!("Ablation E7 — bandwidth-cap effect on the Stackelberg equilibrium\n");
-    let mut table = ResultsTable::new([
-        "n_vmus",
-        "bmax_mhz",
-        "price",
-        "msp_utility",
-        "avg_bandwidth_mhz",
-        "avg_vmu_utility",
-        "cap_binding",
-    ]);
-
-    for &bmax in &[0.25, 0.5, 50.0] {
-        for n in 1..=12usize {
-            let mut config = ExperimentConfig::paper_n_vmus(n);
-            config.market.max_bandwidth_mhz = bmax;
-            let eq = AotmStackelbergGame::from_config(&config).closed_form_equilibrium();
-            table.push_row([
-                n as f64,
-                bmax,
-                eq.price,
-                eq.msp_utility,
-                eq.average_bandwidth_mhz(),
-                eq.average_vmu_utility(),
-                if eq.bandwidth_cap_binding { 1.0 } else { 0.0 },
-            ]);
-        }
-    }
-
-    table.print_and_save("ablation_bandwidth_cap");
-    println!("expected shape: with a tight cap the price rises and per-VMU bandwidth falls once N exceeds the point where aggregate demand hits B_max; with 50 MHz the cap never binds");
+    vtm_bench::experiments::main_single("ablation-bandwidth-cap");
 }

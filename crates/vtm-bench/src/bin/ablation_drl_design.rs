@@ -1,52 +1,12 @@
-//! Ablation E8: DRL design choices — observation history length `L` and the
-//! reward definition (the paper's sparse Eq. (12) indicator versus a dense
-//! normalised-utility reward).
-//!
-//! For each variant the mechanism is trained with the same budget and the
-//! deterministic policy is scored as a fraction of the complete-information
-//! equilibrium utility.
+//! Thin wrapper over the manifest-driven runner: ablation E8, observation
+//! history length and reward shaping. Equivalent to
+//! `experiments -- --run ablation-drl-design`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin ablation_drl_design            # fast
 //! cargo run -p vtm-bench --release --bin ablation_drl_design -- --full  # paper-scale budget
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-
 fn main() {
-    let full = full_scale_requested();
-    println!("Ablation E8 — observation history length and reward shaping\n");
-
-    let mut table = ResultsTable::new([
-        "history_length",
-        "sparse_reward",
-        "equilibrium_ratio",
-        "mean_price",
-        "tail_return",
-    ]);
-
-    for &history_length in &[1usize, 2, 4, 8] {
-        for (mode, sparse_flag) in [
-            (RewardMode::Improvement, 1.0),
-            (RewardMode::NormalizedUtility, 0.0),
-        ] {
-            let mut config = ExperimentConfig::paper_two_vmus();
-            config.drl = harness_drl_config(full, 500 + history_length as u64);
-            config.drl.history_length = history_length;
-            let (mut mechanism, history) = train_mechanism(config, mode);
-            let eval = mechanism.evaluate(50);
-            table.push_row([
-                history_length as f64,
-                sparse_flag,
-                eval.equilibrium_ratio,
-                eval.mean_price,
-                history.tail_mean(10, |e| e.episode_return),
-            ]);
-        }
-    }
-
-    table.print_and_save("ablation_drl_design");
-    println!("expected shape: L = 4 (the paper's choice) performs at least as well as shorter histories; the dense reward converges faster at equal budget");
+    vtm_bench::experiments::main_single("ablation-drl-design");
 }

@@ -1,112 +1,11 @@
-//! Supplementary experiment: end-to-end Age of Twin Migration achieved in the
-//! vehicular-metaverse simulator under different bandwidth allocators.
-//!
-//! Not a figure of the paper, but the packet-level counterpart of Eq. (1):
-//! vehicles drive along a highway corridor, migrations are triggered at
-//! coverage boundaries, and each allocator decides how much bandwidth a
-//! migration receives. The table reports the resulting AoTM distribution.
+//! Thin wrapper over the manifest-driven runner: the supplementary
+//! end-to-end AoTM-by-allocator experiment. Equivalent to
+//! `experiments -- --run sim-aotm`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin exp_simulator_aotm
 //! ```
 
-use vtm_bench::ResultsTable;
-use vtm_core::allocator::{PricingRule, StackelbergAllocator};
-use vtm_core::config::MarketConfig;
-use vtm_sim::metaverse::{
-    BandwidthAllocator, EqualShareAllocator, FixedAllocator, MetaverseConfig, MetaverseSim,
-};
-use vtm_sim::radio::LinkBudget;
-use vtm_sim::trace::{Trace, TraceConfig};
-
-fn run_with<A: BandwidthAllocator>(allocator: &mut A, seed: u64) -> (f64, f64, f64, usize, usize) {
-    let config = MetaverseConfig {
-        rsu_count: 8,
-        duration_s: 600.0,
-        seed,
-        ..MetaverseConfig::default()
-    };
-    let trace = Trace::generate(&TraceConfig {
-        trips: 6,
-        seed,
-        ..TraceConfig::default()
-    });
-    let mut sim = MetaverseSim::new(
-        config,
-        vtm_sim::mobility::PerturbedHighway::default(),
-        trace.to_vmu_entries(),
-    );
-    let report = sim.run(allocator);
-    (
-        report.aotm_summary.mean,
-        report.aotm_summary.p95,
-        report.downtime_summary.mean,
-        report.migrations.len(),
-        report.failed_migrations,
-    )
-}
-
-/// One allocator scenario: returns (mean AoTM, p95 AoTM, mean downtime,
-/// migration count, failure count).
-type AllocatorRun = Box<dyn FnMut() -> (f64, f64, f64, usize, usize)>;
-
 fn main() {
-    println!("Supplementary — end-to-end AoTM by bandwidth allocator (6 VMUs, 8 RSUs, 600 s)\n");
-    let mut table = ResultsTable::new([
-        "allocator",
-        "mean_aotm_s",
-        "p95_aotm_s",
-        "mean_downtime_s",
-        "migrations",
-        "failed",
-    ]);
-
-    let allocators: Vec<(f64, AllocatorRun)> = vec![
-        (0.0, {
-            Box::new(move || {
-                let mut a = StackelbergAllocator::new(
-                    MarketConfig::default(),
-                    LinkBudget::default(),
-                    PricingRule::StackelbergPerMigration,
-                )
-                .with_min_bandwidth_mhz(2.0);
-                run_with(&mut a, 1)
-            })
-        }),
-        (1.0, {
-            Box::new(move || {
-                let mut a = FixedAllocator { bandwidth_hz: 5e6 };
-                run_with(&mut a, 1)
-            })
-        }),
-        (2.0, {
-            Box::new(move || {
-                let mut a = EqualShareAllocator {
-                    expected_concurrent: 6,
-                };
-                run_with(&mut a, 1)
-            })
-        }),
-    ];
-
-    let names = ["stackelberg-priced", "fixed-5MHz", "equal-share"];
-    for (idx, (code, mut run)) in allocators.into_iter().enumerate() {
-        let (mean_aotm, p95, downtime, migrations, failed) = run();
-        println!(
-            "{:<20} mean AoTM {:.3} s, p95 {:.3} s, downtime {:.4} s, {} migrations ({} failed)",
-            names[idx], mean_aotm, p95, downtime, migrations, failed
-        );
-        table.push_row([
-            code,
-            mean_aotm,
-            p95,
-            downtime,
-            migrations as f64,
-            failed as f64,
-        ]);
-    }
-
-    println!();
-    table.print_and_save("exp_simulator_aotm");
-    println!("(allocator codes: 0 = stackelberg-priced, 1 = fixed-5MHz, 2 = equal-share)");
+    vtm_bench::experiments::main_single("sim-aotm");
 }

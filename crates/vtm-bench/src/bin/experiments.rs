@@ -1,0 +1,120 @@
+//! The manifest-driven experiment runner: one binary for every figure,
+//! ablation and trace-driven scenario experiment.
+//!
+//! ```text
+//! cargo run -p vtm-bench --release --bin experiments -- --list
+//! cargo run -p vtm-bench --release --bin experiments -- --scenario highway
+//! cargo run -p vtm-bench --release --bin experiments -- --scenario all --episodes 4
+//! cargo run -p vtm-bench --release --bin experiments -- --figure fig2a --full
+//! cargo run -p vtm-bench --release --bin experiments -- --all
+//! ```
+//!
+//! Each selected experiment prints its table and writes
+//! `results/<name>.csv` + `results/<name>.json`.
+
+use vtm_bench::experiments::{find, manifest, ExperimentCtx};
+use vtm_core::scenario::ScenarioKind;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--list] [--all] [--scenario <name>|all]... [--figure <name>|all]... \
+         [--run <name>]... [--episodes N] [--full]"
+    );
+    eprintln!("known experiments:");
+    for spec in manifest() {
+        eprintln!("  {:<28} {}", spec.name, spec.description);
+    }
+    std::process::exit(2);
+}
+
+fn select(selected: &mut Vec<&'static str>, name: &str) {
+    match find(name) {
+        Some(spec) => {
+            if !selected.contains(&spec.name) {
+                selected.push(spec.name);
+            }
+        }
+        None => {
+            eprintln!("error: unknown experiment `{name}`");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ctx = ExperimentCtx::from_args(&args);
+    let mut selected: Vec<&'static str> = Vec::new();
+
+    let mut iter = args.iter().map(String::as_str);
+    let mut listed = false;
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--list" => {
+                for spec in manifest() {
+                    println!("{:<28} {}", spec.name, spec.description);
+                }
+                listed = true;
+            }
+            "--all" => {
+                for spec in manifest() {
+                    select(&mut selected, spec.name);
+                }
+            }
+            "--scenario" => match iter.next() {
+                Some("all") => {
+                    for kind in ScenarioKind::ALL {
+                        select(&mut selected, &format!("scenario-{}", kind.name()));
+                    }
+                }
+                Some(name) => select(&mut selected, &format!("scenario-{name}")),
+                None => usage(),
+            },
+            "--figure" => match iter.next() {
+                Some("all") => {
+                    for spec in manifest() {
+                        if spec.name.starts_with("fig") {
+                            select(&mut selected, spec.name);
+                        }
+                    }
+                }
+                Some(name) => select(&mut selected, name),
+                None => usage(),
+            },
+            "--run" => match iter.next() {
+                Some(name) => select(&mut selected, name),
+                None => usage(),
+            },
+            "--episodes" => {
+                // The value itself is consumed by ExperimentCtx::from_args;
+                // here we only validate it.
+                if iter.next().and_then(|v| v.parse::<usize>().ok()).is_none() {
+                    eprintln!("error: --episodes needs a positive count");
+                    usage();
+                }
+            }
+            "--full" => {}
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    if selected.is_empty() {
+        if listed {
+            return;
+        }
+        usage();
+    }
+
+    let total = selected.len();
+    for (i, name) in selected.iter().enumerate() {
+        let spec = find(name).expect("selected names come from the manifest");
+        println!("=== [{}/{}] {} ===", i + 1, total, spec.name);
+        let report = (spec.run)(&ctx);
+        report.emit();
+        println!();
+    }
+}

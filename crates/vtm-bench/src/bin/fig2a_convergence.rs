@@ -1,41 +1,11 @@
-//! Figure 2(a): convergence of the DRL-based incentive mechanism — the return
-//! (sum of Eq. (12) rewards) of every training episode.
-//!
-//! Paper setting: two VMUs with α₁ = α₂ = 5, D₁ = 200 MB, D₂ = 100 MB, C = 5.
-//! The return converges towards the maximum number of rounds per episode as
-//! the MSP learns to post (near-)optimal prices in every round.
+//! Thin wrapper over the manifest-driven runner: Fig. 2(a), the return of
+//! every training episode. Equivalent to `experiments -- --figure fig2a`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin fig2a_convergence            # fast
 //! cargo run -p vtm-bench --release --bin fig2a_convergence -- --full  # E = 500, K = 100
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-
 fn main() {
-    let full = full_scale_requested();
-    let mut config = ExperimentConfig::paper_two_vmus();
-    config.drl = harness_drl_config(full, 0);
-    let rounds = config.drl.rounds_per_episode as f64;
-
-    println!(
-        "Fig. 2(a) — return per episode (K = {} rounds, E = {} episodes, reward = Eq. (12))\n",
-        config.drl.rounds_per_episode, config.drl.episodes
-    );
-    let (_, history) = train_mechanism(config, RewardMode::Improvement);
-
-    let mut table = ResultsTable::new(["episode", "return", "max_return"]);
-    for log in &history.episodes {
-        table.push_row([log.episode as f64, log.episode_return, rounds]);
-    }
-    table.print_and_save("fig2a_convergence");
-
-    let tail = history.tail_mean(20, |e| e.episode_return);
-    println!(
-        "tail-20 mean return = {:.1} of a maximum {rounds:.0} ({:.0}% of the max round count)",
-        tail,
-        100.0 * tail / rounds
-    );
+    vtm_bench::experiments::main_single("fig2a");
 }

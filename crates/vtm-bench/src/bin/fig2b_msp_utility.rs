@@ -1,54 +1,12 @@
-//! Figure 2(b): convergence of the MSP's utility to the Stackelberg
-//! equilibrium during training.
-//!
-//! The per-episode mean MSP utility of the DRL mechanism is printed next to
-//! the complete-information equilibrium utility it should converge to.
+//! Thin wrapper over the manifest-driven runner: Fig. 2(b), MSP utility
+//! convergence to the Stackelberg equilibrium. Equivalent to
+//! `experiments -- --figure fig2b`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin fig2b_msp_utility            # fast
 //! cargo run -p vtm-bench --release --bin fig2b_msp_utility -- --full  # paper scale
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-use vtm_core::stackelberg::AotmStackelbergGame;
-
 fn main() {
-    let full = full_scale_requested();
-    let mut config = ExperimentConfig::paper_two_vmus();
-    config.drl = harness_drl_config(full, 1);
-
-    let equilibrium = AotmStackelbergGame::from_config(&config).closed_form_equilibrium();
-    println!(
-        "Fig. 2(b) — MSP utility per episode vs the Stackelberg equilibrium (U_s* = {:.3})\n",
-        equilibrium.msp_utility
-    );
-
-    let (mut mechanism, history) = train_mechanism(config, RewardMode::Improvement);
-
-    let mut table = ResultsTable::new([
-        "episode",
-        "mean_msp_utility",
-        "best_msp_utility",
-        "equilibrium_utility",
-    ]);
-    for log in &history.episodes {
-        table.push_row([
-            log.episode as f64,
-            log.mean_msp_utility,
-            log.best_msp_utility,
-            equilibrium.msp_utility,
-        ]);
-    }
-    table.print_and_save("fig2b_msp_utility");
-
-    let eval = mechanism.evaluate(50);
-    println!(
-        "final deterministic policy: price {:.3} (p* = {:.3}), utility {:.3} = {:.1}% of the equilibrium",
-        eval.mean_price,
-        equilibrium.price,
-        eval.mean_msp_utility,
-        100.0 * eval.equilibrium_ratio
-    );
+    vtm_bench::experiments::main_single("fig2b");
 }

@@ -1,64 +1,12 @@
-//! Figure 3(a): the MSP's utility and price strategy versus the unit
-//! transmission cost, for the proposed DRL scheme, the Stackelberg
-//! equilibrium, the greedy baseline and the random baseline.
-//!
-//! Paper setting: two VMUs (200 MB and 100 MB, α = 5) and C swept from 5 to 9.
-//! Expected shape: price increases with the cost (≈ 25 at C = 5 up to ≈ 34 at
-//! C = 9), utilities decrease with the cost, and the proposed scheme tracks
-//! the equilibrium while dominating greedy and random pricing.
+//! Thin wrapper over the manifest-driven runner: Fig. 3(a), MSP utility and
+//! price vs the unit transmission cost. Equivalent to
+//! `experiments -- --figure fig3a`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin fig3a_cost_msp            # fast
 //! cargo run -p vtm-bench --release --bin fig3a_cost_msp -- --full  # paper-scale DRL training
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, mean, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-use vtm_core::schemes::{run_scheme, GreedyPricing, RandomPricing};
-use vtm_core::stackelberg::AotmStackelbergGame;
-
 fn main() {
-    let full = full_scale_requested();
-    let rounds = 200;
-    println!("Fig. 3(a) — MSP utility and price vs unit transmission cost (N = 2 VMUs)\n");
-
-    let mut table = ResultsTable::new([
-        "cost",
-        "eq_price",
-        "eq_msp_utility",
-        "drl_price",
-        "drl_msp_utility",
-        "greedy_msp_utility",
-        "random_msp_utility",
-    ]);
-
-    for cost in [5.0, 6.0, 7.0, 8.0, 9.0] {
-        let mut config = ExperimentConfig::paper_two_vmus();
-        config.market.unit_cost = cost;
-        config.drl = harness_drl_config(full, 100 + cost as u64);
-        let game = AotmStackelbergGame::from_config(&config);
-        let eq = game.closed_form_equilibrium();
-
-        // Proposed: the DRL policy trained under incomplete information.
-        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
-        let eval = mechanism.evaluate(rounds.min(100));
-
-        // Baselines.
-        let greedy = mean(&run_scheme(&mut GreedyPricing::new(1, 1.0), &game, rounds));
-        let random = mean(&run_scheme(&mut RandomPricing::new(1), &game, rounds));
-
-        table.push_row([
-            cost,
-            eq.price,
-            eq.msp_utility,
-            eval.mean_price,
-            eval.mean_msp_utility,
-            greedy,
-            random,
-        ]);
-    }
-
-    table.print_and_save("fig3a_cost_msp");
-    println!("expected shape: price rises with cost, every utility falls, DRL ≈ equilibrium > greedy > random");
+    vtm_bench::experiments::main_single("fig3a");
 }

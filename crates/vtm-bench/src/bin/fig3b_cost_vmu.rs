@@ -1,57 +1,12 @@
-//! Figure 3(b): the VMUs' total utility and total purchased bandwidth versus
-//! the unit transmission cost.
-//!
-//! Paper setting: two VMUs (200 MB and 100 MB, α = 5), C swept from 5 to 9.
-//! Expected shape: both the total VMU utility and the total bandwidth decrease
-//! as the transmission cost (and hence the price) grows. The paper quotes the
-//! total bandwidth in hundredths of a MHz (27.9 at C = 6, 23.4 at C = 8); the
-//! table therefore also reports `total_bandwidth_x100`.
+//! Thin wrapper over the manifest-driven runner: Fig. 3(b), total VMU utility
+//! and bandwidth vs the unit transmission cost. Equivalent to
+//! `experiments -- --figure fig3b`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin fig3b_cost_vmu            # fast
 //! cargo run -p vtm-bench --release --bin fig3b_cost_vmu -- --full  # paper-scale DRL training
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-use vtm_core::stackelberg::AotmStackelbergGame;
-
 fn main() {
-    let full = full_scale_requested();
-    println!(
-        "Fig. 3(b) — total VMU utility and bandwidth vs unit transmission cost (N = 2 VMUs)\n"
-    );
-
-    let mut table = ResultsTable::new([
-        "cost",
-        "eq_total_vmu_utility",
-        "eq_total_bandwidth_mhz",
-        "eq_total_bandwidth_x100",
-        "drl_total_vmu_utility",
-        "drl_total_bandwidth_mhz",
-    ]);
-
-    for cost in [5.0, 6.0, 7.0, 8.0, 9.0] {
-        let mut config = ExperimentConfig::paper_two_vmus();
-        config.market.unit_cost = cost;
-        config.drl = harness_drl_config(full, 200 + cost as u64);
-        let game = AotmStackelbergGame::from_config(&config);
-        let eq = game.closed_form_equilibrium();
-
-        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
-        let eval = mechanism.evaluate(100);
-
-        table.push_row([
-            cost,
-            eq.total_vmu_utility(),
-            eq.total_bandwidth_mhz(),
-            eq.total_bandwidth_mhz() * 100.0,
-            eval.mean_total_vmu_utility,
-            eval.mean_total_bandwidth_mhz,
-        ]);
-    }
-
-    table.print_and_save("fig3b_cost_vmu");
-    println!("expected shape: both series decrease with the transmission cost");
+    vtm_bench::experiments::main_single("fig3b");
 }

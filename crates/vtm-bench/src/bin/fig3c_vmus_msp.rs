@@ -1,69 +1,12 @@
-//! Figure 3(c): the MSP's utility and price strategy versus the number of
-//! VMUs.
-//!
-//! Paper setting: N ∈ [2, 6] identical VMUs with 100 MB twins and α = 5.
-//! Expected shape: the MSP utility grows with N (7.03 at N = 2 up to ≈ 20 at
-//! N = 6); the price stays flat while bandwidth is plentiful and rises once
-//! the bandwidth cap starts to bind. Because the paper's stated 50 MHz cap is
-//! never reached by the model's demands, the harness additionally reports a
-//! tight-cap variant (the bandwidth-scarcity regime the paper describes).
+//! Thin wrapper over the manifest-driven runner: Fig. 3(c), MSP utility and
+//! price vs the number of VMUs. Equivalent to
+//! `experiments -- --figure fig3c`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin fig3c_vmus_msp            # fast
 //! cargo run -p vtm-bench --release --bin fig3c_vmus_msp -- --full  # paper-scale DRL training
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-use vtm_core::stackelberg::AotmStackelbergGame;
-
-/// Aggregate bandwidth cap (MHz) used for the scarcity variant: chosen so the
-/// cap starts binding around N = 4, reproducing the "price rises later"
-/// behaviour the paper attributes to bandwidth becoming insufficient.
-const TIGHT_CAP_MHZ: f64 = 0.5;
-
 fn main() {
-    let full = full_scale_requested();
-    println!("Fig. 3(c) — MSP utility and price vs number of VMUs (100 MB twins, alpha = 5)\n");
-
-    let mut table = ResultsTable::new([
-        "n_vmus",
-        "eq_price",
-        "eq_msp_utility",
-        "drl_price",
-        "drl_msp_utility",
-        "tightcap_price",
-        "tightcap_msp_utility",
-    ]);
-
-    for n in 2..=6usize {
-        let mut config = ExperimentConfig::paper_n_vmus(n);
-        config.drl = harness_drl_config(full, 300 + n as u64);
-        let game = AotmStackelbergGame::from_config(&config);
-        let eq = game.closed_form_equilibrium();
-
-        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
-        let eval = mechanism.evaluate(100);
-
-        let mut tight = ExperimentConfig::paper_n_vmus(n);
-        tight.market.max_bandwidth_mhz = TIGHT_CAP_MHZ;
-        let tight_eq = AotmStackelbergGame::from_config(&tight).closed_form_equilibrium();
-
-        table.push_row([
-            n as f64,
-            eq.price,
-            eq.msp_utility,
-            eval.mean_price,
-            eval.mean_msp_utility,
-            tight_eq.price,
-            tight_eq.msp_utility,
-        ]);
-    }
-
-    table.print_and_save("fig3c_vmus_msp");
-    println!(
-        "expected shape: MSP utility grows with N; the slack-cap price is flat, the tight-cap ({} MHz) price rises once demand exceeds the cap",
-        TIGHT_CAP_MHZ
-    );
+    vtm_bench::experiments::main_single("fig3c");
 }

@@ -1,77 +1,12 @@
-//! Figure 3(d): the VMUs' average utility and average purchased bandwidth
-//! versus the number of VMUs.
-//!
-//! Paper setting: N ∈ [2, 6] identical VMUs with 100 MB twins and α = 5.
-//! Expected shape: with plentiful bandwidth both averages are flat (identical
-//! VMUs face the same price); once bandwidth competition matters (tight cap)
-//! the average bandwidth and the average utility decline with N — the paper
-//! reports a 12.8 % drop in average VMU utility from N = 2 to N = 6.
+//! Thin wrapper over the manifest-driven runner: Fig. 3(d), average VMU
+//! utility and bandwidth vs the number of VMUs. Equivalent to
+//! `experiments -- --figure fig3d`.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin fig3d_vmus_vmu            # fast
 //! cargo run -p vtm-bench --release --bin fig3d_vmus_vmu -- --full  # paper-scale DRL training
 //! ```
 
-use vtm_bench::{full_scale_requested, harness_drl_config, train_mechanism, ResultsTable};
-use vtm_core::config::ExperimentConfig;
-use vtm_core::env::RewardMode;
-use vtm_core::stackelberg::AotmStackelbergGame;
-
-/// Tight aggregate bandwidth cap (MHz) reproducing the competition regime.
-const TIGHT_CAP_MHZ: f64 = 0.45;
-
 fn main() {
-    let full = full_scale_requested();
-    println!("Fig. 3(d) — average VMU utility and bandwidth vs number of VMUs\n");
-
-    let mut table = ResultsTable::new([
-        "n_vmus",
-        "eq_avg_vmu_utility",
-        "eq_avg_bandwidth_mhz",
-        "drl_avg_vmu_utility",
-        "drl_avg_bandwidth_mhz",
-        "tightcap_avg_vmu_utility",
-        "tightcap_avg_bandwidth_mhz",
-    ]);
-
-    let mut tight_first = None;
-    let mut tight_last = None;
-    for n in 2..=6usize {
-        let mut config = ExperimentConfig::paper_n_vmus(n);
-        config.drl = harness_drl_config(full, 400 + n as u64);
-        let game = AotmStackelbergGame::from_config(&config);
-        let eq = game.closed_form_equilibrium();
-
-        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
-        let eval = mechanism.evaluate(100);
-        let n_f = n as f64;
-
-        let mut tight = ExperimentConfig::paper_n_vmus(n);
-        tight.market.max_bandwidth_mhz = TIGHT_CAP_MHZ;
-        let tight_eq = AotmStackelbergGame::from_config(&tight).closed_form_equilibrium();
-        if n == 2 {
-            tight_first = Some(tight_eq.average_vmu_utility());
-        }
-        if n == 6 {
-            tight_last = Some(tight_eq.average_vmu_utility());
-        }
-
-        table.push_row([
-            n_f,
-            eq.average_vmu_utility(),
-            eq.average_bandwidth_mhz(),
-            eval.mean_total_vmu_utility / n_f,
-            eval.mean_total_bandwidth_mhz / n_f,
-            tight_eq.average_vmu_utility(),
-            tight_eq.average_bandwidth_mhz(),
-        ]);
-    }
-
-    table.print_and_save("fig3d_vmus_vmu");
-    if let (Some(first), Some(last)) = (tight_first, tight_last) {
-        println!(
-            "tight-cap average VMU utility declines by {:.1}% from N = 2 to N = 6 (paper reports 12.8%)",
-            100.0 * (first - last) / first.max(1e-12)
-        );
-    }
+    vtm_bench::experiments::main_single("fig3d");
 }

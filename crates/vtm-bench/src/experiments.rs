@@ -1,0 +1,721 @@
+//! The manifest-driven experiment runner.
+//!
+//! Every experiment of the harness — the paper figures (§V), the ablations
+//! and the trace-driven scenario experiments — is an [`ExperimentSpec`] entry
+//! in [`manifest`]. The `experiments` binary selects entries by name
+//! (`--figure fig2a`, `--scenario highway`, `--all`), runs them under an
+//! [`ExperimentCtx`] budget and emits each resulting [`Report`] as stdout +
+//! `results/<name>.csv` + `results/<name>.json`. The historical
+//! one-figure-per-binary entry points are thin wrappers over
+//! [`main_single`].
+
+use vtm_core::allocator::{PricingRule, StackelbergAllocator};
+use vtm_core::config::{ExperimentConfig, MarketConfig};
+use vtm_core::env::RewardMode;
+use vtm_core::scenario::{evaluate_scenario, train_scenario_parallel, Scenario, ScenarioKind};
+use vtm_core::schemes::{run_scheme, GreedyPricing, RandomPricing};
+use vtm_core::stackelberg::AotmStackelbergGame;
+use vtm_sim::metaverse::{
+    BandwidthAllocator, EqualShareAllocator, FixedAllocator, MetaverseConfig, MetaverseSim,
+};
+use vtm_sim::mobility::PerturbedHighway;
+use vtm_sim::radio::LinkBudget;
+use vtm_sim::trace::{Trace, TraceConfig};
+
+use crate::report::Report;
+use crate::{harness_drl_config, mean, train_mechanism};
+
+/// The budget an experiment runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExperimentCtx {
+    /// Paper-scale training (`--full`) instead of the fast configuration.
+    pub full: bool,
+    /// Overrides the number of training episodes (`--episodes N`); used by
+    /// CI smoke runs to keep every experiment within seconds.
+    pub episodes: Option<usize>,
+}
+
+impl ExperimentCtx {
+    /// Parses `--full` and `--episodes N` from command-line style arguments,
+    /// ignoring everything else. A token following `--episodes` is consumed
+    /// only when it parses as a count, so a missing value cannot swallow the
+    /// next flag.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Self {
+        let mut ctx = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_ref() {
+                "--full" => ctx.full = true,
+                "--episodes" => {
+                    if let Some(n) = args.get(i + 1).and_then(|v| v.as_ref().parse().ok()) {
+                        ctx.episodes = Some(n);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        ctx
+    }
+
+    /// The DRL configuration for this budget: the harness defaults, with the
+    /// episode count overridden when requested.
+    pub fn drl(&self, seed: u64) -> vtm_core::config::DrlConfig {
+        let mut drl = harness_drl_config(self.full, seed);
+        if let Some(episodes) = self.episodes {
+            drl.episodes = episodes.max(1);
+        }
+        drl
+    }
+}
+
+/// One runnable experiment of the manifest.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Canonical name (`fig2a`, `scenario-highway`, ...).
+    pub name: &'static str,
+    /// Accepted aliases (legacy binary stems, short forms).
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--list`.
+    pub description: &'static str,
+    /// The experiment body.
+    pub run: fn(&ExperimentCtx) -> Report,
+}
+
+impl ExperimentSpec {
+    /// Whether `name` selects this experiment (canonical name or alias).
+    pub fn matches(&self, name: &str) -> bool {
+        self.name == name || self.aliases.contains(&name)
+    }
+}
+
+/// Every experiment the harness can run, in presentation order.
+pub fn manifest() -> &'static [ExperimentSpec] {
+    &[
+        ExperimentSpec {
+            name: "fig2a",
+            aliases: &["fig2a_convergence"],
+            description: "Fig. 2(a): DRL return per training episode",
+            run: fig2a,
+        },
+        ExperimentSpec {
+            name: "fig2b",
+            aliases: &["fig2b_msp_utility"],
+            description: "Fig. 2(b): MSP utility convergence to the equilibrium",
+            run: fig2b,
+        },
+        ExperimentSpec {
+            name: "fig3a",
+            aliases: &["fig3a_cost_msp"],
+            description: "Fig. 3(a): MSP utility and price vs unit cost",
+            run: fig3a,
+        },
+        ExperimentSpec {
+            name: "fig3b",
+            aliases: &["fig3b_cost_vmu"],
+            description: "Fig. 3(b): VMU utility and bandwidth vs unit cost",
+            run: fig3b,
+        },
+        ExperimentSpec {
+            name: "fig3c",
+            aliases: &["fig3c_vmus_msp"],
+            description: "Fig. 3(c): MSP utility and price vs VMU count",
+            run: fig3c,
+        },
+        ExperimentSpec {
+            name: "fig3d",
+            aliases: &["fig3d_vmus_vmu"],
+            description: "Fig. 3(d): average VMU utility and bandwidth vs VMU count",
+            run: fig3d,
+        },
+        ExperimentSpec {
+            name: "ablation-bandwidth-cap",
+            aliases: &["e7", "ablation_bandwidth_cap"],
+            description: "Ablation E7: bandwidth-cap effect on the equilibrium",
+            run: ablation_bandwidth_cap,
+        },
+        ExperimentSpec {
+            name: "ablation-drl-design",
+            aliases: &["e8", "ablation_drl_design"],
+            description: "Ablation E8: history length and reward shaping",
+            run: ablation_drl_design,
+        },
+        ExperimentSpec {
+            name: "sim-aotm",
+            aliases: &["exp_simulator_aotm"],
+            description: "Supplementary: end-to-end AoTM by bandwidth allocator",
+            run: sim_aotm,
+        },
+        ExperimentSpec {
+            name: "scenario-highway",
+            aliases: &["highway"],
+            description: "Scenario engine: DRL pricing on the highway scenario",
+            run: |ctx| scenario_report(ScenarioKind::Highway, ctx),
+        },
+        ExperimentSpec {
+            name: "scenario-urban-grid",
+            aliases: &["urban-grid"],
+            description: "Scenario engine: DRL pricing on the urban-grid scenario",
+            run: |ctx| scenario_report(ScenarioKind::UrbanGrid, ctx),
+        },
+        ExperimentSpec {
+            name: "scenario-rush-hour-surge",
+            aliases: &["rush-hour-surge"],
+            description: "Scenario engine: DRL pricing through a bandwidth surge",
+            run: |ctx| scenario_report(ScenarioKind::RushHourSurge, ctx),
+        },
+        ExperimentSpec {
+            name: "scenario-sparse-rural",
+            aliases: &["sparse-rural"],
+            description: "Scenario engine: DRL pricing on the sparse-rural scenario",
+            run: |ctx| scenario_report(ScenarioKind::SparseRural, ctx),
+        },
+        ExperimentSpec {
+            name: "scenario-multi-msp",
+            aliases: &["multi-msp"],
+            description: "Scenario engine: DRL pricing against an undercutting rival MSP",
+            run: |ctx| scenario_report(ScenarioKind::MultiMspCompetition, ctx),
+        },
+    ]
+}
+
+/// Looks an experiment up by canonical name or alias.
+pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
+    manifest().iter().find(|spec| spec.matches(name))
+}
+
+/// Runs one experiment by name under the given budget.
+pub fn run_by_name(name: &str, ctx: &ExperimentCtx) -> Option<Report> {
+    find(name).map(|spec| (spec.run)(ctx))
+}
+
+/// Entry point shared by the thin wrapper binaries: parses `--full` /
+/// `--episodes` from the process arguments, runs the named experiment and
+/// emits its report.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the manifest (a wrapper binary bug).
+pub fn main_single(name: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ctx = ExperimentCtx::from_args(&args);
+    let report = run_by_name(name, &ctx).expect("wrapper binaries name manifest entries");
+    report.emit();
+}
+
+fn fig2a(ctx: &ExperimentCtx) -> Report {
+    let mut config = ExperimentConfig::paper_two_vmus();
+    config.drl = ctx.drl(0);
+    let rounds = config.drl.rounds_per_episode as f64;
+    let mut report = Report::new(
+        "fig2a_convergence",
+        format!(
+            "Fig. 2(a) — return per episode (K = {} rounds, E = {} episodes, reward = Eq. (12))",
+            config.drl.rounds_per_episode, config.drl.episodes
+        ),
+        ["episode", "return", "max_return"],
+    );
+    let (_, history) = train_mechanism(config, RewardMode::Improvement);
+    for log in &history.episodes {
+        report.push_row([log.episode as f64, log.episode_return, rounds]);
+    }
+    let tail = history.tail_mean(20, |e| e.episode_return);
+    report.note(format!(
+        "tail-20 mean return = {tail:.1} of a maximum {rounds:.0} ({:.0}% of the max round count)",
+        100.0 * tail / rounds
+    ));
+    report
+}
+
+fn fig2b(ctx: &ExperimentCtx) -> Report {
+    let mut config = ExperimentConfig::paper_two_vmus();
+    config.drl = ctx.drl(1);
+    let equilibrium = AotmStackelbergGame::from_config(&config).closed_form_equilibrium();
+    let mut report = Report::new(
+        "fig2b_msp_utility",
+        format!(
+            "Fig. 2(b) — MSP utility per episode vs the Stackelberg equilibrium (U_s* = {:.3})",
+            equilibrium.msp_utility
+        ),
+        [
+            "episode",
+            "mean_msp_utility",
+            "best_msp_utility",
+            "equilibrium_utility",
+        ],
+    );
+    let (mut mechanism, history) = train_mechanism(config, RewardMode::Improvement);
+    for log in &history.episodes {
+        report.push_row([
+            log.episode as f64,
+            log.mean_msp_utility,
+            log.best_msp_utility,
+            equilibrium.msp_utility,
+        ]);
+    }
+    let eval = mechanism.evaluate(50);
+    report.note(format!(
+        "final deterministic policy: price {:.3} (p* = {:.3}), utility {:.3} = {:.1}% of the equilibrium",
+        eval.mean_price,
+        equilibrium.price,
+        eval.mean_msp_utility,
+        100.0 * eval.equilibrium_ratio
+    ));
+    report
+}
+
+fn fig3a(ctx: &ExperimentCtx) -> Report {
+    let rounds = 200;
+    let mut report = Report::new(
+        "fig3a_cost_msp",
+        "Fig. 3(a) — MSP utility and price vs unit transmission cost (N = 2 VMUs)",
+        [
+            "cost",
+            "eq_price",
+            "eq_msp_utility",
+            "drl_price",
+            "drl_msp_utility",
+            "greedy_msp_utility",
+            "random_msp_utility",
+        ],
+    );
+    for cost in [5.0, 6.0, 7.0, 8.0, 9.0] {
+        let mut config = ExperimentConfig::paper_two_vmus();
+        config.market.unit_cost = cost;
+        config.drl = ctx.drl(100 + cost as u64);
+        let game = AotmStackelbergGame::from_config(&config);
+        let eq = game.closed_form_equilibrium();
+        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
+        let eval = mechanism.evaluate(rounds.min(100));
+        let greedy = mean(&run_scheme(&mut GreedyPricing::new(1, 1.0), &game, rounds));
+        let random = mean(&run_scheme(&mut RandomPricing::new(1), &game, rounds));
+        report.push_row([
+            cost,
+            eq.price,
+            eq.msp_utility,
+            eval.mean_price,
+            eval.mean_msp_utility,
+            greedy,
+            random,
+        ]);
+    }
+    report.note(
+        "expected shape: price rises with cost, every utility falls, DRL ≈ equilibrium > greedy > random",
+    );
+    report
+}
+
+fn fig3b(ctx: &ExperimentCtx) -> Report {
+    let mut report = Report::new(
+        "fig3b_cost_vmu",
+        "Fig. 3(b) — total VMU utility and bandwidth vs unit transmission cost (N = 2 VMUs)",
+        [
+            "cost",
+            "eq_total_vmu_utility",
+            "eq_total_bandwidth_mhz",
+            "eq_total_bandwidth_x100",
+            "drl_total_vmu_utility",
+            "drl_total_bandwidth_mhz",
+        ],
+    );
+    for cost in [5.0, 6.0, 7.0, 8.0, 9.0] {
+        let mut config = ExperimentConfig::paper_two_vmus();
+        config.market.unit_cost = cost;
+        config.drl = ctx.drl(200 + cost as u64);
+        let game = AotmStackelbergGame::from_config(&config);
+        let eq = game.closed_form_equilibrium();
+        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
+        let eval = mechanism.evaluate(100);
+        report.push_row([
+            cost,
+            eq.total_vmu_utility(),
+            eq.total_bandwidth_mhz(),
+            eq.total_bandwidth_mhz() * 100.0,
+            eval.mean_total_vmu_utility,
+            eval.mean_total_bandwidth_mhz,
+        ]);
+    }
+    report.note("expected shape: both series decrease with the transmission cost");
+    report
+}
+
+/// Aggregate bandwidth cap (MHz) used for the Fig. 3(c) scarcity variant:
+/// chosen so the cap starts binding around N = 4.
+const FIG3C_TIGHT_CAP_MHZ: f64 = 0.5;
+
+fn fig3c(ctx: &ExperimentCtx) -> Report {
+    let mut report = Report::new(
+        "fig3c_vmus_msp",
+        "Fig. 3(c) — MSP utility and price vs number of VMUs (100 MB twins, alpha = 5)",
+        [
+            "n_vmus",
+            "eq_price",
+            "eq_msp_utility",
+            "drl_price",
+            "drl_msp_utility",
+            "tightcap_price",
+            "tightcap_msp_utility",
+        ],
+    );
+    for n in 2..=6usize {
+        let mut config = ExperimentConfig::paper_n_vmus(n);
+        config.drl = ctx.drl(300 + n as u64);
+        let game = AotmStackelbergGame::from_config(&config);
+        let eq = game.closed_form_equilibrium();
+        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
+        let eval = mechanism.evaluate(100);
+        let mut tight = ExperimentConfig::paper_n_vmus(n);
+        tight.market.max_bandwidth_mhz = FIG3C_TIGHT_CAP_MHZ;
+        let tight_eq = AotmStackelbergGame::from_config(&tight).closed_form_equilibrium();
+        report.push_row([
+            n as f64,
+            eq.price,
+            eq.msp_utility,
+            eval.mean_price,
+            eval.mean_msp_utility,
+            tight_eq.price,
+            tight_eq.msp_utility,
+        ]);
+    }
+    report.note(format!(
+        "expected shape: MSP utility grows with N; the slack-cap price is flat, the tight-cap ({FIG3C_TIGHT_CAP_MHZ} MHz) price rises once demand exceeds the cap"
+    ));
+    report
+}
+
+/// Tight aggregate bandwidth cap (MHz) reproducing the Fig. 3(d) competition
+/// regime.
+const FIG3D_TIGHT_CAP_MHZ: f64 = 0.45;
+
+fn fig3d(ctx: &ExperimentCtx) -> Report {
+    let mut report = Report::new(
+        "fig3d_vmus_vmu",
+        "Fig. 3(d) — average VMU utility and bandwidth vs number of VMUs",
+        [
+            "n_vmus",
+            "eq_avg_vmu_utility",
+            "eq_avg_bandwidth_mhz",
+            "drl_avg_vmu_utility",
+            "drl_avg_bandwidth_mhz",
+            "tightcap_avg_vmu_utility",
+            "tightcap_avg_bandwidth_mhz",
+        ],
+    );
+    let mut tight_first = None;
+    let mut tight_last = None;
+    for n in 2..=6usize {
+        let mut config = ExperimentConfig::paper_n_vmus(n);
+        config.drl = ctx.drl(400 + n as u64);
+        let game = AotmStackelbergGame::from_config(&config);
+        let eq = game.closed_form_equilibrium();
+        let (mut mechanism, _) = train_mechanism(config, RewardMode::Improvement);
+        let eval = mechanism.evaluate(100);
+        let n_f = n as f64;
+        let mut tight = ExperimentConfig::paper_n_vmus(n);
+        tight.market.max_bandwidth_mhz = FIG3D_TIGHT_CAP_MHZ;
+        let tight_eq = AotmStackelbergGame::from_config(&tight).closed_form_equilibrium();
+        if n == 2 {
+            tight_first = Some(tight_eq.average_vmu_utility());
+        }
+        if n == 6 {
+            tight_last = Some(tight_eq.average_vmu_utility());
+        }
+        report.push_row([
+            n_f,
+            eq.average_vmu_utility(),
+            eq.average_bandwidth_mhz(),
+            eval.mean_total_vmu_utility / n_f,
+            eval.mean_total_bandwidth_mhz / n_f,
+            tight_eq.average_vmu_utility(),
+            tight_eq.average_bandwidth_mhz(),
+        ]);
+    }
+    if let (Some(first), Some(last)) = (tight_first, tight_last) {
+        report.note(format!(
+            "tight-cap average VMU utility declines by {:.1}% from N = 2 to N = 6 (paper reports 12.8%)",
+            100.0 * (first - last) / first.max(1e-12)
+        ));
+    }
+    report
+}
+
+fn ablation_bandwidth_cap(_ctx: &ExperimentCtx) -> Report {
+    let mut report = Report::new(
+        "ablation_bandwidth_cap",
+        "Ablation E7 — bandwidth-cap effect on the Stackelberg equilibrium",
+        [
+            "n_vmus",
+            "bmax_mhz",
+            "price",
+            "msp_utility",
+            "avg_bandwidth_mhz",
+            "avg_vmu_utility",
+            "cap_binding",
+        ],
+    );
+    for &bmax in &[0.25, 0.5, 50.0] {
+        for n in 1..=12usize {
+            let mut config = ExperimentConfig::paper_n_vmus(n);
+            config.market.max_bandwidth_mhz = bmax;
+            let eq = AotmStackelbergGame::from_config(&config).closed_form_equilibrium();
+            report.push_row([
+                n as f64,
+                bmax,
+                eq.price,
+                eq.msp_utility,
+                eq.average_bandwidth_mhz(),
+                eq.average_vmu_utility(),
+                if eq.bandwidth_cap_binding { 1.0 } else { 0.0 },
+            ]);
+        }
+    }
+    report.note("expected shape: with a tight cap the price rises and per-VMU bandwidth falls once N exceeds the point where aggregate demand hits B_max; with 50 MHz the cap never binds");
+    report
+}
+
+fn ablation_drl_design(ctx: &ExperimentCtx) -> Report {
+    let mut report = Report::new(
+        "ablation_drl_design",
+        "Ablation E8 — observation history length and reward shaping",
+        [
+            "history_length",
+            "sparse_reward",
+            "equilibrium_ratio",
+            "mean_price",
+            "tail_return",
+        ],
+    );
+    for &history_length in &[1usize, 2, 4, 8] {
+        for (mode, sparse_flag) in [
+            (RewardMode::Improvement, 1.0),
+            (RewardMode::NormalizedUtility, 0.0),
+        ] {
+            let mut config = ExperimentConfig::paper_two_vmus();
+            config.drl = ctx.drl(500 + history_length as u64);
+            config.drl.history_length = history_length;
+            let (mut mechanism, history) = train_mechanism(config, mode);
+            let eval = mechanism.evaluate(50);
+            report.push_row([
+                history_length as f64,
+                sparse_flag,
+                eval.equilibrium_ratio,
+                eval.mean_price,
+                history.tail_mean(10, |e| e.episode_return),
+            ]);
+        }
+    }
+    report.note("expected shape: L = 4 (the paper's choice) performs at least as well as shorter histories; the dense reward converges faster at equal budget");
+    report
+}
+
+fn sim_aotm_run<A: BandwidthAllocator>(allocator: &mut A, seed: u64) -> [f64; 5] {
+    let config = MetaverseConfig {
+        rsu_count: 8,
+        duration_s: 600.0,
+        seed,
+        ..MetaverseConfig::default()
+    };
+    let trace = Trace::generate(&TraceConfig {
+        trips: 6,
+        seed,
+        ..TraceConfig::default()
+    });
+    let mut sim = MetaverseSim::new(config, PerturbedHighway::default(), trace.to_vmu_entries());
+    let report = sim.run(allocator);
+    [
+        report.aotm_summary.mean,
+        report.aotm_summary.p95,
+        report.downtime_summary.mean,
+        report.migrations.len() as f64,
+        report.failed_migrations as f64,
+    ]
+}
+
+fn sim_aotm(_ctx: &ExperimentCtx) -> Report {
+    let mut report = Report::new(
+        "exp_simulator_aotm",
+        "Supplementary — end-to-end AoTM by bandwidth allocator (6 VMUs, 8 RSUs, 600 s)",
+        [
+            "allocator",
+            "mean_aotm_s",
+            "p95_aotm_s",
+            "mean_downtime_s",
+            "migrations",
+            "failed",
+        ],
+    );
+    let mut stackelberg = StackelbergAllocator::new(
+        MarketConfig::default(),
+        LinkBudget::default(),
+        PricingRule::StackelbergPerMigration,
+    )
+    .with_min_bandwidth_mhz(2.0);
+    let mut fixed = FixedAllocator { bandwidth_hz: 5e6 };
+    let mut equal = EqualShareAllocator {
+        expected_concurrent: 6,
+    };
+    for (code, row) in [
+        (0.0, sim_aotm_run(&mut stackelberg, 1)),
+        (1.0, sim_aotm_run(&mut fixed, 1)),
+        (2.0, sim_aotm_run(&mut equal, 1)),
+    ] {
+        report.push_row(std::iter::once(code).chain(row));
+    }
+    report.note("(allocator codes: 0 = stackelberg-priced, 1 = fixed-5MHz, 2 = equal-share)");
+    report
+}
+
+/// Environment replicas used by every scenario training run.
+const SCENARIO_ENVS: usize = 4;
+
+/// The scenario experiment shared by all five presets: train the PPO agent on
+/// parallel scenario replicas, then trace one deterministic evaluation
+/// episode round by round.
+pub fn scenario_report(kind: ScenarioKind, ctx: &ExperimentCtx) -> Report {
+    let scenario = Scenario::preset(kind);
+    let mut drl = ctx.drl(900 + kind as u64);
+    if !ctx.full {
+        drl.rounds_per_episode = 40;
+        if ctx.episodes.is_none() {
+            drl.episodes = 24;
+        }
+    }
+    let run = train_scenario_parallel(
+        &scenario,
+        &drl,
+        RewardMode::Improvement,
+        drl.episodes,
+        SCENARIO_ENVS,
+        0,
+    );
+    let mut env = scenario.env(
+        drl.history_length,
+        drl.rounds_per_episode,
+        RewardMode::Improvement,
+        1234,
+    );
+    let records = evaluate_scenario(&run.agent, &mut env, drl.rounds_per_episode);
+    let mut report = Report::new(
+        format!("scenario_{}", kind.name().replace('-', "_")),
+        format!(
+            "Scenario `{}` — {} (E = {}, K = {}, {} replicas)",
+            kind.name(),
+            kind.description(),
+            drl.episodes,
+            drl.rounds_per_episode,
+            SCENARIO_ENVS
+        ),
+        [
+            "round",
+            "clock_s",
+            "price",
+            "rival_price",
+            "active_vmus",
+            "served_vmus",
+            "migrations",
+            "budget_mhz",
+            "sold_mhz",
+            "msp_utility",
+            "mean_aotm_s",
+            "spectral_eff",
+        ],
+    );
+    let mut migrations = 0usize;
+    for r in &records {
+        migrations += r.migrations;
+        report.push_row([
+            r.round as f64,
+            r.clock_s,
+            r.price,
+            r.rival_price.unwrap_or(f64::NAN),
+            r.active_vmus as f64,
+            r.served_vmus as f64,
+            r.migrations as f64,
+            r.budget_mhz,
+            r.total_demand_mhz,
+            r.msp_utility,
+            r.mean_aotm_s.unwrap_or(f64::NAN),
+            r.mean_spectral_efficiency,
+        ]);
+    }
+    let tail_return = run.history.tail_mean(8, |e| e.episode_return);
+    let tail_utility = run.history.tail_mean(8, |e| e.mean_msp_utility);
+    report.note(format!(
+        "training: tail-8 mean return {tail_return:.2}, tail-8 mean MSP utility {tail_utility:.3}"
+    ));
+    report.note(format!(
+        "evaluation episode: {} rounds, {} hand-overs, mean sold bandwidth {:.3} MHz",
+        records.len(),
+        migrations,
+        mean(
+            &records
+                .iter()
+                .map(|r| r.total_demand_mhz)
+                .collect::<Vec<_>>()
+        )
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_names_and_aliases_are_unique() {
+        let specs = manifest();
+        let mut seen = std::collections::HashSet::new();
+        for spec in specs {
+            assert!(seen.insert(spec.name), "duplicate name {}", spec.name);
+            for alias in spec.aliases {
+                assert!(seen.insert(alias), "duplicate alias {alias}");
+            }
+            assert!(!spec.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_named_scenario_has_a_manifest_entry() {
+        for kind in ScenarioKind::ALL {
+            let name = format!("scenario-{}", kind.name());
+            assert!(
+                find(&name).is_some() || find(kind.name()).is_some(),
+                "no manifest entry for scenario {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_accepts_aliases_and_rejects_unknowns() {
+        assert_eq!(find("fig2a").unwrap().name, "fig2a");
+        assert_eq!(find("fig2a_convergence").unwrap().name, "fig2a");
+        assert_eq!(find("e7").unwrap().name, "ablation-bandwidth-cap");
+        assert!(find("not-an-experiment").is_none());
+        assert!(run_by_name("not-an-experiment", &ExperimentCtx::default()).is_none());
+    }
+
+    #[test]
+    fn ctx_parses_budget_flags() {
+        let ctx = ExperimentCtx::from_args(&["--scenario", "highway", "--full", "--episodes", "3"]);
+        assert!(ctx.full);
+        assert_eq!(ctx.episodes, Some(3));
+        assert_eq!(ctx.drl(0).episodes, 3);
+        let fast = ExperimentCtx::default();
+        assert!(!fast.full);
+        assert!(fast.drl(0).episodes > 3);
+        // A valueless --episodes must not swallow the flag that follows it.
+        let ctx = ExperimentCtx::from_args(&["--episodes", "--full"]);
+        assert!(ctx.full);
+        assert_eq!(ctx.episodes, None);
+    }
+
+    #[test]
+    fn equilibrium_only_experiment_runs_quickly() {
+        // E7 needs no DRL training, so it can run in the unit-test budget and
+        // exercise the whole spec -> run -> Report path.
+        let report = run_by_name("ablation-bandwidth-cap", &ExperimentCtx::default()).unwrap();
+        assert_eq!(report.table.len(), 36);
+        assert!(!report.to_json().is_empty());
+    }
+}

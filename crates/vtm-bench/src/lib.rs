@@ -1,15 +1,23 @@
 //! # vtm-bench — experiment harness
 //!
 //! Shared utilities for the experiment binaries that regenerate every figure
-//! of the paper's evaluation (§V) and for the criterion benchmarks. Each
-//! binary prints the figure's series as an aligned table and writes a CSV
-//! next to the repository root (under `results/`).
+//! of the paper's evaluation (§V), the trace-driven scenario experiments and
+//! the criterion benchmarks.
+//!
+//! The single manifest-driven [`experiments`] runner replaces the old
+//! one-figure-per-binary layout: every experiment is an entry in
+//! [`experiments::manifest`], selected by name on the command line, and emits
+//! its series as an aligned table plus CSV and JSON files under `results/`
+//! via the [`report`] helpers. The historical `fig*`/`ablation*` binaries
+//! survive as thin wrappers over the same entries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fs;
-use std::path::{Path, PathBuf};
+pub mod experiments;
+pub mod report;
+
+pub use report::{results_dir, Report, ResultsTable};
 
 use vtm_core::config::{DrlConfig, ExperimentConfig};
 use vtm_core::env::RewardMode;
@@ -17,104 +25,6 @@ use vtm_core::mechanism::{IncentiveMechanism, TrainingHistory};
 use vtm_rl::buffer::ProcessedSample;
 use vtm_rl::env::{ActionSpace, Environment, Step};
 use vtm_rl::ppo::{PpoAgent, PpoConfig};
-
-/// A simple column-oriented results table that can be printed and saved as CSV.
-#[derive(Debug, Clone, Default)]
-pub struct ResultsTable {
-    headers: Vec<String>,
-    rows: Vec<Vec<f64>>,
-}
-
-impl ResultsTable {
-    /// Creates a table with the given column headers.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Self {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row length does not match the header count.
-    pub fn push_row<I: IntoIterator<Item = f64>>(&mut self, row: I) {
-        let row: Vec<f64> = row.into_iter().collect();
-        assert_eq!(
-            row.len(),
-            self.headers.len(),
-            "row length must match header count"
-        );
-        self.rows.push(row);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether the table has no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders the table as an aligned text block.
-    pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.headers.join(", "));
-        out.push('\n');
-        for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(|v| format!("{v:>12.4}")).collect();
-            out.push_str(&cells.join(", "));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders the table as CSV.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
-            out.push_str(&cells.join(","));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Prints the table to stdout and writes it to `results/<name>.csv`.
-    ///
-    /// Failures to write the CSV are reported on stderr but do not abort the
-    /// experiment (printing the series is the primary output).
-    pub fn print_and_save(&self, name: &str) {
-        println!("{}", self.to_text());
-        let path = results_dir().join(format!("{name}.csv"));
-        if let Err(err) = fs::write(&path, self.to_csv()) {
-            eprintln!("warning: could not write {}: {err}", path.display());
-        } else {
-            println!("(saved to {})", path.display());
-        }
-    }
-}
-
-/// Directory where experiment CSVs are written (`results/` beside the
-/// workspace manifest, falling back to the current directory).
-pub fn results_dir() -> PathBuf {
-    let base = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| Path::new(&d).join("../.."))
-        .unwrap_or_else(|_| PathBuf::from("."));
-    let dir = base.join("results");
-    let _ = fs::create_dir_all(&dir);
-    dir
-}
-
-/// Whether the binary was invoked with `--full` (paper-scale training).
-pub fn full_scale_requested() -> bool {
-    std::env::args().any(|a| a == "--full")
-}
 
 /// The DRL configuration used by the experiment binaries: the paper's
 /// settings when `full` is true, otherwise a faster configuration with the
@@ -252,26 +162,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_renders_text_and_csv() {
-        let mut t = ResultsTable::new(["a", "b"]);
-        assert!(t.is_empty());
-        t.push_row([1.0, 2.0]);
-        t.push_row([3.5, -4.25]);
-        assert_eq!(t.len(), 2);
-        let text = t.to_text();
-        assert!(text.starts_with("a, b"));
-        let csv = t.to_csv();
-        assert!(csv.contains("3.5,-4.25"));
-    }
-
-    #[test]
-    #[should_panic(expected = "row length must match")]
-    fn mismatched_row_panics() {
-        let mut t = ResultsTable::new(["a", "b"]);
-        t.push_row([1.0]);
-    }
-
-    #[test]
     fn harness_config_scales() {
         assert_eq!(harness_drl_config(true, 1).episodes, 500);
         assert!(harness_drl_config(false, 1).episodes < 500);
@@ -293,11 +183,5 @@ mod tests {
     fn mean_helper() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
-    }
-
-    #[test]
-    fn results_dir_exists() {
-        let dir = results_dir();
-        assert!(dir.exists());
     }
 }

@@ -7,7 +7,7 @@
 //! `G_n = α_n · ln(1 + 1 / A_n)`.
 //!
 //! Bandwidth is expressed in MHz and data sizes in *data units* of
-//! [`DATA_UNIT_MB`](crate::config::DATA_UNIT_MB) megabytes (hundreds of MB),
+//! [`DATA_UNIT_MB`] megabytes (hundreds of MB),
 //! which is the normalisation under which the paper's reported equilibrium
 //! values are reproduced exactly.
 

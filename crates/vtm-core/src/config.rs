@@ -1,5 +1,6 @@
 //! Experiment and system configuration mirroring the paper's §V-A settings.
 
+use vtm_rl::ppo::PpoConfig;
 use vtm_sim::radio::LinkBudget;
 
 use crate::vmu::VmuProfile;
@@ -118,6 +119,27 @@ impl DrlConfig {
             learning_rate: 3e-4,
             ..Self::default()
         }
+    }
+
+    /// Maps these hyper-parameters onto a [`PpoConfig`] for an agent with
+    /// `obs_dim` observation dimensions and a scalar price action. The actor
+    /// trains at the configured learning rate and the critic ten times
+    /// faster, as in the paper's setup. Shared by
+    /// [`IncentiveMechanism`](crate::mechanism::IncentiveMechanism) and the
+    /// scenario trainer ([`crate::scenario::train_scenario_parallel`]).
+    pub fn to_ppo_config(&self, obs_dim: usize) -> PpoConfig {
+        let mut ppo = PpoConfig::new(obs_dim, 1).with_seed(self.seed);
+        ppo.hidden = self.hidden_layers.clone();
+        ppo.actor_lr = self.learning_rate;
+        ppo.critic_lr = self.learning_rate * 10.0;
+        ppo.gamma = self.discount;
+        ppo.gae_lambda = self.gae_lambda;
+        ppo.clip_epsilon = self.clip_epsilon;
+        ppo.value_loss_coef = self.value_loss_coef;
+        ppo.entropy_coef = self.entropy_coef;
+        ppo.update_epochs = self.update_epochs;
+        ppo.minibatch_size = self.batch_size;
+        ppo
     }
 
     /// Validates the configuration.
@@ -250,6 +272,24 @@ mod tests {
         let fast = DrlConfig::fast();
         assert!(fast.validate().is_ok());
         assert!(fast.episodes < DrlConfig::default().episodes);
+    }
+
+    #[test]
+    fn ppo_config_mapping_mirrors_drl_settings() {
+        let drl = DrlConfig {
+            seed: 11,
+            learning_rate: 2e-4,
+            ..DrlConfig::default()
+        };
+        let ppo = drl.to_ppo_config(12);
+        assert_eq!(ppo.obs_dim, 12);
+        assert_eq!(ppo.action_dim, 1);
+        assert_eq!(ppo.hidden, drl.hidden_layers);
+        assert_eq!(ppo.seed, 11);
+        assert!((ppo.actor_lr - 2e-4).abs() < 1e-18);
+        assert!((ppo.critic_lr - 2e-3).abs() < 1e-18);
+        assert_eq!(ppo.update_epochs, drl.update_epochs);
+        assert_eq!(ppo.minibatch_size, drl.batch_size);
     }
 
     #[test]

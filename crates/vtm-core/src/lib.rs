@@ -10,7 +10,7 @@
 //!   closed-form best responses (Theorems 1 and 2),
 //! * [`stackelberg`] — the AoTM Stackelberg game, its closed-form and
 //!   numerical equilibria under the constraints of Problem 2,
-//! * [`env`] — the POMDP pricing environment of §IV-A (history observations,
+//! * [`mod@env`] — the POMDP pricing environment of §IV-A (history observations,
 //!   Eq. (12) reward),
 //! * [`mechanism`] — the learning-based incentive mechanism (Algorithm 1) with
 //!   PPO from [`vtm_rl`],
@@ -18,6 +18,9 @@
 //!   of §V-B,
 //! * [`allocator`] — the bridge that lets the mechanism price migrations
 //!   inside the end-to-end simulator of [`vtm_sim`],
+//! * [`scenario`] — the trace-driven scenario engine: named vehicular
+//!   scenarios whose live simulator state (mobility, channels, hand-overs,
+//!   freshness) drives the DRL pricing environment,
 //! * [`config`] — the experiment parameters of §V-A.
 //!
 //! # Quickstart
@@ -47,6 +50,7 @@ pub mod env;
 pub mod mechanism;
 pub mod msp;
 pub mod multi_msp;
+pub mod scenario;
 pub mod schemes;
 pub mod stackelberg;
 pub mod vmu;
@@ -65,6 +69,10 @@ pub mod prelude {
     };
     pub use crate::msp::Msp;
     pub use crate::multi_msp::{CompetingMsp, CompetitionOutcome, MultiMspMarket};
+    pub use crate::scenario::{
+        evaluate_scenario, train_scenario_parallel, RivalMsp, Scenario, ScenarioKind,
+        ScenarioTrainingRun, SimPricingEnv, SimRoundRecord, SurgeWindow, Topology,
+    };
     pub use crate::schemes::{
         run_scheme, EquilibriumPricing, FixedPricing, GreedyPricing, PricingScheme, RandomPricing,
     };

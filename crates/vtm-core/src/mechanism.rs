@@ -10,7 +10,7 @@
 
 use vtm_rl::buffer::{RolloutBuffer, Transition};
 use vtm_rl::env::Environment;
-use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::ppo::PpoAgent;
 use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
 
 use crate::config::ExperimentConfig;
@@ -129,18 +129,7 @@ impl IncentiveMechanism {
             reward_mode,
             config.drl.seed,
         );
-        let obs_dim = env.observation_dim();
-        let mut ppo = PpoConfig::new(obs_dim, 1).with_seed(config.drl.seed);
-        ppo.hidden = config.drl.hidden_layers.clone();
-        ppo.actor_lr = config.drl.learning_rate;
-        ppo.critic_lr = config.drl.learning_rate * 10.0;
-        ppo.gamma = config.drl.discount;
-        ppo.gae_lambda = config.drl.gae_lambda;
-        ppo.clip_epsilon = config.drl.clip_epsilon;
-        ppo.value_loss_coef = config.drl.value_loss_coef;
-        ppo.entropy_coef = config.drl.entropy_coef;
-        ppo.update_epochs = config.drl.update_epochs;
-        ppo.minibatch_size = config.drl.batch_size;
+        let ppo = config.drl.to_ppo_config(env.observation_dim());
         let agent = PpoAgent::new(ppo, env.action_space());
         Self {
             config,

@@ -187,7 +187,7 @@ impl MlpGrads {
 /// [`Mlp::forward_train_ws`] / [`Mlp::backward_ws`] path.
 ///
 /// The workspace owns one pre-activation and one activation matrix per layer
-/// (replacing the per-call [`DenseCache`](crate::layer::DenseCache) clones of
+/// (replacing the per-call [`DenseCache`] clones of
 /// [`Mlp::forward_train`], which also cloned the layer input) plus the
 /// backward-pass scratch. All buffers are resized in place, so after the
 /// first use at a given batch size no call allocates.

@@ -83,6 +83,17 @@ pub trait Environment {
     /// Resets the environment and returns the initial observation.
     fn reset(&mut self) -> Vec<f64>;
 
+    /// Resets the environment after reseeding its internal randomness.
+    ///
+    /// Snapshot tests and replicated-experiment harnesses use this to pin an
+    /// episode to an exact random stream regardless of how many episodes the
+    /// environment has already played. Environments without internal
+    /// randomness can keep the default, which ignores the seed and performs a
+    /// plain [`Environment::reset`].
+    fn reset_with_seed(&mut self, _seed: u64) -> Vec<f64> {
+        self.reset()
+    }
+
     /// Applies `action` and returns the resulting transition.
     ///
     /// Implementations may clamp the action into the action space; callers
@@ -127,6 +138,35 @@ mod tests {
         }
         // Zero maps to the midpoint.
         assert!((space.squash(&[0.0])[0] - 27.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_with_seed_defaults_to_plain_reset() {
+        struct Counter {
+            resets: usize,
+        }
+        impl Environment for Counter {
+            fn observation_dim(&self) -> usize {
+                1
+            }
+            fn action_space(&self) -> ActionSpace {
+                ActionSpace::scalar(0.0, 1.0)
+            }
+            fn reset(&mut self) -> Vec<f64> {
+                self.resets += 1;
+                vec![self.resets as f64]
+            }
+            fn step(&mut self, _action: &[f64]) -> Step {
+                Step {
+                    observation: vec![0.0],
+                    reward: 0.0,
+                    done: true,
+                }
+            }
+        }
+        let mut env = Counter { resets: 0 };
+        assert_eq!(env.reset_with_seed(7), vec![1.0]);
+        assert_eq!(env.reset_with_seed(7), vec![2.0]);
     }
 
     #[test]

@@ -413,7 +413,7 @@ impl PpoAgent {
     /// [`RolloutBuffer::process`] with this agent's `gamma`/`lambda`.
     ///
     /// This is the fused, fully batched update path: minibatches are gathered
-    /// into the agent's persistent [`UpdateWorkspace`], forward/backward
+    /// into the agent's persistent update workspace, forward/backward
     /// passes run through [`Mlp::forward_train_ws`] / [`Mlp::backward_ws`]
     /// and the Gaussian surrogate terms are evaluated with the batched
     /// [`DiagGaussian`] row ops, so steady-state updates perform zero heap

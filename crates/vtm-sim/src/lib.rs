@@ -57,7 +57,8 @@ pub mod prelude {
         PreCopyConfig,
     };
     pub use crate::mobility::{
-        ConstantVelocity, MobilityModel, PerturbedHighway, Position, RandomWaypoint, Velocity,
+        AnyMobility, ConstantVelocity, MobilityModel, PerturbedHighway, Position, RandomWaypoint,
+        Velocity,
     };
     pub use crate::radio::{Db, Dbm, LinkBudget, Milliwatts};
     pub use crate::rsu::{Corridor, Rsu, RsuId};

@@ -189,6 +189,56 @@ impl MobilityModel for RandomWaypoint {
     }
 }
 
+/// A type-erased mobility model covering every built-in variant.
+///
+/// [`MobilityModel::advance`] is generic over the RNG, so the trait is not
+/// object safe; scenario code that selects a mobility model at runtime (the
+/// trace-driven scenario engine in `vtm-core`) dispatches through this enum
+/// instead of a trait object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnyMobility {
+    /// Constant-velocity motion ([`ConstantVelocity`]).
+    Constant(ConstantVelocity),
+    /// Perturbed highway motion ([`PerturbedHighway`]).
+    Highway(PerturbedHighway),
+    /// Random-waypoint motion ([`RandomWaypoint`]).
+    Waypoint(RandomWaypoint),
+}
+
+impl MobilityModel for AnyMobility {
+    fn advance<R: Rng + ?Sized>(
+        &self,
+        position: Position,
+        velocity: Velocity,
+        dt: f64,
+        rng: &mut R,
+    ) -> (Position, Velocity) {
+        match self {
+            AnyMobility::Constant(m) => m.advance(position, velocity, dt, rng),
+            AnyMobility::Highway(m) => m.advance(position, velocity, dt, rng),
+            AnyMobility::Waypoint(m) => m.advance(position, velocity, dt, rng),
+        }
+    }
+}
+
+impl From<ConstantVelocity> for AnyMobility {
+    fn from(m: ConstantVelocity) -> Self {
+        AnyMobility::Constant(m)
+    }
+}
+
+impl From<PerturbedHighway> for AnyMobility {
+    fn from(m: PerturbedHighway) -> Self {
+        AnyMobility::Highway(m)
+    }
+}
+
+impl From<RandomWaypoint> for AnyMobility {
+    fn from(m: RandomWaypoint) -> Self {
+        AnyMobility::Waypoint(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +320,31 @@ mod tests {
     #[should_panic(expected = "area must be non-degenerate")]
     fn random_waypoint_rejects_zero_area() {
         let _ = RandomWaypoint::new(0.0, 10.0, 1.0, 2.0);
+    }
+
+    #[test]
+    fn any_mobility_dispatches_to_inner_model() {
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let pos = Position::new(10.0, 0.0);
+        let vel = Velocity::new(20.0, 0.0);
+        let erased: AnyMobility = PerturbedHighway::default().into();
+        let direct = PerturbedHighway::default().advance(pos, vel, 1.0, &mut rng_a);
+        let dispatched = erased.advance(pos, vel, 1.0, &mut rng_b);
+        assert_eq!(direct, dispatched);
+
+        let constant: AnyMobility = ConstantVelocity.into();
+        let (p, v) = constant.advance(pos, vel, 2.0, &mut rng_a);
+        assert_eq!(p, Position::new(50.0, 0.0));
+        assert_eq!(v, vel);
+
+        let waypoint: AnyMobility = RandomWaypoint::new(100.0, 100.0, 1.0, 2.0).into();
+        let (p, _) = waypoint.advance(
+            Position::new(50.0, 50.0),
+            Velocity::default(),
+            1.0,
+            &mut rng_a,
+        );
+        assert!((0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y));
     }
 }

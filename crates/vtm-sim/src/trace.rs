@@ -110,6 +110,19 @@ pub struct Trip {
     pub alpha: f64,
 }
 
+impl Trip {
+    /// Whether the vehicle has entered the scenario by time `now_s`.
+    pub fn has_entered(&self, now_s: f64) -> bool {
+        now_s >= self.entry_time_s
+    }
+
+    /// The VMU profile parameters of the trip as a `(data size MB, alpha)`
+    /// pair, for callers building game-side populations from a trace.
+    pub fn market_profile(&self) -> (f64, f64) {
+        (self.twin_size_mb, self.alpha)
+    }
+}
+
 /// A generated trace: a reproducible collection of trips.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
@@ -147,6 +160,24 @@ impl Trace {
     /// Whether the trace has no trips.
     pub fn is_empty(&self) -> bool {
         self.trips.is_empty()
+    }
+
+    /// The trips that have entered the scenario by time `now_s`, in trip
+    /// order (the same [`Trip::has_entered`] filter the trace-driven
+    /// scenario engine applies to its live vehicle states): as the clock
+    /// advances, the population grows from the early arrivals to the full
+    /// trace.
+    pub fn active_at(&self, now_s: f64) -> Vec<&Trip> {
+        self.trips.iter().filter(|t| t.has_entered(now_s)).collect()
+    }
+
+    /// The latest entry time of any trip (0 for an empty trace): after this
+    /// time the full population is on the road.
+    pub fn entry_horizon_s(&self) -> f64 {
+        self.trips
+            .iter()
+            .map(|t| t.entry_time_s)
+            .fold(0.0, f64::max)
     }
 
     /// Converts the trace into the VMU entries expected by
@@ -251,6 +282,26 @@ mod tests {
             assert!((a.twin_size_mb - b.twin_size_mb).abs() < 1e-9);
             assert!((a.alpha - b.alpha).abs() < 1e-9);
             assert!((a.speed_mps - b.speed_mps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn active_population_grows_with_time() {
+        let trace = Trace::generate(&TraceConfig {
+            trips: 10,
+            entry_time_s: Range::new(0.0, 60.0),
+            seed: 5,
+            ..TraceConfig::default()
+        });
+        let early = trace.active_at(0.0).len();
+        let mid = trace.active_at(30.0).len();
+        let late = trace.active_at(trace.entry_horizon_s()).len();
+        assert!(early <= mid && mid <= late);
+        assert_eq!(late, trace.len(), "full population after the entry horizon");
+        for trip in trace.active_at(30.0) {
+            assert!(trip.has_entered(30.0));
+            let (size, alpha) = trip.market_profile();
+            assert!(size > 0.0 && alpha > 0.0);
         }
     }
 

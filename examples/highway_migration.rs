@@ -14,7 +14,8 @@ fn main() {
         rsu_count: 8,
         rsu_spacing_m: 1000.0,
         rsu_coverage_m: 600.0,
-        duration_s: 600.0,
+        // CI budgets the run via VTM_EXAMPLE_DURATION_S.
+        duration_s: vtm::example_duration_s(600.0),
         ..MetaverseConfig::default()
     };
     let vmus = 5;

@@ -15,7 +15,8 @@ fn main() {
     let rounds = 200;
     let mut config = ExperimentConfig::paper_two_vmus();
     config.drl = DrlConfig {
-        episodes: 60,
+        // CI budgets the run via VTM_EXAMPLE_EPISODES.
+        episodes: vtm::example_episodes(60),
         rounds_per_episode: 50,
         learning_rate: 3e-4,
         ..DrlConfig::default()

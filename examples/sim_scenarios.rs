@@ -1,0 +1,73 @@
+//! The trace-driven scenario engine: train the DRL pricing policy against
+//! live vehicular-simulator state and watch one evaluation episode round by
+//! round.
+//!
+//! ```text
+//! cargo run --release --example sim_scenarios                  # highway
+//! cargo run --release --example sim_scenarios -- urban-grid    # any named scenario
+//! cargo run --release --example sim_scenarios -- multi-msp
+//! ```
+
+use vtm::prelude::*;
+
+fn main() {
+    let kind = std::env::args()
+        .nth(1)
+        .and_then(|name| ScenarioKind::from_name(&name))
+        .unwrap_or(ScenarioKind::Highway);
+    let scenario = Scenario::preset(kind);
+    // CI budgets the run via VTM_EXAMPLE_EPISODES.
+    let episodes = vtm::example_episodes(24);
+    let drl = DrlConfig {
+        episodes,
+        rounds_per_episode: 30,
+        learning_rate: 3e-4,
+        ..DrlConfig::default()
+    };
+
+    println!(
+        "Scenario `{kind}` — {} ({} trips, slot {} s)",
+        kind.description(),
+        scenario.trace.trips,
+        scenario.slot_s
+    );
+    println!("Training for {episodes} episodes on 4 parallel scenario replicas...\n");
+    let run = train_scenario_parallel(&scenario, &drl, RewardMode::Improvement, episodes, 4, 0);
+    println!(
+        "tail-8 mean return = {:.2}, tail-8 mean MSP utility = {:.3}",
+        run.history.tail_mean(8, |e| e.episode_return),
+        run.history.tail_mean(8, |e| e.mean_msp_utility)
+    );
+
+    let mut env = scenario.env(
+        drl.history_length,
+        drl.rounds_per_episode,
+        RewardMode::Improvement,
+        1234,
+    );
+    let records = evaluate_scenario(&run.agent, &mut env, drl.rounds_per_episode);
+    println!("\nround, clock_s, price, active, served, handovers, sold_mhz, msp_utility, aotm_s");
+    for r in &records {
+        println!(
+            "{:5}, {:7.1}, {:6.2}, {:6}, {:6}, {:9}, {:8.3}, {:11.3}, {}",
+            r.round,
+            r.clock_s,
+            r.price,
+            r.active_vmus,
+            r.served_vmus,
+            r.migrations,
+            r.total_demand_mhz,
+            r.msp_utility,
+            r.mean_aotm_s
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    let handovers: usize = records.iter().map(|r| r.migrations).sum();
+    println!(
+        "\nevaluation: {} rounds, {} RSU hand-overs, mean utility {:.3}",
+        records.len(),
+        handovers,
+        records.iter().map(|r| r.msp_utility).sum::<f64>() / records.len().max(1) as f64
+    );
+}

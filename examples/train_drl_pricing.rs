@@ -14,7 +14,9 @@ fn main() {
     let mut config = ExperimentConfig::paper_two_vmus();
     if !full {
         config.drl = DrlConfig {
-            episodes: 80,
+            // CI budgets the run via VTM_EXAMPLE_EPISODES so the example
+            // cannot bit-rot without taking minutes.
+            episodes: vtm::example_episodes(80),
             rounds_per_episode: 50,
             learning_rate: 3e-4,
             ..DrlConfig::default()

@@ -5,14 +5,14 @@
 //! arXiv:2309.04929). It re-exports the workspace crates so that downstream
 //! users need a single dependency:
 //!
-//! * [`core`](vtm_core) — AoTM, the Stackelberg game, the DRL incentive
+//! * [`core`] — AoTM, the Stackelberg game, the DRL incentive
 //!   mechanism and the baseline pricing schemes (the paper's contribution),
-//! * [`sim`](vtm_sim) — the vehicular-metaverse simulator substrate
+//! * [`sim`] — the vehicular-metaverse simulator substrate
 //!   (mobility, RSUs, channel, pre-copy live migration),
-//! * [`rl`](vtm_rl) — the PPO reinforcement-learning substrate, including
+//! * [`rl`] — the PPO reinforcement-learning substrate, including
 //!   the deterministic parallel vectorized rollout engine,
-//! * [`nn`](vtm_nn) — the neural-network substrate,
-//! * [`game`](vtm_game) — the generic Stackelberg game-theory substrate.
+//! * [`nn`] — the neural-network substrate,
+//! * [`game`] — the generic Stackelberg game-theory substrate.
 //!
 //! # Example
 //!
@@ -50,6 +50,31 @@ pub mod prelude {
     pub use vtm_sim::prelude::*;
 }
 
+/// Training-episode budget for the `examples/`: the value of the
+/// `VTM_EXAMPLE_EPISODES` environment variable, or `default` when unset or
+/// unparsable. CI sets a small budget so every example runs end-to-end in
+/// seconds without bit-rotting.
+pub fn example_episodes(default: usize) -> usize {
+    budget_from_env("VTM_EXAMPLE_EPISODES", default)
+}
+
+/// Simulated-duration budget (seconds) for the `examples/`: the value of the
+/// `VTM_EXAMPLE_DURATION_S` environment variable, or `default` when unset or
+/// unparsable.
+pub fn example_duration_s(default: f64) -> f64 {
+    match std::env::var("VTM_EXAMPLE_DURATION_S") {
+        Ok(v) => v.parse().ok().filter(|&d| d > 0.0).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+fn budget_from_env(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -59,5 +84,12 @@ mod tests {
         assert_eq!(cfg.vmus.len(), 2);
         let link = LinkBudget::default();
         assert!(link.spectral_efficiency() > 0.0);
+    }
+
+    #[test]
+    fn example_budgets_fall_back_to_defaults() {
+        // The variables are unset in the test environment.
+        assert_eq!(crate::example_episodes(42), 42);
+        assert_eq!(crate::example_duration_s(300.0), 300.0);
     }
 }
