@@ -1,5 +1,5 @@
 //! The manifest-driven experiment runner: one binary for every figure,
-//! ablation and trace-driven scenario experiment.
+//! ablation, trace-driven scenario experiment and the policy lifecycle.
 //!
 //! ```text
 //! cargo run -p vtm-bench --release --bin experiments -- --list
@@ -7,12 +7,22 @@
 //! cargo run -p vtm-bench --release --bin experiments -- --scenario all --episodes 4
 //! cargo run -p vtm-bench --release --bin experiments -- --figure fig2a --full
 //! cargo run -p vtm-bench --release --bin experiments -- --all
+//!
+//! # policy lifecycle: train -> checkpoint -> serve
+//! cargo run -p vtm-bench --release --bin experiments -- \
+//!     train --env highway --episodes 24 --checkpoint results/policy_highway.vtm
+//! cargo run -p vtm-bench --release --bin experiments -- \
+//!     serve-bench --checkpoint results/policy_highway.vtm --env highway --sessions 64
 //! ```
 //!
 //! Each selected experiment prints its table and writes
-//! `results/<name>.csv` + `results/<name>.json`.
+//! `results/<name>.csv` + `results/<name>.json`; `serve-bench` writes
+//! `results/BENCH_serve.json`.
 
 use vtm_bench::experiments::{find, manifest, ExperimentCtx};
+use vtm_bench::lifecycle::{describe_checkpoint, train_to_checkpoint, TrainOptions};
+use vtm_bench::serve_bench::{run_serve_bench, ServeBenchOptions};
+use vtm_core::registry::EnvRegistry;
 use vtm_core::scenario::ScenarioKind;
 
 fn usage() -> ! {
@@ -20,10 +30,22 @@ fn usage() -> ! {
         "usage: experiments [--list] [--all] [--scenario <name>|all]... [--figure <name>|all]... \
          [--run <name>]... [--episodes N] [--full]"
     );
+    eprintln!(
+        "       experiments train [--env <preset>] [--episodes N] [--collectors N] \
+         [--threads N] [--seed N] [--checkpoint <path>] [--resume <path>]"
+    );
+    eprintln!(
+        "       experiments serve-bench [--env <preset>] [--checkpoint <path>] \
+         [--sessions N] [--rounds N] [--repeats N]"
+    );
     eprintln!("known experiments:");
     for spec in manifest() {
         eprintln!("  {:<28} {}", spec.name, spec.description);
     }
+    eprintln!(
+        "environment presets: {}",
+        EnvRegistry::builtin().names().join(", ")
+    );
     std::process::exit(2);
 }
 
@@ -41,8 +63,144 @@ fn select(selected: &mut Vec<&'static str>, name: &str) {
     }
 }
 
+/// Parses `--flag <value>` pairs for the lifecycle subcommands; exits with
+/// usage on anything unknown.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => {
+            eprintln!("error: {flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn parse_count(value: &str, flag: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} needs a number, got `{value}`");
+            usage();
+        }
+    }
+}
+
+fn main_train(args: &[String]) {
+    let mut opts = TrainOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--episodes" => {
+                opts.episodes = parse_count(flag_value(args, &mut i, "--episodes"), "--episodes")
+            }
+            "--collectors" => {
+                opts.collectors = Some(
+                    parse_count(flag_value(args, &mut i, "--collectors"), "--collectors").max(1),
+                )
+            }
+            "--threads" => {
+                opts.threads = parse_count(flag_value(args, &mut i, "--threads"), "--threads")
+            }
+            "--seed" => {
+                opts.seed = Some(parse_count(flag_value(args, &mut i, "--seed"), "--seed") as u64)
+            }
+            "--checkpoint" => {
+                opts.checkpoint = flag_value(args, &mut i, "--checkpoint").into();
+            }
+            "--resume" => opts.resume = Some(flag_value(args, &mut i, "--resume").into()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown train argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match train_to_checkpoint(&opts) {
+        Ok(summary) => {
+            println!(
+                "trained {} episodes on `{}` (tail-8 mean return {:.2}, {} rounds total)",
+                summary.episodes, opts.env, summary.tail_mean_return, summary.trained_rounds
+            );
+            match describe_checkpoint(&summary.checkpoint) {
+                Ok(description) => println!("checkpoint {description}"),
+                Err(err) => eprintln!("warning: {err}"),
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main_serve_bench(args: &[String]) {
+    let mut opts = ServeBenchOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(flag_value(args, &mut i, "--checkpoint").into())
+            }
+            "--sessions" => {
+                opts.sessions =
+                    parse_count(flag_value(args, &mut i, "--sessions"), "--sessions").max(1)
+            }
+            "--rounds" => {
+                opts.rounds = parse_count(flag_value(args, &mut i, "--rounds"), "--rounds").max(1)
+            }
+            "--repeats" => {
+                opts.repeats =
+                    parse_count(flag_value(args, &mut i, "--repeats"), "--repeats").max(1)
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown serve-bench argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_serve_bench(&opts) {
+        Ok(result) => {
+            println!(
+                "serve-bench `{}`: {} sessions x {} rounds — batched {:.0} quotes/s vs \
+                 per-request {:.0} quotes/s ({:.2}x)",
+                result.env,
+                result.sessions,
+                result.rounds,
+                result.batched_qps,
+                result.per_request_qps,
+                result.speedup
+            );
+            match result.save() {
+                Ok(path) => println!("(saved to {})", path.display()),
+                Err(err) => {
+                    eprintln!("error: could not write BENCH_serve.json: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Lifecycle subcommands take over the whole argument list.
+    match args.first().map(String::as_str) {
+        Some("train") => return main_train(&args[1..]),
+        Some("serve-bench") => return main_serve_bench(&args[1..]),
+        _ => {}
+    }
+
     let ctx = ExperimentCtx::from_args(&args);
     let mut selected: Vec<&'static str> = Vec::new();
 

@@ -6,8 +6,8 @@
 //! (`--figure fig2a`, `--scenario highway`, `--all`), runs them under an
 //! [`ExperimentCtx`] budget and emits each resulting [`Report`] as stdout +
 //! `results/<name>.csv` + `results/<name>.json`. The historical
-//! one-figure-per-binary entry points are thin wrappers over
-//! [`main_single`].
+//! one-figure-per-binary stems (`fig2a_convergence`, `ablation_drl_design`,
+//! ...) survive as aliases, so `--run fig2a_convergence` keeps working.
 
 use vtm_core::allocator::{PricingRule, StackelbergAllocator};
 use vtm_core::config::{ExperimentConfig, MarketConfig};
@@ -188,20 +188,6 @@ pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
 /// Runs one experiment by name under the given budget.
 pub fn run_by_name(name: &str, ctx: &ExperimentCtx) -> Option<Report> {
     find(name).map(|spec| (spec.run)(ctx))
-}
-
-/// Entry point shared by the thin wrapper binaries: parses `--full` /
-/// `--episodes` from the process arguments, runs the named experiment and
-/// emits its report.
-///
-/// # Panics
-///
-/// Panics if `name` is not in the manifest (a wrapper binary bug).
-pub fn main_single(name: &str) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ctx = ExperimentCtx::from_args(&args);
-    let report = run_by_name(name, &ctx).expect("wrapper binaries name manifest entries");
-    report.emit();
 }
 
 fn fig2a(ctx: &ExperimentCtx) -> Report {

@@ -6,16 +6,21 @@
 //!
 //! The single manifest-driven [`experiments`] runner replaces the old
 //! one-figure-per-binary layout: every experiment is an entry in
-//! [`experiments::manifest`], selected by name on the command line, and emits
+//! [`experiments::manifest`], selected by name on the command line (the
+//! historical `fig*`/`ablation*` binary stems live on as aliases), and emits
 //! its series as an aligned table plus CSV and JSON files under `results/`
-//! via the [`report`] helpers. The historical `fig*`/`ablation*` binaries
-//! survive as thin wrappers over the same entries.
+//! via the [`report`] helpers. The runner also drives the policy lifecycle:
+//! `experiments train` ([`lifecycle`]) produces versioned policy checkpoints
+//! and `experiments serve-bench` ([`serve_bench`]) measures the batched
+//! serving layer's quote throughput against the per-request baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lifecycle;
 pub mod report;
+pub mod serve_bench;
 
 pub use report::{results_dir, Report, ResultsTable};
 

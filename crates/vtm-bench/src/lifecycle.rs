@@ -1,0 +1,334 @@
+//! The `experiments train` subcommand: train a policy on any registry
+//! preset and persist it as a versioned checkpoint — the *train → checkpoint*
+//! half of the policy lifecycle (`serve-bench` is the *load → serve* half).
+
+use std::path::{Path, PathBuf};
+
+use vtm_core::registry::{EnvBuildOptions, EnvRegistry};
+use vtm_rl::env::Environment;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_rl::trainer::Trainer;
+
+/// Options of one `experiments train` run.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Registry preset to train on.
+    pub env: String,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Explicit environment replicas per collection round. `None` (the
+    /// default) means: 4 for a fresh run, and *the checkpoint's recorded
+    /// collector count* when resuming — the `(seed, round, replica)`
+    /// schedule depends on it, so inheriting it keeps a resumed run
+    /// bit-identical to an uninterrupted one.
+    pub collectors: Option<usize>,
+    /// Collector worker threads (`0` = one per core).
+    pub threads: usize,
+    /// Where the final checkpoint is written.
+    pub checkpoint: PathBuf,
+    /// Explicit base seed of the run. `None` (the default) means: 7 for a
+    /// fresh run, and *the checkpoint's own recorded seed* when resuming —
+    /// so a resume without `--seed` continues the interrupted seed schedule
+    /// exactly instead of silently diverging.
+    pub seed: Option<u64>,
+    /// Optional checkpoint to resume from.
+    pub resume: Option<PathBuf>,
+}
+
+/// Fresh-run fallback seed when none is given.
+const DEFAULT_SEED: u64 = 7;
+
+/// Fresh-run fallback collector count when none is given.
+const DEFAULT_COLLECTORS: usize = 4;
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            env: "static".to_string(),
+            episodes: 24,
+            collectors: None,
+            threads: 0,
+            checkpoint: PathBuf::from("results/policy.vtm"),
+            seed: None,
+            resume: None,
+        }
+    }
+}
+
+/// Summary of one training-to-checkpoint run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSummary {
+    /// Episodes trained in this run.
+    pub episodes: usize,
+    /// Mean return over the last 8 episodes.
+    pub tail_mean_return: f64,
+    /// Global round counter recorded in the checkpoint.
+    pub trained_rounds: u64,
+    /// Where the checkpoint was written.
+    pub checkpoint: PathBuf,
+}
+
+/// Trains a PPO policy on the named preset and writes the final
+/// [`PolicySnapshot`] to `opts.checkpoint`. With `opts.resume`, the agent
+/// state and round counter are restored first, so the run continues the
+/// interrupted seed schedule exactly.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown presets, unreadable resume
+/// checkpoints and write failures.
+pub fn train_to_checkpoint(opts: &TrainOptions) -> Result<TrainSummary, String> {
+    let registry = EnvRegistry::builtin();
+    let build = EnvBuildOptions {
+        seed: opts.seed.unwrap_or(DEFAULT_SEED),
+        ..EnvBuildOptions::default()
+    };
+    let env = registry
+        .build(&opts.env, &build)
+        .ok_or_else(|| format!("unknown environment preset `{}`", opts.env))?;
+    let (mut agent, start_round, run_seed, collectors) = match &opts.resume {
+        Some(path) => {
+            let snapshot = PolicySnapshot::load_from(path)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+            // Geometry must match the chosen preset, or training would feed
+            // wrong-width observations (or wrong action bounds) to the
+            // restored policy.
+            if snapshot.config.obs_dim != env.observation_dim() {
+                return Err(format!(
+                    "checkpoint {} was trained for obs_dim {}, but preset `{}` has obs_dim {}",
+                    path.display(),
+                    snapshot.config.obs_dim,
+                    opts.env,
+                    env.observation_dim()
+                ));
+            }
+            if snapshot.action_space != env.action_space() {
+                return Err(format!(
+                    "checkpoint {} was trained for a different action space than preset `{}`",
+                    path.display(),
+                    opts.env
+                ));
+            }
+            // Without an explicit --seed, continue the checkpoint's own seed
+            // schedule so the resumed run is bit-identical to an
+            // uninterrupted one.
+            let run_seed = opts.seed.unwrap_or(snapshot.config.seed);
+            let collectors = opts
+                .collectors
+                .unwrap_or(match snapshot.trained_collectors {
+                    0 => DEFAULT_COLLECTORS,
+                    k => k as usize,
+                });
+            (
+                PpoAgent::restore(&snapshot),
+                snapshot.trained_rounds,
+                run_seed,
+                collectors,
+            )
+        }
+        None => {
+            let seed = opts.seed.unwrap_or(DEFAULT_SEED);
+            let ppo = PpoConfig::new(env.observation_dim(), 1).with_seed(seed);
+            (
+                PpoAgent::new(ppo, env.action_space()),
+                0,
+                seed,
+                opts.collectors.unwrap_or(DEFAULT_COLLECTORS),
+            )
+        }
+    };
+    let max_steps = env.rounds_per_episode();
+    let report = Trainer::for_env(env)
+        .episodes(opts.episodes)
+        .collectors(collectors)
+        .threads(opts.threads)
+        .max_steps(max_steps)
+        .seed(run_seed)
+        .start_round(start_round)
+        .run(&mut agent)
+        .map_err(|e| format!("training failed: {e}"))?;
+    if let Some(parent) = opts
+        .checkpoint
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    agent
+        .snapshot()
+        .with_trained_rounds(report.next_round())
+        .with_trained_collectors(collectors as u64)
+        .save_to(&opts.checkpoint)
+        .map_err(|e| format!("cannot write {}: {e}", opts.checkpoint.display()))?;
+    let tail = report
+        .episode_returns
+        .iter()
+        .rev()
+        .take(8)
+        .copied()
+        .collect::<Vec<_>>();
+    Ok(TrainSummary {
+        episodes: report.episode_returns.len(),
+        tail_mean_return: crate::mean(&tail),
+        trained_rounds: report.next_round(),
+        checkpoint: opts.checkpoint.clone(),
+    })
+}
+
+/// Loads a checkpoint and returns a one-line human description (used by the
+/// CLI after training and by smoke tests).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the checkpoint is unreadable.
+pub fn describe_checkpoint(path: &Path) -> Result<String, String> {
+    let snapshot =
+        PolicySnapshot::load_from(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(format!(
+        "{}: obs_dim {}, action_dim {}, hidden {:?}, {} trained rounds, normalizer: {}",
+        path.display(),
+        snapshot.config.obs_dim,
+        snapshot.config.action_dim,
+        snapshot.config.hidden,
+        snapshot.trained_rounds,
+        if snapshot.obs_normalizer.is_some() {
+            "yes"
+        } else {
+            "no"
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_checkpoint(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vtm_lifecycle_{tag}_{}.vtm", std::process::id()))
+    }
+
+    #[test]
+    fn train_writes_a_loadable_checkpoint() {
+        let checkpoint = temp_checkpoint("train");
+        let opts = TrainOptions {
+            episodes: 2,
+            collectors: Some(2),
+            threads: 1,
+            checkpoint: checkpoint.clone(),
+            ..TrainOptions::default()
+        };
+        let summary = train_to_checkpoint(&opts).unwrap();
+        assert_eq!(summary.episodes, 2);
+        assert_eq!(summary.trained_rounds, 1);
+        let description = describe_checkpoint(&checkpoint).unwrap();
+        assert!(description.contains("trained rounds"));
+        let snapshot = PolicySnapshot::load_from(&checkpoint).unwrap();
+        assert_eq!(snapshot.trained_rounds, 1);
+        std::fs::remove_file(&checkpoint).unwrap();
+    }
+
+    #[test]
+    fn resume_continues_the_round_counter() {
+        let first = temp_checkpoint("resume_a");
+        let second = temp_checkpoint("resume_b");
+        let opts = TrainOptions {
+            episodes: 2,
+            collectors: Some(1),
+            threads: 1,
+            checkpoint: first.clone(),
+            ..TrainOptions::default()
+        };
+        train_to_checkpoint(&opts).unwrap();
+        let resumed = TrainOptions {
+            episodes: 3,
+            checkpoint: second.clone(),
+            resume: Some(first.clone()),
+            ..opts
+        };
+        let summary = train_to_checkpoint(&resumed).unwrap();
+        assert_eq!(summary.trained_rounds, 5);
+        std::fs::remove_file(&first).unwrap();
+        std::fs::remove_file(&second).unwrap();
+    }
+
+    #[test]
+    fn resume_without_seed_matches_an_uninterrupted_run_bit_exactly() {
+        let whole_ckpt = temp_checkpoint("seed_whole");
+        let part_ckpt = temp_checkpoint("seed_part");
+        let final_ckpt = temp_checkpoint("seed_final");
+        let base = TrainOptions {
+            collectors: Some(2),
+            threads: 1,
+            seed: Some(123),
+            ..TrainOptions::default()
+        };
+        // Uninterrupted: 4 episodes at seed 123.
+        train_to_checkpoint(&TrainOptions {
+            episodes: 4,
+            checkpoint: whole_ckpt.clone(),
+            ..base.clone()
+        })
+        .unwrap();
+        // Split: 2 episodes at seed 123, then resume WITHOUT repeating the
+        // seed — it must be inherited from the checkpoint.
+        train_to_checkpoint(&TrainOptions {
+            episodes: 2,
+            checkpoint: part_ckpt.clone(),
+            ..base.clone()
+        })
+        .unwrap();
+        // Neither --seed nor --collectors repeated: both must be inherited
+        // from the checkpoint.
+        train_to_checkpoint(&TrainOptions {
+            episodes: 2,
+            seed: None,
+            collectors: None,
+            checkpoint: final_ckpt.clone(),
+            resume: Some(part_ckpt.clone()),
+            ..base
+        })
+        .unwrap();
+        let whole = PolicySnapshot::load_from(&whole_ckpt).unwrap();
+        let resumed = PolicySnapshot::load_from(&final_ckpt).unwrap();
+        assert_eq!(whole, resumed, "resume without --seed diverged");
+        for p in [whole_ckpt, part_ckpt, final_ckpt] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_for_a_different_geometry() {
+        // A highway checkpoint (obs_dim 24) cannot resume on the static
+        // preset (obs_dim 12): typed error, not a mid-training panic.
+        let checkpoint = temp_checkpoint("geometry");
+        let highway = TrainOptions {
+            env: "highway".to_string(),
+            episodes: 1,
+            collectors: Some(1),
+            threads: 1,
+            checkpoint: checkpoint.clone(),
+            ..TrainOptions::default()
+        };
+        train_to_checkpoint(&highway).unwrap();
+        let mismatched = TrainOptions {
+            env: "static".to_string(),
+            resume: Some(checkpoint.clone()),
+            ..highway
+        };
+        let err = train_to_checkpoint(&mismatched).unwrap_err();
+        assert!(err.contains("obs_dim"), "unexpected error: {err}");
+        std::fs::remove_file(&checkpoint).unwrap();
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let opts = TrainOptions {
+            env: "nope".to_string(),
+            ..TrainOptions::default()
+        };
+        assert!(train_to_checkpoint(&opts).is_err());
+        assert!(describe_checkpoint(Path::new("/nonexistent/x.vtm")).is_err());
+    }
+}

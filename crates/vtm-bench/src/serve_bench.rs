@@ -1,0 +1,284 @@
+//! The serving throughput benchmark behind `experiments serve-bench`.
+//!
+//! Measures the end-to-end quote throughput of a [`PricingService`] loaded
+//! from a policy checkpoint, comparing the batched path (one
+//! [`PricingService::quote_batch`] call per pricing round) against the
+//! per-request baseline (one [`PricingService::quote_one`] call per session
+//! per round) over identical request streams. Since both paths produce
+//! bit-identical greedy quotes, the measured ratio is pure batching
+//! speedup — the same lever the training-side rollout engine uses, now on
+//! the serving side. Results are written to `results/BENCH_serve.json`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use vtm_core::registry::{EnvBuildOptions, EnvRegistry};
+use vtm_rl::env::Environment;
+use vtm_rl::ppo::PpoAgent;
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_rl::trainer::Trainer;
+use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+
+use crate::results_dir;
+
+/// Options of one serve-bench run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchOptions {
+    /// Registry preset the policy prices (decides the feature geometry).
+    pub env: String,
+    /// Optional checkpoint to load; when absent a policy is trained on the
+    /// spot for `train_episodes` episodes.
+    pub checkpoint: Option<PathBuf>,
+    /// Concurrent VMU sessions per round.
+    pub sessions: usize,
+    /// Pricing rounds per timed pass.
+    pub rounds: usize,
+    /// Timed passes; the reported numbers are the per-path medians.
+    pub repeats: usize,
+    /// Episodes for the fallback on-the-spot training.
+    pub train_episodes: usize,
+    /// Inference worker threads for the batched path (`0` = one per core).
+    pub inference_threads: usize,
+}
+
+impl Default for ServeBenchOptions {
+    fn default() -> Self {
+        Self {
+            env: "static".to_string(),
+            checkpoint: None,
+            sessions: 64,
+            rounds: 20,
+            repeats: 5,
+            train_episodes: 2,
+            inference_threads: 0,
+        }
+    }
+}
+
+/// The measured outcome of one serve-bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchResult {
+    /// Preset name the geometry came from.
+    pub env: String,
+    /// Sessions per round.
+    pub sessions: usize,
+    /// Rounds per pass.
+    pub rounds: usize,
+    /// Feature-block width per round.
+    pub features_per_round: usize,
+    /// Observation history length.
+    pub history_length: usize,
+    /// Inference threads the batched path resolved to.
+    pub inference_threads: usize,
+    /// Median seconds per pass, batched path.
+    pub batched_s: f64,
+    /// Median seconds per pass, per-request path.
+    pub per_request_s: f64,
+    /// Batched throughput (quotes per second).
+    pub batched_qps: f64,
+    /// Per-request throughput (quotes per second).
+    pub per_request_qps: f64,
+    /// `batched_qps / per_request_qps`.
+    pub speedup: f64,
+}
+
+impl ServeBenchResult {
+    /// Renders the result as the `results/BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"env\": \"{env}\",\n  \"shapes\": {{\n    \
+             \"sessions\": {sessions},\n    \"rounds\": {rounds},\n    \
+             \"history_length\": {hist},\n    \"features_per_round\": {feat},\n    \
+             \"inference_threads\": {threads}\n  }},\n  \
+             \"batched\": {{\n    \"seconds_per_pass\": {bs:.6},\n    \
+             \"quotes_per_s\": {bqps:.1}\n  }},\n  \"per_request\": {{\n    \
+             \"seconds_per_pass\": {ps:.6},\n    \"quotes_per_s\": {pqps:.1}\n  }},\n  \
+             \"speedup\": {speedup:.3}\n}}\n",
+            env = self.env,
+            sessions = self.sessions,
+            rounds = self.rounds,
+            hist = self.history_length,
+            feat = self.features_per_round,
+            threads = self.inference_threads,
+            bs = self.batched_s,
+            bqps = self.batched_qps,
+            ps = self.per_request_s,
+            pqps = self.per_request_qps,
+            speedup = self.speedup,
+        )
+    }
+
+    /// Writes `results/BENCH_serve.json` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error when the file cannot be written.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let path = results_dir().join("BENCH_serve.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Deterministic synthetic feature block for `(round, session, width)` —
+/// the request stream both timed paths replay.
+fn feature_block(round: usize, session: usize, width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|f| ((round * 131 + session * 31 + f * 7) % 97) as f64 / 97.0)
+        .collect()
+}
+
+/// Builds the per-round request batches.
+fn request_stream(opts: &ServeBenchOptions, width: usize) -> Vec<Vec<QuoteRequest>> {
+    (0..opts.rounds)
+        .map(|round| {
+            (0..opts.sessions)
+                .map(|s| QuoteRequest::new(s as u64, feature_block(round, s, width)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Resolves the policy snapshot: load the checkpoint when given, otherwise
+/// train a small policy on the named preset right here.
+fn resolve_snapshot(
+    opts: &ServeBenchOptions,
+    build: &EnvBuildOptions,
+) -> Result<PolicySnapshot, String> {
+    if let Some(path) = &opts.checkpoint {
+        return PolicySnapshot::load_from(path)
+            .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()));
+    }
+    let registry = EnvRegistry::builtin();
+    let env = registry
+        .build(&opts.env, build)
+        .ok_or_else(|| format!("unknown environment preset `{}`", opts.env))?;
+    let ppo = vtm_rl::ppo::PpoConfig::new(env.observation_dim(), 1).with_seed(7);
+    let mut agent = PpoAgent::new(ppo, env.action_space());
+    let report = Trainer::for_env(env)
+        .episodes(opts.train_episodes)
+        .max_steps(build.rounds_per_episode)
+        .run(&mut agent)
+        .map_err(|e| format!("fallback training failed: {e}"))?;
+    Ok(agent.snapshot().with_trained_rounds(report.next_round()))
+}
+
+/// Runs the benchmark: builds (or loads) the policy, replays the same
+/// request stream through the batched and the per-request path, checks they
+/// quote identically, and reports the throughput of each.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown presets, unreadable
+/// checkpoints or geometry mismatches.
+pub fn run_serve_bench(opts: &ServeBenchOptions) -> Result<ServeBenchResult, String> {
+    let build = EnvBuildOptions::default();
+    let registry = EnvRegistry::builtin();
+    let spec = registry
+        .get(&opts.env)
+        .ok_or_else(|| format!("unknown environment preset `{}`", opts.env))?;
+    let features = spec.features_per_round();
+    let snapshot = resolve_snapshot(opts, &build)?;
+    let resolved_threads = match opts.inference_threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        t => t,
+    };
+    // The batched service fans its forward pass out across cores; the
+    // per-request baseline is inherently one row-vector pass per call.
+    let service_config =
+        ServiceConfig::new(build.history_length, features).with_inference_threads(resolved_threads);
+    let make_service = || {
+        PricingService::from_snapshot(&snapshot, service_config)
+            .map_err(|e| format!("cannot build service: {e}"))
+    };
+    let stream = request_stream(opts, features);
+
+    // Correctness first: both paths must quote identically.
+    {
+        let batched = make_service()?;
+        let sequential = make_service()?;
+        for batch in &stream {
+            let a = batched.quote_batch(batch).map_err(|e| e.to_string())?;
+            let b: Result<Vec<_>, _> = batch.iter().map(|r| sequential.quote_one(r)).collect();
+            let b = b.map_err(|e| e.to_string())?;
+            if a != b {
+                return Err("batched and per-request quotes diverged".to_string());
+            }
+        }
+    }
+
+    // Interleaved paired timing (one pass of each per repeat), so CPU
+    // frequency drift on shared machines hits both paths equally.
+    let mut batched_times = Vec::with_capacity(opts.repeats);
+    let mut per_request_times = Vec::with_capacity(opts.repeats);
+    for _ in 0..opts.repeats {
+        let service = make_service()?;
+        let t = Instant::now();
+        for batch in &stream {
+            service.quote_batch(batch).map_err(|e| e.to_string())?;
+        }
+        batched_times.push(t.elapsed().as_secs_f64());
+
+        let service = make_service()?;
+        let t = Instant::now();
+        for batch in &stream {
+            for request in batch {
+                service.quote_one(request).map_err(|e| e.to_string())?;
+            }
+        }
+        per_request_times.push(t.elapsed().as_secs_f64());
+    }
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        times[times.len() / 2]
+    };
+    let batched_s = median(&mut batched_times).max(1e-12);
+    let per_request_s = median(&mut per_request_times).max(1e-12);
+    let quotes = (opts.sessions * opts.rounds) as f64;
+    Ok(ServeBenchResult {
+        env: opts.env.clone(),
+        sessions: opts.sessions,
+        rounds: opts.rounds,
+        features_per_round: features,
+        history_length: build.history_length,
+        inference_threads: resolved_threads,
+        batched_s,
+        per_request_s,
+        batched_qps: quotes / batched_s,
+        per_request_qps: quotes / per_request_s,
+        speedup: per_request_s / batched_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_runs_and_reports_consistent_numbers() {
+        let opts = ServeBenchOptions {
+            sessions: 8,
+            rounds: 3,
+            repeats: 1,
+            ..ServeBenchOptions::default()
+        };
+        let result = run_serve_bench(&opts).unwrap();
+        assert_eq!(result.sessions, 8);
+        assert_eq!(result.rounds, 3);
+        assert!(result.batched_qps > 0.0);
+        assert!(result.per_request_qps > 0.0);
+        assert!(result.speedup > 0.0);
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn unknown_presets_are_rejected() {
+        let opts = ServeBenchOptions {
+            env: "not-a-preset".to_string(),
+            ..ServeBenchOptions::default()
+        };
+        assert!(run_serve_bench(&opts).is_err());
+    }
+}

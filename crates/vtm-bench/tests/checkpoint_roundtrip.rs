@@ -1,0 +1,157 @@
+//! Acceptance checks of the policy lifecycle's checkpoint guarantees
+//! (fixed-seed FNV digests, same style as `scenario_determinism.rs`):
+//!
+//! 1. save → load → evaluate is bit-identical to the in-memory agent;
+//! 2. train(k) + checkpoint + resume(n − k) matches train(n) exactly.
+
+use std::path::PathBuf;
+
+use vtm_core::config::{DrlConfig, ExperimentConfig};
+use vtm_core::mechanism::{IncentiveMechanism, TrainingHistory};
+use vtm_rl::snapshot::PolicySnapshot;
+
+fn fast_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        drl: DrlConfig {
+            episodes: 12,
+            rounds_per_episode: 20,
+            learning_rate: 3e-4,
+            seed,
+            ..DrlConfig::default()
+        },
+        ..ExperimentConfig::paper_two_vmus()
+    }
+}
+
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "vtm_checkpoint_roundtrip_{tag}_{}.vtm",
+        std::process::id()
+    ))
+}
+
+/// FNV-1a over a stream of 64-bit words (shared by both digest helpers so
+/// the hashing scheme exists exactly once).
+fn fnv_digest(words: impl IntoIterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    words
+        .into_iter()
+        .fold(OFFSET, |h, w| (h ^ w).wrapping_mul(PRIME))
+}
+
+/// Digest of the bit patterns of every field of every episode log.
+fn history_digest(history: &TrainingHistory) -> u64 {
+    fnv_digest(history.episodes.iter().flat_map(|log| {
+        [
+            log.episode_return.to_bits(),
+            log.mean_msp_utility.to_bits(),
+            log.final_msp_utility.to_bits(),
+            log.best_msp_utility.to_bits(),
+            log.mean_price.to_bits(),
+        ]
+    }))
+}
+
+/// Digest of the policy's deterministic actions and values on a fixed
+/// observation grid — a pure function of the policy parameters.
+fn policy_digest(mechanism: &IncentiveMechanism) -> u64 {
+    let agent = mechanism.agent();
+    let obs_dim = agent.config().obs_dim;
+    fnv_digest((0..8u64).flat_map(|probe| {
+        let obs: Vec<f64> = (0..obs_dim)
+            .map(|d| ((probe * 17 + d as u64 * 5) % 11) as f64 / 11.0)
+            .collect();
+        let mut words: Vec<u64> = agent
+            .act_deterministic(&obs)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        words.push(agent.value(&obs).to_bits());
+        words
+    }))
+}
+
+/// Satellite 3a: after a save → load round trip through the versioned codec,
+/// the restored policy is bit-identical to the in-memory agent — same
+/// deterministic actions, same values, same evaluation outcome.
+#[test]
+fn save_load_evaluate_is_bit_identical_to_the_in_memory_agent() {
+    let mut mechanism = IncentiveMechanism::new(fast_config(42));
+    mechanism.train_episodes_parallel(8, 4, 2);
+
+    let path = temp_checkpoint("save_load");
+    mechanism.snapshot().save_to(&path).unwrap();
+    let loaded = PolicySnapshot::load_from(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let mut restored = IncentiveMechanism::new(fast_config(42));
+    restored.restore_policy(&loaded).unwrap();
+
+    assert_eq!(mechanism.agent(), restored.agent());
+    assert_eq!(policy_digest(&mechanism), policy_digest(&restored));
+
+    let eval_a = mechanism.evaluate(15);
+    let eval_b = restored.evaluate(15);
+    assert_eq!(eval_a.mean_price.to_bits(), eval_b.mean_price.to_bits());
+    assert_eq!(
+        eval_a.mean_msp_utility.to_bits(),
+        eval_b.mean_msp_utility.to_bits()
+    );
+    assert_eq!(
+        eval_a.mean_total_bandwidth_mhz.to_bits(),
+        eval_b.mean_total_bandwidth_mhz.to_bits()
+    );
+    assert_eq!(
+        eval_a.equilibrium_ratio.to_bits(),
+        eval_b.equilibrium_ratio.to_bits()
+    );
+}
+
+/// Satellite 3b: train(k) + checkpoint + resume(n − k) must match train(n)
+/// exactly — history digests and final policies bit for bit.
+#[test]
+fn resumed_training_matches_uninterrupted_training_exactly() {
+    let (n, k, envs, threads) = (12, 4, 2, 2);
+
+    let mut whole = IncentiveMechanism::new(fast_config(7));
+    let history_whole = whole.train_episodes_parallel(n, envs, threads);
+
+    let mut part = IncentiveMechanism::new(fast_config(7));
+    let history_first = part.train_episodes_parallel(k, envs, threads);
+    let path = temp_checkpoint("resume");
+    part.snapshot().save_to(&path).unwrap();
+    let checkpoint = PolicySnapshot::load_from(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let mut resumed = IncentiveMechanism::new(fast_config(7));
+    resumed.restore_policy(&checkpoint).unwrap();
+    let history_second = resumed.train_episodes_parallel(n - k, envs, threads);
+
+    // The concatenated histories digest identically to the single run.
+    let mut combined = TrainingHistory::default();
+    combined.episodes.extend(history_first.episodes.clone());
+    combined.episodes.extend(history_second.episodes.clone());
+    assert_eq!(combined.episodes.len(), history_whole.episodes.len());
+    assert_eq!(
+        history_digest(&combined),
+        history_digest(&history_whole),
+        "resumed history diverged from the uninterrupted run"
+    );
+
+    // And the final agents are indistinguishable — state and behaviour.
+    assert_eq!(whole.agent(), resumed.agent());
+    assert_eq!(policy_digest(&whole), policy_digest(&resumed));
+}
+
+/// The digest helpers themselves are fixed-seed stable within a process
+/// (guards against accidental nondeterminism in the probe itself).
+#[test]
+fn digests_are_reproducible() {
+    let mut a = IncentiveMechanism::new(fast_config(3));
+    let mut b = IncentiveMechanism::new(fast_config(3));
+    let ha = a.train_episodes_parallel(4, 2, 1);
+    let hb = b.train_episodes_parallel(4, 2, 1);
+    assert_eq!(history_digest(&ha), history_digest(&hb));
+    assert_eq!(policy_digest(&a), policy_digest(&b));
+}

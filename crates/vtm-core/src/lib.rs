@@ -21,6 +21,9 @@
 //! * [`scenario`] — the trace-driven scenario engine: named vehicular
 //!   scenarios whose live simulator state (mobility, channels, hand-overs,
 //!   freshness) drives the DRL pricing environment,
+//! * [`registry`] — the named environment registry mapping preset names
+//!   (`static`, `highway`, ...) to runnable environments, shared by the
+//!   trainer and the serving layer,
 //! * [`config`] — the experiment parameters of §V-A.
 //!
 //! # Quickstart
@@ -50,6 +53,7 @@ pub mod env;
 pub mod mechanism;
 pub mod msp;
 pub mod multi_msp;
+pub mod registry;
 pub mod scenario;
 pub mod schemes;
 pub mod stackelberg;
@@ -69,6 +73,7 @@ pub mod prelude {
     };
     pub use crate::msp::Msp;
     pub use crate::multi_msp::{CompetingMsp, CompetitionOutcome, MultiMspMarket};
+    pub use crate::registry::{AnyPricingEnv, EnvBuildOptions, EnvRegistry, EnvSpec};
     pub use crate::scenario::{
         evaluate_scenario, train_scenario_parallel, RivalMsp, Scenario, ScenarioKind,
         ScenarioTrainingRun, SimPricingEnv, SimRoundRecord, SurgeWindow, Topology,

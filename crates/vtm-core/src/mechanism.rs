@@ -8,10 +8,10 @@
 //! learned policy against the baselines and against the complete-information
 //! Stackelberg equilibrium.
 
-use vtm_rl::buffer::{RolloutBuffer, Transition};
 use vtm_rl::env::Environment;
 use vtm_rl::ppo::PpoAgent;
-use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
+use vtm_rl::snapshot::{PolicySnapshot, SnapshotError};
+use vtm_rl::trainer::Trainer;
 
 use crate::config::ExperimentConfig;
 use crate::env::{PricingEnv, RewardMode};
@@ -94,11 +94,13 @@ pub struct IncentiveMechanism {
     env: PricingEnv,
     agent: PpoAgent,
     reward_mode: RewardMode,
-    /// Collection rounds consumed by [`IncentiveMechanism::train_episodes_parallel`]
-    /// so far; advances the replica and noise seeds across calls, so that
-    /// incremental parallel training never replays an earlier call's random
-    /// streams (while staying deterministic for a fixed call sequence).
-    parallel_rounds: u64,
+    /// Global training-round counter consumed by every training entry point
+    /// (they are all shims over [`Trainer`]). It advances the per-round
+    /// environment and collector seed schedule across calls, so incremental
+    /// training never replays an earlier call's random streams while a fixed
+    /// call sequence stays deterministic — and it is persisted into policy
+    /// snapshots so a restored mechanism resumes the schedule exactly.
+    trained_rounds: u64,
 }
 
 impl IncentiveMechanism {
@@ -136,7 +138,7 @@ impl IncentiveMechanism {
             env,
             agent,
             reward_mode,
-            parallel_rounds: 0,
+            trained_rounds: 0,
         }
     }
 
@@ -169,67 +171,24 @@ impl IncentiveMechanism {
     /// Runs Algorithm 1 for an explicit number of episodes (useful for tests
     /// and for the ablation sweeps).
     ///
-    /// The per-episode PPO update runs through the agent's fused,
-    /// allocation-free path ([`PpoAgent::update`]): the agent owns a
-    /// persistent update workspace, so the `M x |BF|/|I|` gradient steps of
-    /// Algorithm 1 lines 10-13 reuse the same buffers across all episodes of
-    /// a training run.
+    /// A thin shim over the builder-style [`Trainer`]: one environment
+    /// replica, one episode per PPO update (Algorithm 1, lines 10-13). The
+    /// per-episode update runs through the agent's fused, allocation-free
+    /// path ([`PpoAgent::update`]).
     pub fn train_episodes(&mut self, episodes: usize) -> TrainingHistory {
-        let rounds = self.config.drl.rounds_per_episode;
-        let mut history = TrainingHistory::default();
-        for episode in 0..episodes {
-            let mut buffer = RolloutBuffer::new();
-            let mut obs = self.env.reset();
-            let mut episode_return = 0.0;
-            for k in 0..rounds {
-                let sample = self.agent.act(&obs);
-                let step = self.env.step(&sample.env_action);
-                episode_return += step.reward;
-                buffer.push(Transition {
-                    observation: obs,
-                    action: sample.raw_action,
-                    log_prob: sample.log_prob,
-                    value: sample.value,
-                    reward: step.reward,
-                    done: step.done || k + 1 == rounds,
-                });
-                obs = step.observation;
-            }
-            // One PPO update per episode over the episode's rollout, with
-            // M epochs of |I|-sized mini-batches (Algorithm 1, lines 10-13).
-            let samples = buffer.process(
-                self.config.drl.discount,
-                self.config.drl.gae_lambda,
-                0.0,
-                true,
-            );
-            self.agent.update(&samples);
-            // The environment tracks per-episode aggregates itself, so the
-            // serial and vectorized paths log through the same code.
-            let stats = *self.env.episode_stats();
-            history.episodes.push(EpisodeLog {
-                episode,
-                episode_return,
-                mean_msp_utility: stats.mean_utility(),
-                final_msp_utility: stats.final_utility,
-                best_msp_utility: self.env.best_utility(),
-                mean_price: stats.mean_price(),
-            });
-        }
-        history
+        self.train_with(episodes, 1, 1)
     }
 
     /// Vectorized Algorithm 1: trains on `num_envs` environment replicas
     /// collected in parallel, one PPO update per collection round.
     ///
-    /// Each replica plays the same Stackelberg game but owns its own
-    /// observation-history RNG (seeded from `drl.seed`, the replica index
-    /// and the mechanism's parallel-round counter) and its own policy-noise
-    /// stream, so a fixed call sequence is deterministic regardless of
-    /// thread scheduling, while repeated calls draw fresh randomness instead
-    /// of replaying the first call's streams. Every round contributes
-    /// `num_envs` episodes to one update, so the effective batch per update
-    /// is `num_envs` times larger than in
+    /// A thin shim over the builder-style [`Trainer`], which pins every
+    /// replica's environment stream to `(seed, round, replica)` and draws
+    /// collector noise per round — so a fixed call sequence is deterministic
+    /// regardless of thread scheduling, while repeated calls draw fresh
+    /// randomness instead of replaying the first call's streams. Every round
+    /// contributes `num_envs` episodes to one update, so the effective batch
+    /// per update is `num_envs` times larger than in
     /// [`IncentiveMechanism::train_episodes`]; `episodes` is rounded up to a
     /// whole number of rounds.
     ///
@@ -244,56 +203,90 @@ impl IncentiveMechanism {
         num_envs: usize,
         num_threads: usize,
     ) -> TrainingHistory {
+        self.train_with(episodes, num_envs, num_threads)
+    }
+
+    /// The single training path behind every public entry point: a
+    /// [`Trainer`] run over clones of the mechanism's environment, with the
+    /// per-episode hook reconstructing the paper's training logs from each
+    /// replica's episode aggregates.
+    fn train_with(
+        &mut self,
+        episodes: usize,
+        num_envs: usize,
+        num_threads: usize,
+    ) -> TrainingHistory {
         assert!(num_envs > 0, "need at least one environment replica");
         let rounds = self.config.drl.rounds_per_episode;
-        let game = self.env.game().clone();
-        let drl = &self.config.drl;
-        // Replica history seeds advance with the round counter so a second
-        // call does not regenerate the first call's warm-up histories.
-        let round_base = self.parallel_rounds;
-        let mut venv = VecEnv::from_fn(num_envs, |i| {
-            PricingEnv::new(
-                game.clone(),
-                drl.history_length,
-                rounds,
-                self.reward_mode,
-                drl.seed
-                    ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ round_base.wrapping_mul(0xA076_1D64_78BD_642F),
-            )
-        });
-        let base_config = CollectorConfig::new(1, rounds)
-            .with_seed(self.config.drl.seed)
-            .with_threads(num_threads);
-        let iterations = episodes.div_ceil(num_envs);
         let mut history = TrainingHistory::default();
-        for iteration in 0..iterations {
-            let collector =
-                ParallelCollector::new(base_config.for_round(round_base + iteration as u64));
-            let rollouts = collector.collect(&self.agent, &mut venv);
-            for (i, (rollout, env)) in rollouts.per_env.iter().zip(venv.envs()).enumerate() {
-                let stats = env.episode_stats();
+        let report = Trainer::for_env(self.env.clone())
+            .episodes(episodes)
+            .collectors(num_envs)
+            .threads(num_threads)
+            .max_steps(rounds)
+            .seed(self.config.drl.seed)
+            .start_round(self.trained_rounds)
+            .on_episode(|event| {
+                let stats = event.env.episode_stats();
                 history.episodes.push(EpisodeLog {
-                    episode: iteration * num_envs + i,
-                    episode_return: rollout.returns.first().copied().unwrap_or(0.0),
+                    episode: event.episode,
+                    episode_return: event.episode_return,
                     mean_msp_utility: stats.mean_utility(),
                     final_msp_utility: stats.final_utility,
-                    best_msp_utility: env.best_utility(),
+                    best_msp_utility: event.env.best_utility(),
                     mean_price: stats.mean_price(),
                 });
-            }
-            let mut buffer = RolloutBuffer::new();
-            rollouts.drain_into(&mut buffer);
-            let samples = buffer.process(
-                self.config.drl.discount,
-                self.config.drl.gae_lambda,
-                0.0,
-                true,
-            );
-            self.agent.update(&samples);
-        }
-        self.parallel_rounds = round_base + iterations as u64;
+            })
+            .run(&mut self.agent)
+            .unwrap_or_else(|e| panic!("training failed: {e}"));
+        self.trained_rounds = report.next_round();
         history
+    }
+
+    /// Captures the mechanism's trained policy (and its training-round
+    /// counter) as a persistent [`PolicySnapshot`] — the *checkpoint* step of
+    /// the train → checkpoint → load → serve lifecycle.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        self.agent
+            .snapshot()
+            .with_trained_rounds(self.trained_rounds)
+    }
+
+    /// Restores the policy (agent state and round counter) from a snapshot,
+    /// e.g. to resume training in a new process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Incompatible`] when the snapshot was taken
+    /// for a different observation/action geometry than this mechanism's, or
+    /// when it carries a frozen observation normalizer (the mechanism trains
+    /// and evaluates on raw observations; a normalizer-carrying policy
+    /// belongs in the serving layer, or must have its normalizer removed
+    /// before restoring here).
+    pub fn restore_policy(&mut self, snapshot: &PolicySnapshot) -> Result<(), SnapshotError> {
+        snapshot.validate()?;
+        if snapshot.obs_normalizer.is_some() {
+            return Err(SnapshotError::Incompatible(
+                "snapshot carries a frozen observation normalizer; the mechanism trains and \
+                 evaluates on raw observations — clear it before restoring"
+                    .to_string(),
+            ));
+        }
+        if snapshot.config.obs_dim != self.env.observation_dim() {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot obs_dim {} != environment observation dim {}",
+                snapshot.config.obs_dim,
+                self.env.observation_dim()
+            )));
+        }
+        if snapshot.action_space != self.env.action_space() {
+            return Err(SnapshotError::Incompatible(
+                "snapshot action space differs from the environment's".to_string(),
+            ));
+        }
+        self.agent = PpoAgent::restore(snapshot);
+        self.trained_rounds = snapshot.trained_rounds;
+        Ok(())
     }
 
     /// Evaluates the current (deterministic) policy for `rounds` rounds.

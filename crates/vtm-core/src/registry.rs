@@ -1,0 +1,285 @@
+//! Named environment registry: one place that maps a preset name to a
+//! runnable pricing environment.
+//!
+//! The policy lifecycle spans processes — `experiments train` produces a
+//! checkpoint in one invocation, `experiments serve-bench` (or a serving
+//! deployment) consumes it in another — so both sides need to agree on what
+//! "the highway environment" *is* without sharing in-memory state. The
+//! [`EnvRegistry`] provides that agreement: every preset (`static` for the
+//! paper's closed-form market, plus the five named [`Scenario`]s) is
+//! constructible by name, and [`AnyPricingEnv`] erases the concrete type so
+//! the [`Trainer`](vtm_rl::trainer::Trainer) and the serving layer can treat
+//! them uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use vtm_core::registry::{EnvBuildOptions, EnvRegistry};
+//! use vtm_rl::env::Environment;
+//!
+//! let registry = EnvRegistry::builtin();
+//! assert!(registry.names().contains(&"highway"));
+//! let mut env = registry
+//!     .build("static", &EnvBuildOptions::default())
+//!     .unwrap();
+//! let obs = env.reset();
+//! assert_eq!(obs.len(), env.observation_dim());
+//! ```
+
+use vtm_rl::env::{ActionSpace, Environment, Step};
+
+use crate::config::ExperimentConfig;
+use crate::env::{EpisodeStats, PricingEnv, RewardMode};
+use crate::scenario::{Scenario, ScenarioKind, OBS_FEATURES};
+use crate::stackelberg::AotmStackelbergGame;
+
+/// How a registry entry builds its environment.
+#[derive(Debug, Clone)]
+pub enum EnvSpec {
+    /// The paper's static Stackelberg market ([`PricingEnv`]) for a fixed
+    /// experiment configuration.
+    Static(ExperimentConfig),
+    /// A trace-driven scenario ([`crate::scenario::SimPricingEnv`]).
+    Scenario(Scenario),
+}
+
+impl EnvSpec {
+    /// Observation features recorded per history round by this environment
+    /// family (the serving layer sizes its per-session state from this).
+    pub fn features_per_round(&self) -> usize {
+        match self {
+            EnvSpec::Static(config) => 1 + config.vmus.len(),
+            EnvSpec::Scenario(_) => OBS_FEATURES,
+        }
+    }
+}
+
+/// Episode-shape and seeding options applied when building an environment
+/// from a registry entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvBuildOptions {
+    /// Observation history length `L`.
+    pub history_length: usize,
+    /// Rounds per episode `K`.
+    pub rounds_per_episode: usize,
+    /// Reward definition.
+    pub reward_mode: RewardMode,
+    /// Environment seed (warm-up rounds, traces).
+    pub seed: u64,
+}
+
+impl Default for EnvBuildOptions {
+    /// The harness defaults: `L = 4`, `K = 40`, the paper's sparse reward,
+    /// seed 0.
+    fn default() -> Self {
+        Self {
+            history_length: 4,
+            rounds_per_episode: 40,
+            reward_mode: RewardMode::Improvement,
+            seed: 0,
+        }
+    }
+}
+
+/// A pricing environment of either family behind one concrete type, so
+/// registry consumers need no generics over the environment kind. Variants
+/// are boxed: the environments differ greatly in size and the enum is moved
+/// around by value (replica construction, trainer clones).
+#[derive(Debug, Clone)]
+pub enum AnyPricingEnv {
+    /// The static closed-form market.
+    Static(Box<PricingEnv>),
+    /// A trace-driven scenario environment.
+    Sim(Box<crate::scenario::SimPricingEnv>),
+}
+
+impl AnyPricingEnv {
+    /// Aggregates over the current episode's completed rounds.
+    pub fn episode_stats(&self) -> &EpisodeStats {
+        match self {
+            AnyPricingEnv::Static(env) => env.episode_stats(),
+            AnyPricingEnv::Sim(env) => env.episode_stats(),
+        }
+    }
+
+    /// Best MSP utility observed so far in the current episode.
+    pub fn best_utility(&self) -> f64 {
+        match self {
+            AnyPricingEnv::Static(env) => env.best_utility(),
+            AnyPricingEnv::Sim(env) => env.best_utility(),
+        }
+    }
+
+    /// Rounds per episode (`K`).
+    pub fn rounds_per_episode(&self) -> usize {
+        match self {
+            AnyPricingEnv::Static(env) => env.rounds_per_episode(),
+            AnyPricingEnv::Sim(env) => env.rounds_per_episode(),
+        }
+    }
+}
+
+impl Environment for AnyPricingEnv {
+    fn observation_dim(&self) -> usize {
+        match self {
+            AnyPricingEnv::Static(env) => env.observation_dim(),
+            AnyPricingEnv::Sim(env) => env.observation_dim(),
+        }
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        match self {
+            AnyPricingEnv::Static(env) => env.action_space(),
+            AnyPricingEnv::Sim(env) => env.action_space(),
+        }
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        match self {
+            AnyPricingEnv::Static(env) => env.reset(),
+            AnyPricingEnv::Sim(env) => env.reset(),
+        }
+    }
+
+    fn reset_with_seed(&mut self, seed: u64) -> Vec<f64> {
+        match self {
+            AnyPricingEnv::Static(env) => env.reset_with_seed(seed),
+            AnyPricingEnv::Sim(env) => env.reset_with_seed(seed),
+        }
+    }
+
+    fn step(&mut self, action: &[f64]) -> Step {
+        match self {
+            AnyPricingEnv::Static(env) => env.step(action),
+            AnyPricingEnv::Sim(env) => env.step(action),
+        }
+    }
+}
+
+/// A name → [`EnvSpec`] map with the built-in presets pre-registered.
+#[derive(Debug, Clone, Default)]
+pub struct EnvRegistry {
+    entries: Vec<(String, EnvSpec)>,
+}
+
+impl EnvRegistry {
+    /// An empty registry (useful for tests and custom harnesses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in presets: `static` (the paper's two-VMU market) plus every
+    /// named scenario (`highway`, `urban-grid`, `rush-hour-surge`,
+    /// `sparse-rural`, `multi-msp`).
+    pub fn builtin() -> Self {
+        let mut registry = Self::new();
+        registry.register(
+            "static",
+            EnvSpec::Static(ExperimentConfig::paper_two_vmus()),
+        );
+        for kind in ScenarioKind::ALL {
+            registry.register(kind.name(), EnvSpec::Scenario(Scenario::preset(kind)));
+        }
+        registry
+    }
+
+    /// Registers (or replaces) an entry under `name`.
+    pub fn register(&mut self, name: impl Into<String>, spec: EnvSpec) {
+        let name = name.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = spec;
+        } else {
+            self.entries.push((name, spec));
+        }
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&EnvSpec> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, spec)| spec)
+    }
+
+    /// Builds the named environment, or `None` for an unknown name.
+    pub fn build(&self, name: &str, options: &EnvBuildOptions) -> Option<AnyPricingEnv> {
+        Some(match self.get(name)? {
+            EnvSpec::Static(config) => {
+                let game = AotmStackelbergGame::from_config(config);
+                AnyPricingEnv::Static(Box::new(PricingEnv::new(
+                    game,
+                    options.history_length,
+                    options.rounds_per_episode,
+                    options.reward_mode,
+                    options.seed,
+                )))
+            }
+            EnvSpec::Scenario(scenario) => AnyPricingEnv::Sim(Box::new(scenario.env(
+                options.history_length,
+                options.rounds_per_episode,
+                options.reward_mode,
+                options.seed,
+            ))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_builds_every_preset() {
+        let registry = EnvRegistry::builtin();
+        assert_eq!(registry.names().len(), 1 + ScenarioKind::ALL.len());
+        for name in registry.names() {
+            let spec = registry.get(name).unwrap();
+            let mut env = registry.build(name, &EnvBuildOptions::default()).unwrap();
+            let obs = env.reset();
+            assert_eq!(obs.len(), env.observation_dim());
+            assert_eq!(
+                env.observation_dim(),
+                4 * spec.features_per_round(),
+                "obs dim of `{name}` disagrees with features_per_round"
+            );
+            let step = env.step(&[12.0]);
+            assert!(step.reward.is_finite());
+            assert!(env.episode_stats().rounds == 1);
+            assert!(env.rounds_per_episode() > 0);
+            assert!(env.best_utility().is_finite());
+        }
+        assert!(registry
+            .build("nope", &EnvBuildOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn registered_names_can_be_replaced() {
+        let mut registry = EnvRegistry::builtin();
+        let before = registry.names().len();
+        registry.register("static", EnvSpec::Static(ExperimentConfig::paper_n_vmus(3)));
+        assert_eq!(registry.names().len(), before);
+        match registry.get("static").unwrap() {
+            EnvSpec::Static(config) => assert_eq!(config.vmus.len(), 3),
+            EnvSpec::Scenario(_) => panic!("static entry must stay static"),
+        }
+        assert_eq!(registry.get("static").unwrap().features_per_round(), 4);
+    }
+
+    #[test]
+    fn any_env_honours_reset_with_seed() {
+        let registry = EnvRegistry::builtin();
+        for name in ["static", "highway"] {
+            let mut env = registry.build(name, &EnvBuildOptions::default()).unwrap();
+            let a = env.reset_with_seed(99);
+            env.step(&[10.0]);
+            let b = env.reset_with_seed(99);
+            assert_eq!(a, b, "`{name}` must replay a seeded reset exactly");
+        }
+    }
+}

@@ -25,7 +25,7 @@
 //!    the market grows and shrinks within an episode.
 //!
 //! [`SimPricingEnv`] implements the same [`Environment`] trait as the static
-//! environment, so the existing [`ParallelCollector`] / [`PpoAgent`] pipeline
+//! environment, so the existing [`Trainer`] / [`PpoAgent`] pipeline
 //! trains on it unchanged — [`train_scenario_parallel`] is the scenario
 //! counterpart of
 //! [`IncentiveMechanism::train_episodes_parallel`](crate::mechanism::IncentiveMechanism::train_episodes_parallel)
@@ -36,10 +36,9 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vtm_rl::buffer::RolloutBuffer;
 use vtm_rl::env::{ActionSpace, Environment, Step};
 use vtm_rl::ppo::PpoAgent;
-use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
+use vtm_rl::trainer::Trainer;
 use vtm_sim::mobility::{
     AnyMobility, ConstantVelocity, MobilityModel, PerturbedHighway, Position, RandomWaypoint,
     Velocity,
@@ -984,14 +983,17 @@ pub struct ScenarioTrainingRun {
     pub round_logs: Vec<Vec<SimRoundRecord>>,
 }
 
-/// Trains a PPO agent on `num_envs` replicas of a scenario environment with
-/// the deterministic parallel collector — the scenario counterpart of
-/// [`IncentiveMechanism::train_episodes_parallel`](crate::mechanism::IncentiveMechanism::train_episodes_parallel).
+/// Trains a PPO agent on `num_envs` replicas of a scenario environment — the
+/// scenario counterpart of
+/// [`IncentiveMechanism::train_episodes_parallel`](crate::mechanism::IncentiveMechanism::train_episodes_parallel),
+/// and like it a thin shim over the builder-style
+/// [`Trainer`], so the scenario and static paths
+/// share one seed schedule and one training loop.
 ///
-/// Each replica owns its own trace and RNG stream derived from `drl.seed` and
-/// the replica index, so the result is bit-identical for any `num_threads`
-/// (`0` = one worker per core). `episodes` is rounded up to a whole number of
-/// collection rounds of `num_envs` episodes each.
+/// Each collection round pins every replica's trace and RNG stream to
+/// `(drl.seed, round, replica)`, so the result is bit-identical for any
+/// `num_threads` (`0` = one worker per core). `episodes` is rounded up to a
+/// whole number of collection rounds of `num_envs` episodes each.
 ///
 /// # Panics
 ///
@@ -1007,41 +1009,33 @@ pub fn train_scenario_parallel(
     assert!(num_envs > 0, "need at least one environment replica");
     drl.validate().expect("DRL configuration must be valid");
     let rounds = drl.rounds_per_episode;
-    let mut venv = VecEnv::from_fn(num_envs, |i| {
-        scenario.env(
-            drl.history_length,
-            rounds,
-            reward_mode,
-            drl.seed ^ (i as u64 + 1).wrapping_mul(GOLDEN),
-        )
-    });
-    let ppo = drl.to_ppo_config(venv.observation_dim());
-    let mut agent = PpoAgent::new(ppo, venv.action_space());
-    let base_config = CollectorConfig::new(1, rounds)
-        .with_seed(drl.seed)
-        .with_threads(num_threads);
-    let iterations = episodes.div_ceil(num_envs);
+    let env = scenario.env(drl.history_length, rounds, reward_mode, drl.seed);
+    let ppo = drl.to_ppo_config(env.observation_dim());
+    let mut agent = PpoAgent::new(ppo, env.action_space());
     let mut history = TrainingHistory::default();
-    for iteration in 0..iterations {
-        let collector = ParallelCollector::new(base_config.for_round(iteration as u64));
-        let rollouts = collector.collect(&agent, &mut venv);
-        for (i, (rollout, env)) in rollouts.per_env.iter().zip(venv.envs()).enumerate() {
-            let stats = env.episode_stats();
+    let mut round_logs: Vec<Vec<SimRoundRecord>> = vec![Vec::new(); num_envs];
+    Trainer::for_env(env)
+        .episodes(episodes)
+        .collectors(num_envs)
+        .threads(num_threads)
+        .max_steps(rounds)
+        .seed(drl.seed)
+        .on_episode(|event| {
+            let stats = event.env.episode_stats();
             history.episodes.push(EpisodeLog {
-                episode: iteration * num_envs + i,
-                episode_return: rollout.returns.first().copied().unwrap_or(0.0),
+                episode: event.episode,
+                episode_return: event.episode_return,
                 mean_msp_utility: stats.mean_utility(),
                 final_msp_utility: stats.final_utility,
-                best_msp_utility: env.best_utility(),
+                best_msp_utility: event.env.best_utility(),
                 mean_price: stats.mean_price(),
             });
-        }
-        let mut buffer = RolloutBuffer::new();
-        rollouts.drain_into(&mut buffer);
-        let samples = buffer.process(drl.discount, drl.gae_lambda, 0.0, true);
-        agent.update(&samples);
-    }
-    let round_logs = venv.envs().iter().map(|e| e.round_log().to_vec()).collect();
+            // The last write per replica wins: the run reports the final
+            // collection round's per-replica records.
+            round_logs[event.replica] = event.env.round_log().to_vec();
+        })
+        .run(&mut agent)
+        .unwrap_or_else(|e| panic!("scenario training failed: {e}"));
     ScenarioTrainingRun {
         agent,
         history,

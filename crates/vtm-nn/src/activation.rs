@@ -120,6 +120,32 @@ impl Activation {
         z.map(|x| self.derivative_scalar(x))
     }
 
+    /// Stable numeric tag used by the binary weight codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            Activation::Linear => 0,
+            Activation::Relu => 1,
+            Activation::Tanh => 2,
+            Activation::Sigmoid => 3,
+            Activation::Softplus => 4,
+            Activation::LeakyRelu => 5,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`]; `None` for an unknown tag (e.g. a file
+    /// written by a newer format revision).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Activation::Linear,
+            1 => Activation::Relu,
+            2 => Activation::Tanh,
+            3 => Activation::Sigmoid,
+            4 => Activation::Softplus,
+            5 => Activation::LeakyRelu,
+            _ => return None,
+        })
+    }
+
     /// Human-readable name of the activation.
     pub fn name(self) -> &'static str {
         match self {
@@ -249,6 +275,14 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), ALL.len());
         assert!(ALL.iter().all(|a| !a.name().is_empty()));
+    }
+
+    #[test]
+    fn codec_tags_round_trip_and_reject_unknowns() {
+        for a in ALL {
+            assert_eq!(Activation::from_tag(a.tag()), Some(a));
+        }
+        assert_eq!(Activation::from_tag(200), None);
     }
 
     #[test]

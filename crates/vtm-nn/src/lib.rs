@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod codec;
 pub mod gradcheck;
 pub mod init;
 pub mod layer;
@@ -49,6 +50,7 @@ pub mod optimizer;
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::activation::Activation;
+    pub use crate::codec::{CodecError, PayloadReader, PayloadWriter, WeightCodec};
     pub use crate::init::Initializer;
     pub use crate::layer::{Dense, DenseGrads};
     pub use crate::matrix::{Matrix, ShapeError};

@@ -1,5 +1,6 @@
 //! First-order gradient optimizers operating on [`Mlp`] parameters.
 
+use crate::codec::{CodecError, PayloadReader, PayloadWriter};
 use crate::matrix::Matrix;
 use crate::mlp::{Mlp, MlpGrads};
 
@@ -169,6 +170,86 @@ impl Adam {
         }
     }
 
+    /// Whether the optimizer's moment state is compatible with `net`: either
+    /// still empty (lazily initialised on the first step) or matching every
+    /// layer's parameter shapes exactly. Snapshot loaders use this to reject
+    /// checkpoints whose optimizer state disagrees with their network,
+    /// which would otherwise panic deep inside [`Adam::step`].
+    pub fn state_matches(&self, net: &Mlp) -> bool {
+        if self.first_moment.is_empty() && self.second_moment.is_empty() {
+            return true;
+        }
+        let layers = net.layers();
+        self.first_moment.len() == layers.len()
+            && self.second_moment.len() == layers.len()
+            && self
+                .first_moment
+                .iter()
+                .zip(self.second_moment.iter())
+                .zip(layers.iter())
+                .all(|(((mw, mb), (vw, vb)), layer)| {
+                    let w_shape = (layer.fan_in(), layer.fan_out());
+                    let b_shape = (1, layer.fan_out());
+                    mw.shape() == w_shape
+                        && vw.shape() == w_shape
+                        && mb.shape() == b_shape
+                        && vb.shape() == b_shape
+                })
+    }
+
+    /// Serializes the full optimizer state (hyper-parameters, step counter
+    /// and both moment estimates) into a payload writer, so a resumed
+    /// training run continues with bit-identical Adam updates.
+    pub fn write_into(&self, w: &mut PayloadWriter) {
+        w.write_f64(self.learning_rate);
+        w.write_f64(self.beta1);
+        w.write_f64(self.beta2);
+        w.write_f64(self.epsilon);
+        w.write_u64(self.step);
+        w.write_usize(self.first_moment.len());
+        for ((mw, mb), (vw, vb)) in self.first_moment.iter().zip(self.second_moment.iter()) {
+            w.write_matrix(mw);
+            w.write_matrix(mb);
+            w.write_matrix(vw);
+            w.write_matrix(vb);
+        }
+    }
+
+    /// Deserializes an optimizer written by [`Adam::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the payload is truncated or the
+    /// hyper-parameters are out of range.
+    pub fn read_from(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        let learning_rate = r.read_f64()?;
+        let beta1 = r.read_f64()?;
+        let beta2 = r.read_f64()?;
+        let epsilon = r.read_f64()?;
+        let valid = learning_rate.is_finite()
+            && learning_rate > 0.0
+            && (0.0..1.0).contains(&beta1)
+            && (0.0..1.0).contains(&beta2)
+            && epsilon > 0.0;
+        if !valid {
+            return Err(CodecError::Invalid(
+                "adam hyper-parameters out of range".to_string(),
+            ));
+        }
+        let mut adam = Adam::with_betas(learning_rate, beta1, beta2, epsilon);
+        adam.step = r.read_u64()?;
+        let n = r.read_usize()?;
+        for _ in 0..n {
+            let mw = r.read_matrix()?;
+            let mb = r.read_matrix()?;
+            let vw = r.read_matrix()?;
+            let vb = r.read_matrix()?;
+            adam.first_moment.push((mw, mb));
+            adam.second_moment.push((vw, vb));
+        }
+        Ok(adam)
+    }
+
     #[allow(clippy::too_many_arguments)] // private kernel; all scalars are Adam state
     fn update_matrix(
         param: &mut Matrix,
@@ -305,11 +386,69 @@ impl VectorAdam {
         self.learning_rate = lr;
     }
 
+    /// Dimension of the parameter vector the optimizer was built for.
+    pub fn dim(&self) -> usize {
+        self.m.len()
+    }
+
     /// Resets the accumulated moments and step counter.
     pub fn reset(&mut self) {
         self.m.fill(0.0);
         self.v.fill(0.0);
         self.step = 0;
+    }
+
+    /// Serializes the full optimizer state (hyper-parameters, step counter
+    /// and both moment vectors) into a payload writer.
+    pub fn write_into(&self, w: &mut PayloadWriter) {
+        w.write_f64(self.learning_rate);
+        w.write_f64(self.beta1);
+        w.write_f64(self.beta2);
+        w.write_f64(self.epsilon);
+        w.write_u64(self.step);
+        w.write_f64_vec(&self.m);
+        w.write_f64_vec(&self.v);
+    }
+
+    /// Deserializes an optimizer written by [`VectorAdam::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the payload is truncated, the
+    /// hyper-parameters are out of range or the moment vectors disagree in
+    /// length.
+    pub fn read_from(r: &mut PayloadReader<'_>) -> Result<Self, CodecError> {
+        let learning_rate = r.read_f64()?;
+        let beta1 = r.read_f64()?;
+        let beta2 = r.read_f64()?;
+        let epsilon = r.read_f64()?;
+        let valid = learning_rate.is_finite()
+            && learning_rate > 0.0
+            && (0.0..1.0).contains(&beta1)
+            && (0.0..1.0).contains(&beta2)
+            && epsilon > 0.0;
+        if !valid {
+            return Err(CodecError::Invalid(
+                "vector-adam hyper-parameters out of range".to_string(),
+            ));
+        }
+        let step = r.read_u64()?;
+        let m = r.read_f64_vec()?;
+        let v = r.read_f64_vec()?;
+        if m.len() != v.len() {
+            return Err(CodecError::Invalid(
+                "vector-adam moment vectors disagree in length".to_string(),
+            ));
+        }
+        Ok(Self {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            step,
+            m,
+            v,
+        })
     }
 }
 
@@ -503,5 +642,56 @@ mod tests {
     #[should_panic(expected = "momentum must be in [0,1)")]
     fn sgd_rejects_bad_momentum() {
         let _ = Sgd::new(0.1, 1.5);
+    }
+
+    #[test]
+    fn adam_state_round_trips_and_resumes_bit_identically() {
+        // Train a few steps, serialize, deserialize, and check further steps
+        // of the restored optimizer match the original exactly.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = MlpConfig::new(2, &[4], 1).build(&mut rng);
+        let mut opt = Adam::new(0.01);
+        let grads = {
+            let x = Matrix::from_rows(&[&[0.5, -0.5]]).unwrap();
+            let (y, caches) = net.forward_train(&x).unwrap();
+            let (_, g) = net.backward(&caches, &y).unwrap();
+            g
+        };
+        for _ in 0..5 {
+            opt.step(&mut net, &grads);
+        }
+        let mut w = PayloadWriter::new();
+        opt.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Adam::read_from(&mut PayloadReader::new(&bytes)).unwrap();
+        assert_eq!(opt, restored);
+        let mut net_restored = net.clone();
+        opt.step(&mut net, &grads);
+        restored.step(&mut net_restored, &grads);
+        assert_eq!(net, net_restored);
+
+        // Truncated state is a typed error.
+        assert!(matches!(
+            Adam::read_from(&mut PayloadReader::new(&bytes[..10])),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn vector_adam_state_round_trips() {
+        let mut opt = VectorAdam::new(0.05, 3);
+        let mut params = [0.1, -0.2, 0.3];
+        for _ in 0..4 {
+            opt.step(&mut params, &[0.5, -0.1, 0.2]);
+        }
+        let mut w = PayloadWriter::new();
+        opt.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = VectorAdam::read_from(&mut PayloadReader::new(&bytes)).unwrap();
+        assert_eq!(opt, restored);
+        let mut params_restored = params;
+        opt.step(&mut params, &[0.5, -0.1, 0.2]);
+        restored.step(&mut params_restored, &[0.5, -0.1, 0.2]);
+        assert_eq!(params, params_restored);
     }
 }

@@ -85,11 +85,18 @@ pub trait Environment {
 
     /// Resets the environment after reseeding its internal randomness.
     ///
-    /// Snapshot tests and replicated-experiment harnesses use this to pin an
-    /// episode to an exact random stream regardless of how many episodes the
-    /// environment has already played. Environments without internal
-    /// randomness can keep the default, which ignores the seed and performs a
-    /// plain [`Environment::reset`].
+    /// Snapshot tests, the [`Trainer`](crate::trainer::Trainer)'s
+    /// round-addressed seed schedule and replicated-experiment harnesses use
+    /// this to pin an episode to an exact random stream regardless of how
+    /// many episodes the environment has already played.
+    ///
+    /// **Default behaviour:** the seed is *ignored* and a plain
+    /// [`Environment::reset`] runs. That is correct only for environments
+    /// with no internal randomness; any stochastic environment must override
+    /// this method (reseed its RNG, then reset), or checkpoint-resumed
+    /// training will silently diverge from an uninterrupted run. The
+    /// `reset_seed_contract` integration tests in `vtm-core` assert the
+    /// override for both shipped pricing environments.
     fn reset_with_seed(&mut self, _seed: u64) -> Vec<f64> {
         self.reset()
     }

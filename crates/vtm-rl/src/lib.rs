@@ -46,6 +46,8 @@ pub mod env;
 pub mod gae;
 pub mod ppo;
 pub mod running_stat;
+pub mod snapshot;
+pub mod trainer;
 pub mod vec_env;
 
 /// Convenient glob-import of the most commonly used items.
@@ -59,6 +61,8 @@ pub mod prelude {
     pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
     pub use crate::ppo::{ActionSample, PpoAgent, PpoConfig, PpoUpdateStats};
     pub use crate::running_stat::{LinearSchedule, RunningMeanStd};
+    pub use crate::snapshot::{PolicySnapshot, SnapshotError};
+    pub use crate::trainer::{EpisodeEvent, Trainer, TrainerReport};
     pub use crate::vec_env::{
         CollectedRollouts, CollectorConfig, EnvRollout, ParallelCollector, VecEnv,
     };

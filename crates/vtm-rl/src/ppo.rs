@@ -18,6 +18,8 @@ use vtm_nn::optimizer::{Adam, Optimizer, VectorAdam};
 use crate::buffer::{ProcessedSample, RolloutBuffer, Transition};
 use crate::distribution::DiagGaussian;
 use crate::env::{ActionSpace, Environment};
+use crate::running_stat::RunningMeanStd;
+use crate::snapshot::PolicySnapshot;
 
 /// Hyper-parameters of the PPO agent.
 ///
@@ -93,21 +95,47 @@ impl PpoConfig {
         self
     }
 
+    /// Checks every hyper-parameter range, returning a description of the
+    /// first problem. Used both by [`PpoAgent::new`] (which panics on `Err`)
+    /// and by the snapshot loader, which must reject a well-framed but
+    /// corrupt checkpoint with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending parameter.
+    pub fn check(&self) -> Result<(), String> {
+        if self.obs_dim == 0 {
+            return Err("obs_dim must be positive".to_string());
+        }
+        if self.action_dim == 0 {
+            return Err("action_dim must be positive".to_string());
+        }
+        let positive_finite = |v: f64| v.is_finite() && v > 0.0;
+        if !positive_finite(self.actor_lr) || !positive_finite(self.critic_lr) {
+            return Err("learning rates must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err("gamma must be in [0,1]".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.gae_lambda) {
+            return Err("lambda must be in [0,1]".to_string());
+        }
+        if !positive_finite(self.clip_epsilon) {
+            return Err("clip epsilon must be positive".to_string());
+        }
+        if self.update_epochs == 0 {
+            return Err("update_epochs must be positive".to_string());
+        }
+        if self.minibatch_size == 0 {
+            return Err("minibatch_size must be positive".to_string());
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(self.obs_dim > 0, "obs_dim must be positive");
-        assert!(self.action_dim > 0, "action_dim must be positive");
-        assert!(
-            self.actor_lr > 0.0 && self.critic_lr > 0.0,
-            "learning rates must be positive"
-        );
-        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
-        assert!(
-            (0.0..=1.0).contains(&self.gae_lambda),
-            "lambda must be in [0,1]"
-        );
-        assert!(self.clip_epsilon > 0.0, "clip epsilon must be positive");
-        assert!(self.update_epochs > 0, "update_epochs must be positive");
-        assert!(self.minibatch_size > 0, "minibatch_size must be positive");
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
     }
 }
 
@@ -198,6 +226,11 @@ pub struct PpoAgent {
     critic_optimizer: Adam,
     log_std_optimizer: VectorAdam,
     rng: StdRngState,
+    /// Optional frozen observation normalizer applied before every actor and
+    /// critic forward pass. `None` (the default) leaves observations
+    /// untouched; a serving deployment typically loads one from a
+    /// [`PolicySnapshot`].
+    obs_normalizer: Option<RunningMeanStd>,
     /// Scratch for the fused update path; excluded from [`PartialEq`] because
     /// it is pure cache (its contents never influence future results).
     update_ws: UpdateWorkspace,
@@ -214,6 +247,7 @@ impl PartialEq for PpoAgent {
             && self.critic_optimizer == other.critic_optimizer
             && self.log_std_optimizer == other.log_std_optimizer
             && self.rng == other.rng
+            && self.obs_normalizer == other.obs_normalizer
     }
 }
 
@@ -257,8 +291,88 @@ impl PpoAgent {
             actor,
             critic,
             log_std,
+            obs_normalizer: None,
             update_ws: UpdateWorkspace::default(),
         }
+    }
+
+    /// Captures the agent's complete mutable state — networks, policy
+    /// log-std, optimizer moments, RNG position and the optional observation
+    /// normalizer — as a [`PolicySnapshot`].
+    ///
+    /// Restoring the snapshot (in this process or after a save/load round
+    /// trip through [`PolicySnapshot::save_to`]) yields an agent that is
+    /// bit-identical for every future `act`/`update` call, which is what
+    /// makes checkpoint-and-resume training exactly equivalent to an
+    /// uninterrupted run.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            config: self.config.clone(),
+            action_space: self.action_space.clone(),
+            actor: self.actor.clone(),
+            critic: self.critic.clone(),
+            log_std: self.log_std.clone(),
+            actor_optimizer: self.actor_optimizer.clone(),
+            critic_optimizer: self.critic_optimizer.clone(),
+            log_std_optimizer: self.log_std_optimizer.clone(),
+            rng_draws: self.rng.draws,
+            obs_normalizer: self.obs_normalizer.clone(),
+            trained_rounds: 0,
+            trained_collectors: 0,
+        }
+    }
+
+    /// Rebuilds an agent from a [`PolicySnapshot`] (the inverse of
+    /// [`PpoAgent::snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is internally inconsistent (network shapes
+    /// disagreeing with the configuration). Snapshots loaded through
+    /// [`PolicySnapshot::load_from`] are validated before this point, so a
+    /// corrupt file surfaces as a typed error there, never as a panic here.
+    pub fn restore(snapshot: &PolicySnapshot) -> Self {
+        snapshot
+            .validate()
+            .expect("snapshot must be internally consistent");
+        let mut agent = PpoAgent::new(snapshot.config.clone(), snapshot.action_space.clone());
+        agent.actor = snapshot.actor.clone();
+        agent.critic = snapshot.critic.clone();
+        agent.log_std = snapshot.log_std.clone();
+        agent.actor_optimizer = snapshot.actor_optimizer.clone();
+        agent.critic_optimizer = snapshot.critic_optimizer.clone();
+        agent.log_std_optimizer = snapshot.log_std_optimizer.clone();
+        agent.rng.draws = snapshot.rng_draws;
+        agent.obs_normalizer = snapshot.obs_normalizer.clone();
+        agent
+    }
+
+    /// The frozen observation normalizer, if one is installed.
+    pub fn obs_normalizer(&self) -> Option<&RunningMeanStd> {
+        self.obs_normalizer.as_ref()
+    }
+
+    /// Installs (or removes) a frozen observation normalizer. When present,
+    /// every actor and critic forward pass normalizes the observation first.
+    ///
+    /// This is an *inference-time* feature: install it on a policy that was
+    /// trained on normalized features (or for serving). The PPO update path
+    /// consumes raw buffered observations, so [`PpoAgent::update`] refuses
+    /// (panics) while a normalizer is installed — remove it before training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normalizer dimension does not match the observation
+    /// dimension.
+    pub fn set_obs_normalizer(&mut self, normalizer: Option<RunningMeanStd>) {
+        if let Some(rms) = &normalizer {
+            assert_eq!(
+                rms.dim(),
+                self.config.obs_dim,
+                "normalizer dimension must match the observation dimension"
+            );
+        }
+        self.obs_normalizer = normalizer;
     }
 
     /// Immutable view of the actor network (used by equivalence tests).
@@ -301,16 +415,20 @@ impl PpoAgent {
     }
 
     fn policy_mean(&self, observation: &[f64]) -> Vec<f64> {
-        self.actor
-            .forward_vec(observation)
-            .expect("observation dimension mismatch with actor network")
+        match &self.obs_normalizer {
+            Some(rms) => self.actor.forward_vec(&rms.normalize(observation)),
+            None => self.actor.forward_vec(observation),
+        }
+        .expect("observation dimension mismatch with actor network")
     }
 
     /// Critic value estimate for an observation.
     pub fn value(&self, observation: &[f64]) -> f64 {
-        self.critic
-            .forward_vec(observation)
-            .expect("observation dimension mismatch with critic network")[0]
+        match &self.obs_normalizer {
+            Some(rms) => self.critic.forward_vec(&rms.normalize(observation)),
+            None => self.critic.forward_vec(observation),
+        }
+        .expect("observation dimension mismatch with critic network")[0]
     }
 
     /// Samples a stochastic action (used during training).
@@ -362,11 +480,29 @@ impl PpoAgent {
         if observations.is_empty() {
             return Vec::new();
         }
-        let means = self
-            .actor
-            .forward_rows(observations)
-            .expect("observation dimension mismatch with actor network");
-        let values = self.values_batch(observations);
+        // With a normalizer installed, normalize the batch once and feed the
+        // same rows to both networks (values_batch would re-normalize).
+        let (means, values) = match &self.obs_normalizer {
+            Some(rms) => {
+                let rows: Vec<Vec<f64>> = observations.iter().map(|o| rms.normalize(o)).collect();
+                let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+                (
+                    self.actor
+                        .forward_rows(&refs)
+                        .expect("observation dimension mismatch with actor network"),
+                    self.critic
+                        .forward_rows(&refs)
+                        .expect("observation dimension mismatch with critic network")
+                        .into_vec(),
+                )
+            }
+            None => (
+                self.actor
+                    .forward_rows(observations)
+                    .expect("observation dimension mismatch with actor network"),
+                self.values_batch(observations),
+            ),
+        };
         // One distribution reused across rows: only the mean changes, so the
         // hot path allocates one log-std clone per batch instead of per row.
         let mut dist = DiagGaussian::new(means.row(0).to_vec(), self.log_std.clone());
@@ -395,10 +531,16 @@ impl PpoAgent {
         if observations.is_empty() {
             return Vec::new();
         }
-        self.critic
-            .forward_rows(observations)
-            .expect("observation dimension mismatch with critic network")
-            .into_vec()
+        match &self.obs_normalizer {
+            Some(rms) => {
+                let rows: Vec<Vec<f64>> = observations.iter().map(|o| rms.normalize(o)).collect();
+                let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+                self.critic.forward_rows(&refs)
+            }
+            None => self.critic.forward_rows(observations),
+        }
+        .expect("observation dimension mismatch with critic network")
+        .into_vec()
     }
 
     /// Returns the deterministic (mean) action for evaluation.
@@ -420,7 +562,20 @@ impl PpoAgent {
     /// allocation. Results are bit-identical to
     /// [`PpoAgent::update_reference`] (asserted by
     /// `vtm-bench/tests/update_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frozen observation normalizer is installed: the buffered
+    /// samples hold *raw* observations, so updating through the normalizer
+    /// would compute importance ratios against a different policy than the
+    /// one that acted. Remove it (`set_obs_normalizer(None)`) before
+    /// training; it is an inference-time feature.
     pub fn update(&mut self, samples: &[ProcessedSample]) -> PpoUpdateStats {
+        assert!(
+            self.obs_normalizer.is_none(),
+            "cannot train with a frozen observation normalizer installed; \
+             remove it with set_obs_normalizer(None) first"
+        );
         if samples.is_empty() {
             return PpoUpdateStats::default();
         }
@@ -467,7 +622,17 @@ impl PpoAgent {
     /// allocates fresh matrices for every step and evaluates the Gaussian
     /// per sample. `vtm-bench` pins [`PpoAgent::update`] bit-identical to
     /// this path and benchmarks the speedup between the two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frozen observation normalizer is installed (same contract
+    /// as [`PpoAgent::update`]).
     pub fn update_reference(&mut self, samples: &[ProcessedSample]) -> PpoUpdateStats {
+        assert!(
+            self.obs_normalizer.is_none(),
+            "cannot train with a frozen observation normalizer installed; \
+             remove it with set_obs_normalizer(None) first"
+        );
         if samples.is_empty() {
             return PpoUpdateStats::default();
         }
@@ -910,6 +1075,53 @@ mod tests {
             assert!((agent.value(obs) - v).abs() <= 1e-12);
         }
         assert!(agent.values_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen observation normalizer")]
+    fn update_refuses_a_frozen_normalizer() {
+        use crate::running_stat::RunningMeanStd;
+        let cfg = PpoConfig::new(2, 1).with_seed(31);
+        let mut agent = PpoAgent::new(cfg, ActionSpace::scalar(0.0, 1.0));
+        let mut env = Bandit {
+            target: 4.0,
+            space: ActionSpace::scalar(0.0, 10.0),
+        };
+        let mut buffer = RolloutBuffer::new();
+        agent.collect_episodes(&mut env, 4, 1, &mut buffer);
+        let samples = buffer.process(0.95, 0.95, 0.0, true);
+        let mut rms = RunningMeanStd::new(2);
+        rms.update(&[0.0, 0.0]);
+        rms.update(&[1.0, 1.0]);
+        agent.set_obs_normalizer(Some(rms));
+        let _ = agent.update(&samples);
+    }
+
+    #[test]
+    fn normalized_batch_paths_agree_with_scalar_paths() {
+        use crate::running_stat::RunningMeanStd;
+        let cfg = PpoConfig::new(2, 1).with_seed(33);
+        let mut agent = PpoAgent::new(cfg, ActionSpace::scalar(0.0, 1.0));
+        let mut rms = RunningMeanStd::new(2);
+        for i in 0..10 {
+            rms.update(&[i as f64, -0.5 * i as f64]);
+        }
+        agent.set_obs_normalizer(Some(rms));
+        let observations = [vec![0.2, -0.4], vec![1.5, 0.0], vec![-2.0, 2.0]];
+        let refs: Vec<&[f64]> = observations.iter().map(Vec::as_slice).collect();
+        // values_batch applies the normalizer exactly like the scalar path.
+        for (obs, v) in observations.iter().zip(agent.values_batch(&refs)) {
+            assert_eq!(agent.value(obs).to_bits(), v.to_bits());
+        }
+        // act_batch (single normalization pass) matches act_with_rng per row.
+        let mut batch_rngs: Vec<StdRng> = (0..3).map(|i| StdRng::seed_from_u64(50 + i)).collect();
+        let mut single_rngs = batch_rngs.clone();
+        let batch = agent.act_batch(&refs, &mut batch_rngs);
+        for (i, sample) in batch.iter().enumerate() {
+            let single = agent.act_with_rng(&observations[i], &mut single_rngs[i]);
+            assert_eq!(sample.raw_action, single.raw_action);
+            assert_eq!(sample.value.to_bits(), single.value.to_bits());
+        }
     }
 
     #[test]

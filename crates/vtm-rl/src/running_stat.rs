@@ -48,6 +48,28 @@ impl RunningMeanStd {
         }
     }
 
+    /// The raw accumulator state `(count, mean, m2)`, used by the policy
+    /// snapshot codec to persist a normalizer exactly.
+    pub fn state(&self) -> (f64, &[f64], &[f64]) {
+        (self.count, &self.mean, &self.m2)
+    }
+
+    /// Rebuilds a tracker from a state captured by [`RunningMeanStd::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty or disagree in length, or the count is
+    /// negative / non-finite.
+    pub fn from_state(count: f64, mean: Vec<f64>, m2: Vec<f64>) -> Self {
+        assert!(!mean.is_empty(), "dimension must be positive");
+        assert_eq!(mean.len(), m2.len(), "state vectors must agree in length");
+        assert!(
+            count.is_finite() && count >= 0.0,
+            "count must be a non-negative finite number"
+        );
+        Self { count, mean, m2 }
+    }
+
     /// Updates the statistics with one observation.
     ///
     /// # Panics
@@ -159,6 +181,18 @@ mod tests {
     #[should_panic(expected = "dimension must be positive")]
     fn zero_dim_rejected() {
         let _ = RunningMeanStd::new(0);
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let mut rs = RunningMeanStd::new(2);
+        for i in 0..7 {
+            rs.update(&[i as f64, -2.0 * i as f64]);
+        }
+        let (count, mean, m2) = rs.state();
+        let back = RunningMeanStd::from_state(count, mean.to_vec(), m2.to_vec());
+        assert_eq!(rs, back);
+        assert_eq!(rs.normalize(&[3.0, 1.0]), back.normalize(&[3.0, 1.0]));
     }
 
     #[test]

@@ -307,10 +307,45 @@ impl ParallelCollector {
         agent: &PpoAgent,
         venv: &mut VecEnv<E>,
     ) -> CollectedRollouts {
+        self.collect_impl(agent, venv, None)
+    }
+
+    /// Like [`ParallelCollector::collect`], but replica `i`'s *first* episode
+    /// starts from `Environment::reset_with_seed(reset_seeds[i])` instead of
+    /// a plain reset, pinning it to an exact environment stream (subsequent
+    /// episodes of the same call, if any, continue with plain resets).
+    ///
+    /// This is how the round-addressed [`Trainer`](crate::trainer::Trainer)
+    /// seed schedule reaches the environments without a redundant extra
+    /// reset per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reset_seeds.len() != venv.len()`.
+    pub fn collect_seeded<E: Environment + Send>(
+        &self,
+        agent: &PpoAgent,
+        venv: &mut VecEnv<E>,
+        reset_seeds: &[u64],
+    ) -> CollectedRollouts {
+        assert_eq!(
+            reset_seeds.len(),
+            venv.len(),
+            "one reset seed per environment replica"
+        );
+        self.collect_impl(agent, venv, Some(reset_seeds))
+    }
+
+    fn collect_impl<E: Environment + Send>(
+        &self,
+        agent: &PpoAgent,
+        venv: &mut VecEnv<E>,
+        reset_seeds: Option<&[u64]>,
+    ) -> CollectedRollouts {
         let n = venv.len();
         let threads = self.config.resolved_threads().min(n).max(1);
         if threads == 1 {
-            return self.collect_serial(agent, venv);
+            return self.collect_serial_impl(agent, venv, reset_seeds);
         }
         let chunk_size = n.div_ceil(threads);
         let mut rngs: Vec<StdRng> = (0..n).map(|i| self.config.rng_for_env(i)).collect();
@@ -320,7 +355,12 @@ impl ParallelCollector {
         let per_env = thread::scope(|scope| {
             let handles: Vec<_> = env_chunks
                 .zip(rng_chunks)
-                .map(|(envs, rngs)| scope.spawn(move || collect_chunk(agent, envs, rngs, &config)))
+                .enumerate()
+                .map(|(chunk_idx, (envs, rngs))| {
+                    let seeds = reset_seeds
+                        .map(|s| &s[chunk_idx * chunk_size..chunk_idx * chunk_size + envs.len()]);
+                    scope.spawn(move || collect_chunk(agent, envs, rngs, seeds, &config))
+                })
                 .collect();
             handles
                 .into_iter()
@@ -341,10 +381,23 @@ impl ParallelCollector {
         agent: &PpoAgent,
         venv: &mut VecEnv<E>,
     ) -> CollectedRollouts {
+        self.collect_serial_impl(agent, venv, None)
+    }
+
+    /// The single-threaded collection path shared by [`collect_serial`] and
+    /// the `threads == 1` branch of the parallel entry points.
+    ///
+    /// [`collect_serial`]: ParallelCollector::collect_serial
+    fn collect_serial_impl<E: Environment>(
+        &self,
+        agent: &PpoAgent,
+        venv: &mut VecEnv<E>,
+        reset_seeds: Option<&[u64]>,
+    ) -> CollectedRollouts {
         let n = venv.len();
         let mut rngs: Vec<StdRng> = (0..n).map(|i| self.config.rng_for_env(i)).collect();
         CollectedRollouts {
-            per_env: collect_chunk(agent, venv.envs_mut(), &mut rngs, &self.config),
+            per_env: collect_chunk(agent, venv.envs_mut(), &mut rngs, reset_seeds, &self.config),
         }
     }
 
@@ -393,17 +446,24 @@ struct ReplicaState {
 /// Collects `config.episodes_per_env` episodes from every environment in
 /// `envs`, stepping all not-yet-finished replicas in lockstep so the policy
 /// and value networks run one batched forward pass per collection step.
+/// When `reset_seeds` is given, replica `i`'s first episode starts from
+/// `reset_with_seed(reset_seeds[i])`.
 fn collect_chunk<E: Environment>(
     agent: &PpoAgent,
     envs: &mut [E],
     rngs: &mut [StdRng],
+    reset_seeds: Option<&[u64]>,
     config: &CollectorConfig,
 ) -> Vec<EnvRollout> {
     debug_assert_eq!(envs.len(), rngs.len());
     let mut states: Vec<ReplicaState> = envs
         .iter_mut()
-        .map(|env| ReplicaState {
-            observation: env.reset(),
+        .enumerate()
+        .map(|(i, env)| ReplicaState {
+            observation: match reset_seeds {
+                Some(seeds) => env.reset_with_seed(seeds[i]),
+                None => env.reset(),
+            },
             step_in_episode: 0,
             episodes_done: 0,
             episode_return: 0.0,

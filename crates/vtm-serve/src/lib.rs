@@ -1,0 +1,55 @@
+//! # vtm-serve — batched online inference for trained pricing policies
+//!
+//! The last stage of the policy lifecycle (train → checkpoint → load →
+//! **serve**): the MSP trains its DRL incentive mechanism offline, freezes
+//! the policy into a [`PolicySnapshot`](vtm_rl::snapshot::PolicySnapshot)
+//! checkpoint, and then quotes migration prices online, every pricing round,
+//! to many concurrent VMU sessions at once.
+//!
+//! The centrepiece is [`PricingService`]:
+//!
+//! * **frozen policy** — only the snapshot's actor network (plus the optional
+//!   observation normalizer) is loaded; serving never mutates weights;
+//! * **sharded session state** — each VMU session keeps its own rolling
+//!   observation history behind one of `S` mutex shards, so concurrent
+//!   request handlers contend per shard rather than on one global lock;
+//! * **batched forward** — [`PricingService::quote_batch`] prices a whole
+//!   round of requests with *one* actor matrix forward pass
+//!   ([`vtm_nn::mlp::Mlp::forward_rows`]) instead of one row-vector pass per
+//!   request, which is where the serving throughput comes from (the
+//!   `serve-bench` experiment measures batched vs per-request quotes/s);
+//! * **deterministic greedy mode** — [`InferenceMode::Greedy`] quotes the
+//!   squashed Gaussian mean, so identical request streams produce identical
+//!   prices; [`InferenceMode::Sample`] draws exploration noise from a
+//!   per-session counter-based stream and is equally reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use vtm_rl::env::ActionSpace;
+//! use vtm_rl::ppo::{PpoAgent, PpoConfig};
+//! use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+//!
+//! // A freshly initialised policy stands in for a trained checkpoint.
+//! let agent = PpoAgent::new(PpoConfig::new(8, 1).with_seed(1), ActionSpace::scalar(5.0, 50.0));
+//! let service =
+//!     PricingService::from_snapshot(&agent.snapshot(), ServiceConfig::new(4, 2)).unwrap();
+//! let quotes = service
+//!     .quote_batch(&[
+//!         QuoteRequest::new(7, vec![0.5, 0.2]),
+//!         QuoteRequest::new(9, vec![0.1, 0.9]),
+//!     ])
+//!     .unwrap();
+//! assert_eq!(quotes.len(), 2);
+//! assert!(quotes[0].price() >= 5.0 && quotes[0].price() <= 50.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+mod session;
+
+pub use service::{
+    InferenceMode, PricingService, Quote, QuoteRequest, ServeError, ServiceConfig, ServiceStats,
+};

@@ -1,0 +1,629 @@
+//! The pricing service: a frozen policy plus sharded session state answering
+//! quote requests in batches.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vtm_nn::matrix::ShapeError;
+use vtm_nn::mlp::Mlp;
+use vtm_rl::distribution::DiagGaussian;
+use vtm_rl::env::ActionSpace;
+use vtm_rl::running_stat::RunningMeanStd;
+use vtm_rl::snapshot::{PolicySnapshot, SnapshotError};
+
+use crate::session::Session;
+
+/// Seed-decorrelation constant shared with the training stack.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-request observation rows plus warm-up flags and per-session draw
+/// counters, produced by one locked pass over the session shards.
+type GatheredObservations = (Vec<Vec<f64>>, Vec<bool>, Vec<u64>);
+
+/// Typed failure modes of the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Loading or validating the policy snapshot failed.
+    Snapshot(SnapshotError),
+    /// The service configuration disagrees with the policy's input geometry.
+    GeometryMismatch {
+        /// `history_length * features_per_round` from the configuration.
+        configured_obs_dim: usize,
+        /// The actor network's input width.
+        policy_obs_dim: usize,
+    },
+    /// A request's feature block has the wrong width.
+    BadFeatureBlock {
+        /// The offending session id.
+        session: u64,
+        /// Expected features per round.
+        expected: usize,
+        /// Features actually supplied.
+        got: usize,
+    },
+    /// The batched forward pass rejected the assembled observation matrix
+    /// (indicates an internal geometry bug, surfaced instead of panicking).
+    Forward(ShapeError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Snapshot(err) => write!(f, "snapshot error: {err}"),
+            ServeError::GeometryMismatch {
+                configured_obs_dim,
+                policy_obs_dim,
+            } => write!(
+                f,
+                "service geometry (obs dim {configured_obs_dim}) does not match the policy \
+                 (obs dim {policy_obs_dim})"
+            ),
+            ServeError::BadFeatureBlock {
+                session,
+                expected,
+                got,
+            } => write!(
+                f,
+                "session {session}: feature block has {got} features, expected {expected}"
+            ),
+            ServeError::Forward(err) => write!(f, "batched forward failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Snapshot(err) => Some(err),
+            ServeError::Forward(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(err: SnapshotError) -> Self {
+        ServeError::Snapshot(err)
+    }
+}
+
+/// How the service turns the actor's Gaussian mean into a quoted action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferenceMode {
+    /// Deterministic: quote the squashed mean action. Identical request
+    /// streams yield identical prices — the mode production pricing uses.
+    #[default]
+    Greedy,
+    /// Stochastic: add Gaussian exploration noise drawn from a per-session
+    /// counter-based stream (reproducible, but varying across rounds).
+    Sample,
+}
+
+/// Static configuration of a [`PricingService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Observation history length `L` the policy was trained with.
+    pub history_length: usize,
+    /// Feature-block width per round (e.g. `1 + N` for the static market,
+    /// `OBS_FEATURES` for scenario environments).
+    pub features_per_round: usize,
+    /// Number of session-state shards (lock granularity under concurrency).
+    pub shards: usize,
+    /// Worker threads for the batched forward pass (`1` = inline, `0` = one
+    /// per core). Chunks of the batch are evaluated on scoped threads;
+    /// results are bit-identical for every thread count because
+    /// [`Mlp::forward_rows`] is row-independent.
+    pub inference_threads: usize,
+    /// Quote mode.
+    pub mode: InferenceMode,
+}
+
+impl ServiceConfig {
+    /// A configuration with 16 shards and greedy inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(history_length: usize, features_per_round: usize) -> Self {
+        assert!(history_length > 0, "history length must be positive");
+        assert!(features_per_round > 0, "feature width must be positive");
+        Self {
+            history_length,
+            features_per_round,
+            shards: 16,
+            inference_threads: 1,
+            mode: InferenceMode::Greedy,
+        }
+    }
+
+    /// Overrides the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the forward-pass worker-thread count (`0` = one per core).
+    pub fn with_inference_threads(mut self, threads: usize) -> Self {
+        self.inference_threads = threads;
+        self
+    }
+
+    /// Overrides the inference mode.
+    pub fn with_mode(mut self, mode: InferenceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// One round's pricing request for one VMU session: the session id and the
+/// newest round's feature block (the service keeps the rolling history).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuoteRequest {
+    /// Stable session identifier (e.g. the VMU/trip id).
+    pub session: u64,
+    /// The newest round's observation features for this session.
+    pub features: Vec<f64>,
+}
+
+impl QuoteRequest {
+    /// Creates a request.
+    pub fn new(session: u64, features: Vec<f64>) -> Self {
+        Self { session, features }
+    }
+}
+
+/// A priced quote for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quote {
+    /// The session the quote belongs to.
+    pub session: u64,
+    /// The quoted action, mapped into the policy's action space (for the
+    /// paper's market: one element, the unit migration price).
+    pub action: Vec<f64>,
+    /// Whether the session's history window was already full (before
+    /// warm-up, the observation pads the window with the oldest block).
+    pub warmed: bool,
+}
+
+impl Quote {
+    /// The scalar price (first action dimension).
+    pub fn price(&self) -> f64 {
+        self.action[0]
+    }
+}
+
+/// Aggregate serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Live sessions across all shards.
+    pub sessions: usize,
+    /// Total quotes served since construction.
+    pub quotes: u64,
+}
+
+/// A frozen pricing policy serving batched quote requests over sharded
+/// per-session observation state. See the crate docs for the design.
+#[derive(Debug)]
+pub struct PricingService {
+    actor: Mlp,
+    action_space: ActionSpace,
+    log_std: Vec<f64>,
+    obs_normalizer: Option<RunningMeanStd>,
+    config: ServiceConfig,
+    shards: Vec<Mutex<HashMap<u64, Session>>>,
+    /// Total quotes served; atomic so the hot path never serializes on a
+    /// global lock (session state already contends per shard).
+    quotes_served: AtomicU64,
+}
+
+impl PricingService {
+    /// Builds a service around a policy snapshot's frozen actor side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Snapshot`] when the snapshot is internally
+    /// inconsistent, or [`ServeError::GeometryMismatch`] when
+    /// `history_length * features_per_round` differs from the actor's input
+    /// width.
+    pub fn from_snapshot(
+        snapshot: &PolicySnapshot,
+        config: ServiceConfig,
+    ) -> Result<Self, ServeError> {
+        snapshot.validate()?;
+        let configured = config.history_length * config.features_per_round;
+        if configured != snapshot.actor.input_dim() {
+            return Err(ServeError::GeometryMismatch {
+                configured_obs_dim: configured,
+                policy_obs_dim: snapshot.actor.input_dim(),
+            });
+        }
+        let shards = (0..config.shards.max(1))
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        Ok(Self {
+            actor: snapshot.actor.clone(),
+            action_space: snapshot.action_space.clone(),
+            log_std: snapshot.log_std.clone(),
+            obs_normalizer: snapshot.obs_normalizer.clone(),
+            config,
+            shards,
+            quotes_served: AtomicU64::new(0),
+        })
+    }
+
+    /// Loads a checkpoint file written by
+    /// [`PolicySnapshot::save_to`] and builds a service around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServeError`] for corrupt/truncated checkpoints and
+    /// geometry mismatches — never panics on bad files.
+    pub fn load(path: impl AsRef<Path>, config: ServiceConfig) -> Result<Self, ServeError> {
+        let snapshot = PolicySnapshot::load_from(path)?;
+        Self::from_snapshot(&snapshot, config)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The policy's action space.
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.action_space
+    }
+
+    /// Aggregate counters (sessions alive, quotes served).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            sessions: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("shard poisoned").len())
+                .sum(),
+            quotes: self.quotes_served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops one session's state; returns whether it existed.
+    pub fn end_session(&self, session: u64) -> bool {
+        self.shards[self.shard_of(session)]
+            .lock()
+            .expect("shard poisoned")
+            .remove(&session)
+            .is_some()
+    }
+
+    fn shard_of(&self, session: u64) -> usize {
+        // Golden-ratio hash so consecutive trip ids spread across shards.
+        (session.wrapping_add(1).wrapping_mul(GOLDEN) >> 32) as usize % self.shards.len()
+    }
+
+    fn normalized(&self, obs: Vec<f64>) -> Vec<f64> {
+        match &self.obs_normalizer {
+            Some(rms) => rms.normalize(&obs),
+            None => obs,
+        }
+    }
+
+    /// Advances the session state for every request and returns each
+    /// request's full (normalized) observation row plus warm/noise metadata,
+    /// locking every touched shard exactly once.
+    fn gather_observations(
+        &self,
+        requests: &[QuoteRequest],
+    ) -> Result<GatheredObservations, ServeError> {
+        let features = self.config.features_per_round;
+        for req in requests {
+            if req.features.len() != features {
+                return Err(ServeError::BadFeatureBlock {
+                    session: req.session,
+                    expected: features,
+                    got: req.features.len(),
+                });
+            }
+        }
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); requests.len()];
+        let mut warmed = vec![false; requests.len()];
+        let mut draws = vec![0u64; requests.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (idx, req) in requests.iter().enumerate() {
+            by_shard[self.shard_of(req.session)].push(idx);
+        }
+        for (shard, indices) in self.shards.iter().zip(by_shard.iter()) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut sessions = shard.lock().expect("shard poisoned");
+            // Requests for the same session are applied in request order.
+            for &idx in indices {
+                let req = &requests[idx];
+                let session = sessions
+                    .entry(req.session)
+                    .or_insert_with(|| Session::new(self.config.history_length));
+                session.push(req.features.clone(), self.config.history_length);
+                session.quotes += 1;
+                warmed[idx] = session.warmed(self.config.history_length);
+                draws[idx] = session.quotes;
+                rows[idx] =
+                    self.normalized(session.observation(self.config.history_length, features));
+            }
+        }
+        Ok((rows, warmed, draws))
+    }
+
+    fn quote_from_mean(&self, session: u64, mean: &[f64], draw: u64, warmed: bool) -> Quote {
+        let action = match self.config.mode {
+            InferenceMode::Greedy => self.action_space.squash(mean),
+            InferenceMode::Sample => {
+                // Counter-based stream: the n-th quote of a session draws the
+                // same noise no matter how requests were batched.
+                let mut rng = StdRng::seed_from_u64(session ^ draw.wrapping_mul(GOLDEN));
+                let dist = DiagGaussian::new(mean.to_vec(), self.log_std.clone());
+                self.action_space.squash(&dist.sample(&mut rng))
+            }
+        };
+        Quote {
+            session,
+            action,
+            warmed,
+        }
+    }
+
+    /// Batched (and optionally multi-threaded) actor evaluation: one matrix
+    /// forward pass per chunk instead of one row-vector pass per request.
+    fn forward_means(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ServeError> {
+        let threads = match self.config.inference_threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+        .min(rows.len())
+        .max(1);
+        if threads == 1 {
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let means = self
+                .actor
+                .forward_rows(&refs)
+                .map_err(ServeError::Forward)?;
+            return Ok((0..rows.len()).map(|i| means.row(i).to_vec()).collect());
+        }
+        let chunk_size = rows.len().div_ceil(threads);
+        let chunks: Vec<Result<Vec<Vec<f64>>, ShapeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+                        let means = self.actor.forward_rows(&refs)?;
+                        Ok((0..chunk.len()).map(|i| means.row(i).to_vec()).collect())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("inference worker panicked"))
+                .collect()
+        });
+        let mut means = Vec::with_capacity(rows.len());
+        for chunk in chunks {
+            means.extend(chunk.map_err(ServeError::Forward)?);
+        }
+        Ok(means)
+    }
+
+    /// Prices a whole round of requests with **one** batched actor forward
+    /// pass per inference-thread chunk. Results are identical to calling
+    /// [`PricingService::quote_one`] per request in order
+    /// ([`Mlp::forward_rows`] is bit-stable against the row-vector path, and
+    /// chunking is row-independent); the batch is simply much faster, which
+    /// is the point of the serving layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServeError`] for malformed feature blocks; an empty
+    /// batch yields an empty quote list.
+    pub fn quote_batch(&self, requests: &[QuoteRequest]) -> Result<Vec<Quote>, ServeError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (rows, warmed, draws) = self.gather_observations(requests)?;
+        let means = self.forward_means(&rows)?;
+        self.quotes_served
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        Ok(requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| self.quote_from_mean(req.session, &means[i], draws[i], warmed[i]))
+            .collect())
+    }
+
+    /// Prices a single request with a per-request row-vector forward pass —
+    /// the unbatched baseline the `serve-bench` experiment compares
+    /// [`PricingService::quote_batch`] against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServeError`] for malformed feature blocks.
+    pub fn quote_one(&self, request: &QuoteRequest) -> Result<Quote, ServeError> {
+        let (rows, warmed, draws) = self.gather_observations(std::slice::from_ref(request))?;
+        let mean = self
+            .actor
+            .forward_vec(&rows[0])
+            .map_err(ServeError::Forward)?;
+        self.quotes_served.fetch_add(1, Ordering::Relaxed);
+        Ok(self.quote_from_mean(request.session, &mean, draws[0], warmed[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtm_rl::ppo::{PpoAgent, PpoConfig};
+
+    fn snapshot(obs_dim: usize, seed: u64) -> PolicySnapshot {
+        PpoAgent::new(
+            PpoConfig::new(obs_dim, 1).with_seed(seed),
+            ActionSpace::scalar(5.0, 50.0),
+        )
+        .snapshot()
+    }
+
+    fn requests(round: usize, sessions: usize, features: usize) -> Vec<QuoteRequest> {
+        (0..sessions)
+            .map(|s| {
+                QuoteRequest::new(
+                    s as u64,
+                    (0..features)
+                        .map(|f| ((round * 31 + s * 7 + f) % 13) as f64 / 13.0)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_typed_error() {
+        let snap = snapshot(8, 1);
+        assert!(matches!(
+            PricingService::from_snapshot(&snap, ServiceConfig::new(4, 3)),
+            Err(ServeError::GeometryMismatch { .. })
+        ));
+        assert!(PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).is_ok());
+    }
+
+    #[test]
+    fn batched_quotes_match_per_request_quotes_exactly() {
+        let snap = snapshot(8, 2);
+        let batched = PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).unwrap();
+        let sequential = PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).unwrap();
+        for round in 0..6 {
+            let reqs = requests(round, 9, 2);
+            let via_batch = batched.quote_batch(&reqs).unwrap();
+            let via_single: Vec<Quote> = reqs
+                .iter()
+                .map(|r| sequential.quote_one(r).unwrap())
+                .collect();
+            assert_eq!(via_batch, via_single, "round {round} diverged");
+        }
+        assert_eq!(batched.stats().quotes, 54);
+        assert_eq!(batched.stats().sessions, 9);
+    }
+
+    #[test]
+    fn sampled_mode_is_reproducible_and_batch_invariant() {
+        let snap = snapshot(6, 3);
+        let config = ServiceConfig::new(3, 2).with_mode(InferenceMode::Sample);
+        let a = PricingService::from_snapshot(&snap, config).unwrap();
+        let b = PricingService::from_snapshot(&snap, config).unwrap();
+        for round in 0..4 {
+            let reqs = requests(round, 5, 2);
+            let qa = a.quote_batch(&reqs).unwrap();
+            let qb: Vec<Quote> = reqs.iter().map(|r| b.quote_one(r).unwrap()).collect();
+            assert_eq!(qa, qb);
+            for q in &qa {
+                assert!(q.price() >= 5.0 && q.price() <= 50.0);
+            }
+        }
+        // Different rounds draw different noise for the same session.
+        let c = PricingService::from_snapshot(&snap, config).unwrap();
+        let q1 = c.quote_batch(&requests(0, 1, 2)).unwrap();
+        let q2 = c.quote_batch(&requests(0, 1, 2)).unwrap();
+        assert_ne!(q1[0].action, q2[0].action);
+    }
+
+    #[test]
+    fn threaded_batches_match_inline_batches_exactly() {
+        let snap = snapshot(8, 9);
+        let inline = PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).unwrap();
+        let threaded = PricingService::from_snapshot(
+            &snap,
+            ServiceConfig::new(4, 2).with_inference_threads(4),
+        )
+        .unwrap();
+        for round in 0..4 {
+            let reqs = requests(round, 23, 2);
+            assert_eq!(
+                inline.quote_batch(&reqs).unwrap(),
+                threaded.quote_batch(&reqs).unwrap(),
+                "round {round} diverged across inference thread counts"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_up_flag_flips_once_the_window_fills() {
+        let snap = snapshot(6, 4);
+        let service = PricingService::from_snapshot(&snap, ServiceConfig::new(3, 2)).unwrap();
+        for round in 0..5 {
+            let quote = &service.quote_batch(&requests(round, 1, 2)).unwrap()[0];
+            assert_eq!(quote.warmed, round >= 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn bad_feature_blocks_and_session_lifecycle() {
+        let snap = snapshot(6, 5);
+        let service = PricingService::from_snapshot(&snap, ServiceConfig::new(3, 2)).unwrap();
+        let err = service
+            .quote_batch(&[QuoteRequest::new(1, vec![0.0; 5])])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::BadFeatureBlock {
+                session: 1,
+                expected: 2,
+                got: 5
+            }
+        ));
+        assert!(!err.to_string().is_empty());
+        assert!(service.quote_batch(&[]).unwrap().is_empty());
+        service.quote_batch(&requests(0, 3, 2)).unwrap();
+        assert!(service.end_session(0));
+        assert!(!service.end_session(0));
+        assert_eq!(service.stats().sessions, 2);
+    }
+
+    #[test]
+    fn greedy_quotes_match_the_agent_deterministic_action() {
+        // The service over a full observation window must quote exactly the
+        // policy's deterministic action for that observation.
+        let agent = PpoAgent::new(
+            PpoConfig::new(6, 1).with_seed(6),
+            ActionSpace::scalar(5.0, 50.0),
+        );
+        let service =
+            PricingService::from_snapshot(&agent.snapshot(), ServiceConfig::new(3, 2)).unwrap();
+        let blocks = [[0.2, 0.4], [0.6, 0.1], [0.9, 0.3]];
+        let mut quote = None;
+        for block in blocks {
+            quote = Some(
+                service
+                    .quote_one(&QuoteRequest::new(42, block.to_vec()))
+                    .unwrap(),
+            );
+        }
+        let obs: Vec<f64> = blocks.iter().flatten().copied().collect();
+        assert_eq!(quote.unwrap().action, agent.act_deterministic(&obs));
+    }
+
+    #[test]
+    fn shards_spread_sessions() {
+        let snap = snapshot(6, 7);
+        let service =
+            PricingService::from_snapshot(&snap, ServiceConfig::new(3, 2).with_shards(4)).unwrap();
+        service.quote_batch(&requests(0, 64, 2)).unwrap();
+        let occupied = service
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(occupied >= 3, "only {occupied} of 4 shards used");
+        assert_eq!(service.stats().sessions, 64);
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-VMU session state: the rolling observation history a policy needs to
+//! price one client across rounds.
+
+use std::collections::VecDeque;
+
+/// One VMU session's serving-side state. The policy observes the last `L`
+/// rounds of features, so the session only has to buffer feature blocks —
+/// the client ships one block per round, never the full observation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Session {
+    /// The most recent feature blocks, oldest first (at most `L`).
+    history: VecDeque<Vec<f64>>,
+    /// Quotes served to this session so far (also the per-session noise
+    /// counter for sampled inference).
+    pub(crate) quotes: u64,
+}
+
+impl Session {
+    pub(crate) fn new(history_length: usize) -> Self {
+        Self {
+            history: VecDeque::with_capacity(history_length),
+            quotes: 0,
+        }
+    }
+
+    /// Appends the newest round's feature block, dropping the oldest once the
+    /// window is full.
+    pub(crate) fn push(&mut self, features: Vec<f64>, history_length: usize) {
+        if self.history.len() == history_length {
+            self.history.pop_front();
+        }
+        self.history.push_back(features);
+    }
+
+    /// Whether the rolling window holds a full `L` rounds of real features.
+    pub(crate) fn warmed(&self, history_length: usize) -> bool {
+        self.history.len() >= history_length
+    }
+
+    /// Flattens the window into the policy observation. Until the session is
+    /// warm the *oldest* block is repeated to fill the window — a
+    /// deterministic stand-in for the random warm-up rounds the training
+    /// environment plays.
+    pub(crate) fn observation(&self, history_length: usize, features: usize) -> Vec<f64> {
+        let mut obs = Vec::with_capacity(history_length * features);
+        let missing = history_length - self.history.len();
+        if let Some(first) = self.history.front() {
+            for _ in 0..missing {
+                obs.extend_from_slice(first);
+            }
+        }
+        for block in &self.history {
+            obs.extend_from_slice(block);
+        }
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_rolls_and_pads() {
+        let mut s = Session::new(3);
+        s.push(vec![1.0], 3);
+        assert!(!s.warmed(3));
+        assert_eq!(s.observation(3, 1), vec![1.0, 1.0, 1.0]);
+        s.push(vec![2.0], 3);
+        s.push(vec![3.0], 3);
+        assert!(s.warmed(3));
+        assert_eq!(s.observation(3, 1), vec![1.0, 2.0, 3.0]);
+        s.push(vec![4.0], 3);
+        assert_eq!(s.observation(3, 1), vec![2.0, 3.0, 4.0]);
+    }
+}

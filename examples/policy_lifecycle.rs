@@ -1,0 +1,104 @@
+//! The full policy lifecycle in one run: **train** a pricing policy with the
+//! builder-style `Trainer`, **checkpoint** it to a versioned binary file,
+//! **load** the frozen snapshot in a fresh `PricingService`, and **serve** a
+//! round of batched price quotes to concurrent VMU sessions — the same split
+//! production RL systems use between learner and inference workers.
+//!
+//! ```text
+//! cargo run --release --example policy_lifecycle
+//! ```
+
+use vtm::core::registry::{EnvBuildOptions, EnvRegistry};
+use vtm::prelude::*;
+use vtm::rl::snapshot::PolicySnapshot;
+use vtm::rl::trainer::Trainer;
+
+fn main() {
+    // ---- 1. Train -------------------------------------------------------
+    let registry = EnvRegistry::builtin();
+    let options = EnvBuildOptions {
+        seed: 7,
+        ..EnvBuildOptions::default()
+    };
+    let env = registry
+        .build("static", &options)
+        .expect("the static preset is built in");
+    let episodes = vtm::example_episodes(12);
+    let mut agent = PpoAgent::new(
+        PpoConfig::new(env.observation_dim(), 1).with_seed(7),
+        env.action_space(),
+    );
+    let max_steps = env.rounds_per_episode();
+    let report = Trainer::for_env(env)
+        .episodes(episodes)
+        .collectors(4)
+        .threads(0)
+        .max_steps(max_steps)
+        .on_episode(|e| {
+            if e.episode % 4 == 0 {
+                println!(
+                    "episode {:3}: return {:5.1}, mean price {:6.2}",
+                    e.episode,
+                    e.episode_return,
+                    e.env.episode_stats().mean_price()
+                );
+            }
+        })
+        .run(&mut agent)
+        .expect("training must succeed");
+    println!(
+        "trained {} episodes over {} rounds\n",
+        report.episode_returns.len(),
+        report.rounds
+    );
+
+    // ---- 2. Checkpoint --------------------------------------------------
+    let path = std::env::temp_dir().join("vtm_policy_lifecycle_example.vtm");
+    agent
+        .snapshot()
+        .with_trained_rounds(report.next_round())
+        .save_to(&path)
+        .expect("checkpoint must be writable");
+    println!("checkpoint written to {}", path.display());
+
+    // ---- 3. Load + serve ------------------------------------------------
+    // A brand-new process would start here: only the file crosses over.
+    let snapshot = PolicySnapshot::load_from(&path).expect("checkpoint must load");
+    let features_per_round = registry
+        .get("static")
+        .expect("preset exists")
+        .features_per_round();
+    let service = PricingService::from_snapshot(
+        &snapshot,
+        ServiceConfig::new(options.history_length, features_per_round),
+    )
+    .expect("snapshot geometry matches the preset");
+
+    // Quote one pricing round for a fleet of VMU sessions in one batch.
+    let requests: Vec<QuoteRequest> = (0..8)
+        .map(|vmu| {
+            QuoteRequest::new(
+                vmu,
+                // In production these features come from the previous round's
+                // market outcome; a deterministic stand-in keeps the example
+                // self-contained.
+                (0..features_per_round)
+                    .map(|f| ((vmu as usize * 7 + f) % 10) as f64 / 10.0)
+                    .collect(),
+            )
+        })
+        .collect();
+    let quotes = service
+        .quote_batch(&requests)
+        .expect("well-formed requests must price");
+    println!("\nsession, quoted price (deterministic greedy mode)");
+    for quote in &quotes {
+        println!("{:7}, {:12.3}", quote.session, quote.price());
+    }
+    println!(
+        "\nserved {} quotes across {} sessions with one batched forward pass",
+        service.stats().quotes,
+        service.stats().sessions
+    );
+    let _ = std::fs::remove_file(&path);
+}

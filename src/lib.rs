@@ -10,7 +10,10 @@
 //! * [`sim`] — the vehicular-metaverse simulator substrate
 //!   (mobility, RSUs, channel, pre-copy live migration),
 //! * [`rl`] — the PPO reinforcement-learning substrate, including
-//!   the deterministic parallel vectorized rollout engine,
+//!   the deterministic parallel vectorized rollout engine, the builder-style
+//!   trainer and versioned policy snapshots,
+//! * [`serve`] — the batched online inference layer serving price quotes
+//!   from frozen policy checkpoints,
 //! * [`nn`] — the neural-network substrate,
 //! * [`game`] — the generic Stackelberg game-theory substrate.
 //!
@@ -39,6 +42,7 @@ pub use vtm_core as core;
 pub use vtm_game as game;
 pub use vtm_nn as nn;
 pub use vtm_rl as rl;
+pub use vtm_serve as serve;
 pub use vtm_sim as sim;
 
 /// One-stop prelude re-exporting the preludes of every workspace crate.
@@ -47,6 +51,9 @@ pub mod prelude {
     pub use vtm_game::prelude::*;
     pub use vtm_nn::prelude::*;
     pub use vtm_rl::prelude::*;
+    pub use vtm_serve::{
+        InferenceMode, PricingService, Quote, QuoteRequest, ServeError, ServiceConfig,
+    };
     pub use vtm_sim::prelude::*;
 }
 
