@@ -20,6 +20,7 @@
 //! `results/BENCH_serve.json`.
 
 use vtm_bench::experiments::{find, manifest, ExperimentCtx};
+use vtm_bench::gateway_bench::{run_gateway_bench, GatewayBenchOptions};
 use vtm_bench::lifecycle::{describe_checkpoint, train_to_checkpoint, TrainOptions};
 use vtm_bench::serve_bench::{run_serve_bench, ServeBenchOptions};
 use vtm_core::registry::EnvRegistry;
@@ -37,6 +38,11 @@ fn usage() -> ! {
     eprintln!(
         "       experiments serve-bench [--env <preset>] [--checkpoint <path>] \
          [--sessions N] [--rounds N] [--repeats N]"
+    );
+    eprintln!(
+        "       experiments gateway-bench [--env <preset>] [--checkpoint <path>] \
+         [--duration-s S] [--sessions N] [--ingress N] [--executors N] \
+         [--max-batch N] [--max-delay-us N] [--queue-capacity N] [--no-open-loop]"
     );
     eprintln!("known experiments:");
     for spec in manifest() {
@@ -191,6 +197,96 @@ fn main_serve_bench(args: &[String]) {
     }
 }
 
+fn main_gateway_bench(args: &[String]) {
+    let mut opts = GatewayBenchOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(flag_value(args, &mut i, "--checkpoint").into())
+            }
+            "--duration-s" => {
+                let value = flag_value(args, &mut i, "--duration-s");
+                opts.duration_s = match value.parse::<f64>() {
+                    Ok(s) if s > 0.0 => s,
+                    _ => {
+                        eprintln!("error: --duration-s needs a positive number, got `{value}`");
+                        usage();
+                    }
+                };
+            }
+            "--sessions" => {
+                opts.sessions =
+                    parse_count(flag_value(args, &mut i, "--sessions"), "--sessions").max(1)
+            }
+            "--ingress" => {
+                opts.ingress = parse_count(flag_value(args, &mut i, "--ingress"), "--ingress")
+            }
+            "--executors" => {
+                opts.executors = parse_count(flag_value(args, &mut i, "--executors"), "--executors")
+            }
+            "--max-batch" => {
+                opts.max_batch =
+                    parse_count(flag_value(args, &mut i, "--max-batch"), "--max-batch").max(1)
+            }
+            "--max-delay-us" => {
+                opts.max_delay_us =
+                    parse_count(flag_value(args, &mut i, "--max-delay-us"), "--max-delay-us") as u64
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = parse_count(
+                    flag_value(args, &mut i, "--queue-capacity"),
+                    "--queue-capacity",
+                )
+                .max(1)
+            }
+            "--no-open-loop" => opts.open_loop_factors.clear(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown gateway-bench argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_gateway_bench(&opts) {
+        Ok(result) => {
+            println!(
+                "gateway-bench `{}`: baseline (1 ingress/1 executor) {:.0} quotes/s, scaled \
+                 {:.0} quotes/s ({:.2}x)",
+                result.env, result.baseline_qps, result.scaled_qps, result.speedup
+            );
+            for run in &result.runs {
+                let offered = run
+                    .offered_qps
+                    .map_or("closed loop".to_string(), |q| format!("offered {q:.0}/s"));
+                println!(
+                    "  {:<16} {offered:>16} -> {:>8.0} quotes/s, p50 {} us, p99 {} us, \
+                     mean batch {:.1}, rejected {}",
+                    run.label,
+                    run.achieved_qps,
+                    run.telemetry.latency_p50_us,
+                    run.telemetry.latency_p99_us,
+                    run.telemetry.mean_batch_size,
+                    run.telemetry.rejected
+                );
+            }
+            match result.save() {
+                Ok(path) => println!("(saved to {})", path.display()),
+                Err(err) => {
+                    eprintln!("error: could not write BENCH_gateway.json: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -198,6 +294,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("train") => return main_train(&args[1..]),
         Some("serve-bench") => return main_serve_bench(&args[1..]),
+        Some("gateway-bench") => return main_gateway_bench(&args[1..]),
         _ => {}
     }
 

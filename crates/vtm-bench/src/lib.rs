@@ -12,15 +12,20 @@
 //! via the [`report`] helpers. The runner also drives the policy lifecycle:
 //! `experiments train` ([`lifecycle`]) produces versioned policy checkpoints
 //! and `experiments serve-bench` ([`serve_bench`]) measures the batched
-//! serving layer's quote throughput against the per-request baseline.
+//! serving layer's quote throughput against the per-request baseline;
+//! `experiments gateway-bench` ([`gateway_bench`]) drives the concurrent
+//! online gateway (`vtm-gateway`) with closed- and open-loop load and
+//! records latency percentiles, batch-size histograms and rejects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gateway_bench;
 pub mod lifecycle;
 pub mod report;
 pub mod serve_bench;
+pub mod timing;
 
 pub use report::{results_dir, Report, ResultsTable};
 

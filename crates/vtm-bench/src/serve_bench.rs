@@ -9,7 +9,7 @@
 //! speedup — the same lever the training-side rollout engine uses, now on
 //! the serving side. Results are written to `results/BENCH_serve.json`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use vtm_core::registry::{EnvBuildOptions, EnvRegistry};
@@ -20,6 +20,7 @@ use vtm_rl::trainer::Trainer;
 use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
 
 use crate::results_dir;
+use crate::timing::{available_cores, median};
 
 /// Options of one serve-bench run.
 #[derive(Debug, Clone)]
@@ -139,24 +140,27 @@ fn request_stream(opts: &ServeBenchOptions, width: usize) -> Vec<Vec<QuoteReques
         .collect()
 }
 
-/// Resolves the policy snapshot: load the checkpoint when given, otherwise
-/// train a small policy on the named preset right here.
-fn resolve_snapshot(
-    opts: &ServeBenchOptions,
+/// Resolves a serving policy snapshot: load the checkpoint when given,
+/// otherwise train a small policy on the named preset right here (shared by
+/// `serve-bench` and `gateway-bench`).
+pub(crate) fn resolve_snapshot(
+    env_name: &str,
+    checkpoint: Option<&Path>,
+    train_episodes: usize,
     build: &EnvBuildOptions,
 ) -> Result<PolicySnapshot, String> {
-    if let Some(path) = &opts.checkpoint {
+    if let Some(path) = checkpoint {
         return PolicySnapshot::load_from(path)
             .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()));
     }
     let registry = EnvRegistry::builtin();
     let env = registry
-        .build(&opts.env, build)
-        .ok_or_else(|| format!("unknown environment preset `{}`", opts.env))?;
+        .build(env_name, build)
+        .ok_or_else(|| format!("unknown environment preset `{env_name}`"))?;
     let ppo = vtm_rl::ppo::PpoConfig::new(env.observation_dim(), 1).with_seed(7);
     let mut agent = PpoAgent::new(ppo, env.action_space());
     let report = Trainer::for_env(env)
-        .episodes(opts.train_episodes)
+        .episodes(train_episodes)
         .max_steps(build.rounds_per_episode)
         .run(&mut agent)
         .map_err(|e| format!("fallback training failed: {e}"))?;
@@ -178,9 +182,14 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> Result<ServeBenchResult, Str
         .get(&opts.env)
         .ok_or_else(|| format!("unknown environment preset `{}`", opts.env))?;
     let features = spec.features_per_round();
-    let snapshot = resolve_snapshot(opts, &build)?;
+    let snapshot = resolve_snapshot(
+        &opts.env,
+        opts.checkpoint.as_deref(),
+        opts.train_episodes,
+        &build,
+    )?;
     let resolved_threads = match opts.inference_threads {
-        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        0 => available_cores(),
         t => t,
     };
     // The batched service fans its forward pass out across cores; the
@@ -228,10 +237,6 @@ pub fn run_serve_bench(opts: &ServeBenchOptions) -> Result<ServeBenchResult, Str
         }
         per_request_times.push(t.elapsed().as_secs_f64());
     }
-    let median = |times: &mut Vec<f64>| {
-        times.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-        times[times.len() / 2]
-    };
     let batched_s = median(&mut batched_times).max(1e-12);
     let per_request_s = median(&mut per_request_times).max(1e-12);
     let quotes = (opts.sessions * opts.rounds) as f64;

@@ -1,0 +1,58 @@
+//! Shared wall-clock measurement helpers: medians, percentiles and core
+//! detection, used by the serve/gateway load generators and the `--ignored`
+//! multi-core acceptance tests (previously copy-pasted per benchmark).
+
+/// Logical cores available to this process (1 when detection fails) — the
+/// gate every multi-core acceptance test keys its ≥ 4-core requirement on.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Sorts the samples in place and returns the median (the upper middle for
+/// even counts, matching the previous per-bench helpers).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains a non-finite value.
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_sorts_and_picks_upper_middle() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(median(&mut [5.0]), 5.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_eq!(percentile(&sorted, 0.95), 10.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn cores_detects_at_least_one() {
+        assert!(available_cores() >= 1);
+    }
+}

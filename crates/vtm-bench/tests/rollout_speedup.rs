@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use vtm_bench::timing::available_cores;
 use vtm_bench::{rollout_bench_agent as agent, FixedHorizonEnv};
 use vtm_rl::buffer::RolloutBuffer;
 use vtm_rl::vec_env::{CollectorConfig, ParallelCollector, VecEnv};
@@ -34,7 +35,7 @@ fn parallel_collection_is_deterministic_at_bench_scale() {
 #[test]
 #[ignore = "wall-clock assertion; run explicitly in --release on an idle machine"]
 fn parallel_collection_is_at_least_2x_faster_than_serial() {
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let cores = available_cores();
     assert!(cores >= 4, "speedup target is defined for 4+-core machines");
 
     // Warm up both paths once, then time several repetitions of each.

@@ -8,6 +8,7 @@
 //! The correctness check (batched ≡ per-request quotes) always runs.
 
 use vtm_bench::serve_bench::{run_serve_bench, ServeBenchOptions};
+use vtm_bench::timing::available_cores;
 
 /// Batched and per-request serving must quote identically — `run_serve_bench`
 /// verifies this internally before timing and errors out on divergence.
@@ -31,7 +32,7 @@ fn batched_and_per_request_quotes_agree() {
 #[test]
 #[ignore = "wall-clock assertion; needs a multi-core machine, run explicitly in --release"]
 fn batched_inference_is_at_least_2x_per_request_throughput() {
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let cores = available_cores();
     assert!(cores >= 4, "speedup target is defined for 4+-core machines");
     let result = run_serve_bench(&ServeBenchOptions {
         sessions: 256,

@@ -156,6 +156,19 @@ impl Environment for AnyPricingEnv {
     }
 }
 
+/// One session's newest feature block for one pricing round — the unit of
+/// an online request stream. This is the serving-side shape (`vtm-serve`'s
+/// `QuoteRequest` carries exactly these two fields), defined here so the
+/// environment registry can seed request streams without `vtm-core`
+/// depending on the serving crates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Stable session identifier (the VMU/trip id).
+    pub session: u64,
+    /// The session's newest round of observation features.
+    pub features: Vec<f64>,
+}
+
 /// A name → [`EnvSpec`] map with the built-in presets pre-registered.
 #[derive(Debug, Clone, Default)]
 pub struct EnvRegistry {
@@ -204,6 +217,56 @@ impl EnvRegistry {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, spec)| spec)
+    }
+
+    /// Generates a realistic online request stream for the named preset:
+    /// `sessions` independently seeded replicas of the environment are
+    /// rolled out for `rounds` rounds under the policy-neutral midpoint
+    /// price, and each round records every session's *newest* feature
+    /// block — exactly what that VMU's client would ship to the serving
+    /// layer that round (the serving side keeps the rolling history).
+    ///
+    /// Episodes that end mid-stream reset and keep producing frames, so the
+    /// stream covers any requested length. The result is indexed
+    /// `[round][session]`; it is deterministic in `(options.seed, sessions,
+    /// rounds)` and `None` for an unknown preset.
+    pub fn request_stream(
+        &self,
+        name: &str,
+        options: &EnvBuildOptions,
+        sessions: usize,
+        rounds: usize,
+    ) -> Option<Vec<Vec<RequestFrame>>> {
+        let features = self.get(name)?.features_per_round();
+        let mut frames: Vec<Vec<RequestFrame>> =
+            (0..rounds).map(|_| Vec::with_capacity(sessions)).collect();
+        for session in 0..sessions {
+            let mut opts = *options;
+            // Golden-ratio decorrelation, like the rollout engine's
+            // per-replica seed streams.
+            opts.seed = options
+                .seed
+                .wrapping_add((session as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut env = self.build(name, &opts)?;
+            // tanh-squash of 0 is the exact midpoint of the action box.
+            let midpoint = env
+                .action_space()
+                .squash(&vec![0.0; env.action_space().dim()]);
+            let mut obs = env.reset();
+            for frame in frames.iter_mut() {
+                frame.push(RequestFrame {
+                    session: session as u64,
+                    features: obs[obs.len() - features..].to_vec(),
+                });
+                let step = env.step(&midpoint);
+                obs = if step.done {
+                    env.reset()
+                } else {
+                    step.observation
+                };
+            }
+        }
+        Some(frames)
     }
 
     /// Builds the named environment, or `None` for an unknown name.
@@ -269,6 +332,30 @@ mod tests {
             EnvSpec::Scenario(_) => panic!("static entry must stay static"),
         }
         assert_eq!(registry.get("static").unwrap().features_per_round(), 4);
+    }
+
+    #[test]
+    fn request_streams_have_serving_geometry_and_are_deterministic() {
+        let registry = EnvRegistry::builtin();
+        let options = EnvBuildOptions::default();
+        for name in ["static", "highway"] {
+            let features = registry.get(name).unwrap().features_per_round();
+            let stream = registry.request_stream(name, &options, 5, 7).unwrap();
+            assert_eq!(stream.len(), 7, "`{name}`: one entry per round");
+            for round in &stream {
+                assert_eq!(round.len(), 5, "`{name}`: one frame per session");
+                for frame in round {
+                    assert_eq!(frame.features.len(), features);
+                    assert!(frame.features.iter().all(|f| f.is_finite()));
+                }
+            }
+            // Distinct sessions see distinct dynamics (decorrelated seeds)…
+            assert_ne!(stream[1][0], stream[1][1]);
+            // …and the whole stream replays bit-identically.
+            let replay = registry.request_stream(name, &options, 5, 7).unwrap();
+            assert_eq!(stream, replay, "`{name}` stream must be deterministic");
+        }
+        assert!(registry.request_stream("nope", &options, 1, 1).is_none());
     }
 
     #[test]

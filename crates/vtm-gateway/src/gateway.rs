@@ -1,0 +1,568 @@
+//! The concurrent pricing gateway: ingress → micro-batching scheduler →
+//! executor pool → completion handles.
+//!
+//! ```text
+//!  submit(&self, QuoteRequest)            (any number of caller threads)
+//!        │  feature-width check (typed reject, nothing enqueued)
+//!        │  admission control: in_flight < queue_capacity or Overloaded
+//!        ▼
+//!  IngressQueue (Mutex<VecDeque> + Condvar, bounded by admission)
+//!        │
+//!  scheduler thread: drain up to max_batch, or whatever arrived when
+//!        │            max_delay expires — whichever comes first
+//!        ▼
+//!  BatchQueue (Mutex<VecDeque<Vec<Pending>>> + Condvar)
+//!        │
+//!  executor pool (N threads): PricingService::quote_refs per batch
+//!        ▼
+//!  QuoteTicket::wait() resolves; telemetry records latency + batch size
+//! ```
+//!
+//! All synchronisation is `std` (`Mutex`/`Condvar`/atomics) — no async
+//! runtime, consistent with the dependency-free workspace.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vtm_serve::{PricingService, Quote, QuoteRequest};
+
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Static configuration of a [`Gateway`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Flush a forming batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a forming batch this long after its first request arrived,
+    /// even if it is smaller than `max_batch` (the latency deadline).
+    pub max_delay: Duration,
+    /// Admission bound: maximum admitted-but-not-yet-completed requests.
+    /// Submissions beyond it are rejected with
+    /// [`GatewayError::Overloaded`] instead of growing queues without
+    /// bound.
+    pub queue_capacity: usize,
+    /// Inference executor threads draining flushed batches.
+    pub executors: usize,
+}
+
+impl Default for GatewayConfig {
+    /// 32-request batches, a 1 ms flush deadline, 1024 in-flight requests,
+    /// one executor.
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 1024,
+            executors: 1,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Overrides the batch-size flush threshold (clamped ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Overrides the flush deadline.
+    pub fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Overrides the admission bound (clamped ≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the executor thread count (clamped ≥ 1).
+    pub fn with_executors(mut self, executors: usize) -> Self {
+        self.executors = executors.max(1);
+        self
+    }
+}
+
+/// Typed failure modes of the gateway request path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// Admission control rejected the request: the gateway already holds
+    /// `queue_capacity` in-flight requests. The caller should back off and
+    /// retry — this is backpressure, not a failure of the service.
+    Overloaded {
+        /// The admission bound that was hit.
+        queue_capacity: usize,
+    },
+    /// The request's feature block has the wrong width for the policy
+    /// (checked at submission, before anything is enqueued).
+    BadFeatureBlock {
+        /// The offending session id.
+        session: u64,
+        /// Features per round the service expects.
+        expected: usize,
+        /// Features actually supplied.
+        got: usize,
+    },
+    /// The executor-side service call failed for the whole batch
+    /// (an internal geometry bug surfaced as a typed error, never a panic).
+    Service(String),
+    /// The gateway was shut down before the request could be accepted.
+    ShutDown,
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Overloaded { queue_capacity } => write!(
+                f,
+                "gateway overloaded: {queue_capacity} requests already in flight"
+            ),
+            GatewayError::BadFeatureBlock {
+                session,
+                expected,
+                got,
+            } => write!(
+                f,
+                "session {session}: feature block has {got} features, expected {expected}"
+            ),
+            GatewayError::Service(msg) => write!(f, "service error: {msg}"),
+            GatewayError::ShutDown => write!(f, "gateway is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// Shared slot a [`QuoteTicket`] waits on and an executor fills.
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Result<Quote, GatewayError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, result: Result<Quote, GatewayError>) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Per-request completion handle returned by [`Gateway::submit`]: a
+/// one-shot future the caller blocks on (or polls) for its quote.
+#[derive(Debug)]
+pub struct QuoteTicket {
+    state: Arc<TicketState>,
+}
+
+impl QuoteTicket {
+    /// Blocks until the quote (or a typed error) is available.
+    pub fn wait(self) -> Result<Quote, GatewayError> {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` when the quote is not ready in time
+    /// (the ticket stays valid and can be waited on again).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Quote, GatewayError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket poisoned");
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking poll; `None` while the quote is still pending.
+    pub fn try_take(&self) -> Option<Result<Quote, GatewayError>> {
+        self.state.slot.lock().expect("ticket poisoned").take()
+    }
+}
+
+/// One admitted request travelling through the pipeline.
+struct Pending {
+    request: QuoteRequest,
+    state: Arc<TicketState>,
+    submitted: Instant,
+}
+
+/// The bounded ingress queue (bounded via the shared in-flight gauge, so
+/// the bound covers queued *and* executing requests).
+#[derive(Default)]
+struct IngressQueue {
+    inner: Mutex<IngressInner>,
+    not_empty: Condvar,
+}
+
+#[derive(Default)]
+struct IngressInner {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+impl IngressQueue {
+    /// Enqueues an admitted request; `false` when the queue is closed.
+    fn push(&self, pending: Pending) -> bool {
+        let mut inner = self.inner.lock().expect("ingress poisoned");
+        if inner.closed {
+            return false;
+        }
+        inner.queue.push_back(pending);
+        drop(inner);
+        self.not_empty.notify_one();
+        true
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("ingress poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// The scheduler's blocking micro-batch drain: waits for a first
+    /// request, then keeps draining until the batch holds `max_batch`
+    /// requests or `max_delay` has passed since the first one arrived —
+    /// whichever comes first. Returns `None` only when the queue is closed
+    /// *and* fully drained.
+    fn pop_batch(&self, max_batch: usize, max_delay: Duration) -> Option<Vec<Pending>> {
+        let mut inner = self.inner.lock().expect("ingress poisoned");
+        // Phase 1: wait for the batch's first request.
+        while inner.queue.is_empty() {
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("ingress poisoned");
+        }
+        let deadline = Instant::now() + max_delay;
+        let mut batch = Vec::with_capacity(max_batch.min(inner.queue.len()));
+        // Phase 2: drain until full or the deadline fires.
+        loop {
+            while batch.len() < max_batch {
+                match inner.queue.pop_front() {
+                    Some(pending) => batch.push(pending),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || inner.closed {
+                return Some(batch);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(batch);
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("ingress poisoned");
+            inner = guard;
+            if timeout.timed_out() && inner.queue.is_empty() {
+                return Some(batch);
+            }
+        }
+    }
+}
+
+/// The scheduler → executor batch queue (unbounded; its length is already
+/// bounded by admission control upstream).
+#[derive(Default)]
+struct BatchQueue {
+    inner: Mutex<BatchInner>,
+    not_empty: Condvar,
+}
+
+#[derive(Default)]
+struct BatchInner {
+    queue: VecDeque<Vec<Pending>>,
+    closed: bool,
+}
+
+impl BatchQueue {
+    fn push(&self, batch: Vec<Pending>) {
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        inner.queue.push_back(batch);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("batch queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn pop(&self) -> Option<Vec<Pending>> {
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        loop {
+            if let Some(batch) = inner.queue.pop_front() {
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("batch queue poisoned");
+        }
+    }
+}
+
+/// State shared by the gateway handle, the scheduler and the executors.
+/// The admission counter lives inside [`Telemetry`] (it doubles as the
+/// queue-depth gauge), so there is exactly one in-flight count.
+struct Shared {
+    service: Arc<PricingService>,
+    config: GatewayConfig,
+    telemetry: Telemetry,
+    ingress: IngressQueue,
+    batches: BatchQueue,
+}
+
+/// The concurrent online pricing gateway. See the crate docs for the
+/// design and determinism contract.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("config", &self.shared.config)
+            .field("executors", &self.executors.len())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Starts a gateway over a shared frozen [`PricingService`]: spawns the
+    /// scheduler thread plus `config.executors` executor threads.
+    pub fn start(service: Arc<PricingService>, config: GatewayConfig) -> Self {
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            telemetry: Telemetry::new(),
+            ingress: IngressQueue::default(),
+            batches: BatchQueue::default(),
+        });
+
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vtm-gateway-scheduler".to_string())
+                .spawn(move || scheduler_loop(&shared))
+                .expect("spawn scheduler")
+        };
+        let executors = (0..config.executors.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vtm-gateway-executor-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor")
+            })
+            .collect();
+
+        Self {
+            shared,
+            scheduler: Some(scheduler),
+            executors,
+        }
+    }
+
+    /// The gateway configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.shared.config
+    }
+
+    /// The underlying pricing service.
+    pub fn service(&self) -> &PricingService {
+        &self.shared.service
+    }
+
+    /// Submits one quote request; returns immediately with a completion
+    /// handle. Malformed requests and overload are rejected here, before
+    /// anything is enqueued.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BadFeatureBlock`] for a wrong feature width,
+    /// [`GatewayError::Overloaded`] when `queue_capacity` requests are
+    /// already in flight (backpressure — retry later), and
+    /// [`GatewayError::ShutDown`] after shutdown.
+    pub fn submit(&self, request: QuoteRequest) -> Result<QuoteTicket, GatewayError> {
+        let expected = self.shared.service.config().features_per_round;
+        if request.features.len() != expected {
+            return Err(GatewayError::BadFeatureBlock {
+                session: request.session,
+                expected,
+                got: request.features.len(),
+            });
+        }
+        // Admission control: atomically claim an in-flight slot or reject.
+        let capacity = self.shared.config.queue_capacity as u64;
+        if !self.shared.telemetry.try_admit(capacity) {
+            self.shared.telemetry.record_reject();
+            return Err(GatewayError::Overloaded {
+                queue_capacity: self.shared.config.queue_capacity,
+            });
+        }
+        // Book the submission BEFORE enqueueing: once the request is in the
+        // queue an executor may complete it at any moment, and a snapshot
+        // must never observe completed > submitted.
+        self.shared.telemetry.record_submit();
+        let state = TicketState::new();
+        let pending = Pending {
+            request,
+            state: Arc::clone(&state),
+            submitted: Instant::now(),
+        };
+        if !self.shared.ingress.push(pending) {
+            self.shared.telemetry.record_abort();
+            return Err(GatewayError::ShutDown);
+        }
+        Ok(QuoteTicket { state })
+    }
+
+    /// Convenience: submit and block for the quote.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::submit`], plus any executor-side failure.
+    pub fn quote(&self, request: QuoteRequest) -> Result<Quote, GatewayError> {
+        self.submit(request)?.wait()
+    }
+
+    /// A point-in-time telemetry snapshot (counters, queue depth,
+    /// latency/batch-size histograms with p50/p95/p99).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.telemetry.snapshot()
+    }
+
+    /// Stops accepting new requests, drains every in-flight request to
+    /// completion, joins all worker threads and returns the final
+    /// telemetry snapshot. Called implicitly on drop.
+    pub fn shutdown(mut self) -> TelemetrySnapshot {
+        self.shutdown_inner();
+        self.shared.telemetry.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.ingress.close();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Scheduler thread: drain micro-batches off the ingress queue until it is
+/// closed and empty, then close the batch queue so executors wind down.
+fn scheduler_loop(shared: &Shared) {
+    let GatewayConfig {
+        max_batch,
+        max_delay,
+        ..
+    } = shared.config;
+    while let Some(batch) = shared.ingress.pop_batch(max_batch, max_delay) {
+        if batch.is_empty() {
+            continue;
+        }
+        shared.telemetry.record_batch(batch.len());
+        shared.batches.push(batch);
+    }
+    shared.batches.close();
+}
+
+/// Executor thread: price whole batches against the shared frozen service
+/// and resolve every ticket.
+fn executor_loop(shared: &Shared) {
+    while let Some(batch) = shared.batches.pop() {
+        let refs: Vec<&QuoteRequest> = batch.iter().map(|p| &p.request).collect();
+        match shared.service.quote_refs(&refs) {
+            Ok(quotes) => {
+                for (pending, quote) in batch.into_iter().zip(quotes) {
+                    let latency_us = pending.submitted.elapsed().as_micros() as u64;
+                    shared.telemetry.record_completion(latency_us);
+                    pending.state.complete(Ok(quote));
+                }
+            }
+            Err(err) => {
+                // Feature widths were validated at submit time, so this is
+                // an internal error; fail the whole batch with it.
+                let message = err.to_string();
+                for pending in batch {
+                    shared.telemetry.record_failure();
+                    pending
+                        .state
+                        .complete(Err(GatewayError::Service(message.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_clamp() {
+        let config = GatewayConfig::default()
+            .with_max_batch(0)
+            .with_queue_capacity(0)
+            .with_executors(0)
+            .with_max_delay(Duration::from_micros(250));
+        assert_eq!(config.max_batch, 1);
+        assert_eq!(config.queue_capacity, 1);
+        assert_eq!(config.executors, 1);
+        assert_eq!(config.max_delay, Duration::from_micros(250));
+    }
+
+    #[test]
+    fn errors_display() {
+        for err in [
+            GatewayError::Overloaded { queue_capacity: 4 },
+            GatewayError::BadFeatureBlock {
+                session: 1,
+                expected: 2,
+                got: 3,
+            },
+            GatewayError::Service("boom".to_string()),
+            GatewayError::ShutDown,
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Lock-free serving telemetry: atomic counters, a fixed-bucket log-scale
+//! latency histogram and a batch-size histogram, snapshotted on demand.
+//!
+//! Every hot-path record is a handful of relaxed atomic increments — the
+//! gateway's request path never takes a lock for measurement. Percentiles
+//! are derived from the histogram at snapshot time: each latency bucket `b`
+//! covers `[2^b, 2^(b+1))` microseconds, and a reported percentile is the
+//! upper bound of the first bucket whose cumulative count reaches the rank
+//! (an over-estimate by at most 2x, which is the standard trade of
+//! fixed-bucket histograms — see e.g. Prometheus or HdrHistogram's
+//! coarsest setting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Log-scale latency buckets: `[2^b, 2^(b+1))` µs for `b` in `0..40`
+/// (covers 1 µs up to ~12.7 days, far beyond any sane quote latency).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Linear batch-size buckets `1..=MAX_TRACKED_BATCH`; larger batches land
+/// in the last bucket.
+pub const MAX_TRACKED_BATCH: usize = 64;
+
+/// Which log-scale bucket a microsecond latency lands in.
+fn latency_bucket(us: u64) -> usize {
+    ((63 - us.max(1).leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The live, shared telemetry sink (one per gateway, behind an `Arc`).
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Requests admitted past admission control.
+    submitted: AtomicU64,
+    /// Requests completed with a quote.
+    completed: AtomicU64,
+    /// Requests rejected by admission control (backpressure).
+    rejected: AtomicU64,
+    /// Requests failed by an executor-side service error.
+    failed: AtomicU64,
+    /// Batches flushed by the scheduler.
+    batches: AtomicU64,
+    /// Admitted-but-not-yet-completed requests — both the queue-depth
+    /// gauge and the admission counter (see [`Telemetry::try_admit`]).
+    in_flight: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    batch_sizes: [AtomicU64; MAX_TRACKED_BATCH],
+    batch_size_sum: AtomicU64,
+    batch_size_max: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_size_sum: AtomicU64::new(0),
+            batch_size_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Atomically claims an in-flight slot when fewer than `capacity` are
+    /// taken — the single admission counter the gateway bounds itself on
+    /// (also the queue-depth gauge, so the two can never disagree).
+    pub(crate) fn try_admit(&self, capacity: u64) -> bool {
+        self.in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < capacity).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Records an admitted submission. Called *before* the request is
+    /// enqueued so a snapshot can never observe `completed > submitted`.
+    pub(crate) fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls back an admitted submission whose enqueue failed (the
+    /// shutdown race): releases the in-flight slot and the submit count.
+    pub(crate) fn record_abort(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let idx = size.clamp(1, MAX_TRACKED_BATCH) - 1;
+        self.batch_sizes[idx].fetch_add(1, Ordering::Relaxed);
+        self.batch_size_sum
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size_max
+            .fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completion(&self, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.latency[latency_bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Admitted-but-not-yet-completed requests right now.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter plus derived percentiles.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let latency: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let batch_sizes: Vec<u64> = self
+            .batch_sizes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        TelemetrySnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            queue_depth: self.in_flight.load(Ordering::Relaxed),
+            latency_p50_us: percentile_from_buckets(&latency, 0.50),
+            latency_p95_us: percentile_from_buckets(&latency, 0.95),
+            latency_p99_us: percentile_from_buckets(&latency, 0.99),
+            latency_mean_us: if completed == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                self.batch_size_sum.load(Ordering::Relaxed) as f64 / batches as f64
+            },
+            max_batch_size: self.batch_size_max.load(Ordering::Relaxed),
+            latency_buckets: latency,
+            batch_size_buckets: batch_sizes,
+        }
+    }
+}
+
+/// Upper bound (µs) of the first latency bucket whose cumulative count
+/// reaches `q` of the total; 0 when the histogram is empty.
+fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (b, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (b + 1);
+        }
+    }
+    1u64 << buckets.len()
+}
+
+/// A point-in-time view of the gateway's counters and histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Requests admitted past admission control.
+    pub submitted: u64,
+    /// Requests completed with a quote.
+    pub completed: u64,
+    /// Requests rejected with backpressure.
+    pub rejected: u64,
+    /// Requests failed by a service error.
+    pub failed: u64,
+    /// Batches flushed by the scheduler.
+    pub batches: u64,
+    /// Admitted-but-not-yet-completed requests at snapshot time.
+    pub queue_depth: u64,
+    /// Median completion latency (bucket upper bound, µs).
+    pub latency_p50_us: u64,
+    /// 95th-percentile completion latency (bucket upper bound, µs).
+    pub latency_p95_us: u64,
+    /// 99th-percentile completion latency (bucket upper bound, µs).
+    pub latency_p99_us: u64,
+    /// Mean completion latency (exact, µs).
+    pub latency_mean_us: f64,
+    /// Maximum completion latency (exact, µs).
+    pub latency_max_us: u64,
+    /// Mean flushed batch size (exact).
+    pub mean_batch_size: f64,
+    /// Largest flushed batch.
+    pub max_batch_size: u64,
+    /// Raw log-scale latency bucket counts (`[2^b, 2^(b+1))` µs).
+    pub latency_buckets: Vec<u64>,
+    /// Raw batch-size bucket counts (size `i+1`; last bucket = larger).
+    pub batch_size_buckets: Vec<u64>,
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot as a JSON object (no trailing newline), in the
+    /// same hand-rolled dependency-free style as the `results/` reports.
+    pub fn to_json(&self) -> String {
+        let nonzero = |buckets: &[u64], label: &str| -> String {
+            let entries: Vec<String> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("{{\"{label}\": {i}, \"count\": {c}}}"))
+                .collect();
+            format!("[{}]", entries.join(", "))
+        };
+        format!(
+            "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
+             \"batches\": {}, \"queue_depth\": {}, \
+             \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}}}, \
+             \"batch_size\": {{\"mean\": {:.2}, \"max\": {}}}, \
+             \"latency_buckets\": {}, \"batch_size_buckets\": {}}}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.failed,
+            self.batches,
+            self.queue_depth,
+            self.latency_p50_us,
+            self.latency_p95_us,
+            self.latency_p99_us,
+            self.latency_mean_us,
+            self.latency_max_us,
+            self.mean_batch_size,
+            self.max_batch_size,
+            nonzero(&self.latency_buckets, "log2_us"),
+            nonzero(&self.batch_size_buckets, "size_minus_1"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2_microseconds() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_upper_bounds() {
+        let t = Telemetry::new();
+        // 98 fast requests (~8 µs), 2 slow (~4096 µs).
+        for _ in 0..98 {
+            assert!(t.try_admit(1000));
+            t.record_submit();
+            t.record_completion(8);
+        }
+        for _ in 0..2 {
+            assert!(t.try_admit(1000));
+            t.record_submit();
+            t.record_completion(4096);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.latency_p50_us, 16); // bucket [8,16) -> upper bound 16
+        assert_eq!(snap.latency_p95_us, 16);
+        assert_eq!(snap.latency_p99_us, 8192); // bucket [4096,8192)
+        assert_eq!(snap.latency_max_us, 4096);
+        assert!((snap.latency_mean_us - (98.0 * 8.0 + 2.0 * 4096.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let snap = Telemetry::new().snapshot();
+        assert_eq!(snap.latency_p50_us, 0);
+        assert_eq!(snap.latency_p99_us, 0);
+        assert_eq!(snap.latency_mean_us, 0.0);
+        assert_eq!(snap.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn batch_histogram_tracks_sizes() {
+        let t = Telemetry::new();
+        t.record_batch(1);
+        t.record_batch(4);
+        t.record_batch(4);
+        t.record_batch(500); // clamped into the last bucket
+        let snap = t.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.batch_size_buckets[0], 1);
+        assert_eq!(snap.batch_size_buckets[3], 2);
+        assert_eq!(snap.batch_size_buckets[MAX_TRACKED_BATCH - 1], 1);
+        assert_eq!(snap.max_batch_size, 500);
+        assert!((snap.mean_batch_size - (1.0 + 4.0 + 4.0 + 500.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admission_counter_is_the_queue_depth_gauge() {
+        let t = Telemetry::new();
+        assert!(t.try_admit(2));
+        assert!(t.try_admit(2));
+        assert!(!t.try_admit(2), "third admit must fail at capacity 2");
+        assert_eq!(t.in_flight(), 2);
+        t.record_submit();
+        t.record_abort(); // enqueue failed: slot released, submit undone
+        assert_eq!(t.in_flight(), 1);
+        assert!(t.try_admit(2));
+        t.record_submit();
+        t.record_completion(10);
+        t.record_submit();
+        t.record_failure();
+        let snap = t.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed + snap.failed, 2);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let t = Telemetry::new();
+        assert!(t.try_admit(8));
+        t.record_submit();
+        t.record_batch(1);
+        t.record_completion(100);
+        t.record_reject();
+        let json = t.snapshot().to_json();
+        assert!(json.contains("\"submitted\": 1"));
+        assert!(json.contains("\"rejected\": 1"));
+        assert!(json.contains("\"p99\""));
+        assert!(json.contains("\"batch_size_buckets\""));
+    }
+}

@@ -10,9 +10,11 @@
 //!
 //! * **frozen policy** — only the snapshot's actor network (plus the optional
 //!   observation normalizer) is loaded; serving never mutates weights;
-//! * **sharded session state** — each VMU session keeps its own rolling
-//!   observation history behind one of `S` mutex shards, so concurrent
-//!   request handlers contend per shard rather than on one global lock;
+//! * **sharded, bounded session state** — each VMU session keeps its own
+//!   rolling observation history behind one of `S` mutex shards
+//!   ([`SessionStore`]), so concurrent request handlers contend per shard
+//!   rather than on one global lock; per-shard capacity (LRU eviction) and
+//!   an idle TTL keep a fleet of distinct VMU ids from exhausting memory;
 //! * **batched forward** — [`PricingService::quote_batch`] prices a whole
 //!   round of requests with *one* actor matrix forward pass
 //!   ([`vtm_nn::mlp::Mlp::forward_rows`]) instead of one row-vector pass per
@@ -49,7 +51,10 @@
 
 mod service;
 mod session;
+mod store;
 
 pub use service::{
     InferenceMode, PricingService, Quote, QuoteRequest, ServeError, ServiceConfig, ServiceStats,
 };
+pub use session::Session;
+pub use store::{SessionStore, StoreConfig, StoreStats};

@@ -1,11 +1,9 @@
 //! The pricing service: a frozen policy plus sharded session state answering
 //! quote requests in batches.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,10 +15,7 @@ use vtm_rl::env::ActionSpace;
 use vtm_rl::running_stat::RunningMeanStd;
 use vtm_rl::snapshot::{PolicySnapshot, SnapshotError};
 
-use crate::session::Session;
-
-/// Seed-decorrelation constant shared with the training stack.
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+use crate::store::{SessionStore, StoreConfig, GOLDEN};
 
 /// Per-request observation rows plus warm-up flags and per-session draw
 /// counters, produced by one locked pass over the session shards.
@@ -115,6 +110,14 @@ pub struct ServiceConfig {
     pub features_per_round: usize,
     /// Number of session-state shards (lock granularity under concurrency).
     pub shards: usize,
+    /// Maximum live sessions per shard (`0` = unbounded). Inserting into a
+    /// full shard evicts that shard's least-recently-touched session, so a
+    /// fleet of distinct VMU ids cannot exhaust memory.
+    pub session_capacity: usize,
+    /// Idle session lifetime in logical ticks — one tick per request served
+    /// by the session's shard (`0` = never expire). See
+    /// [`StoreConfig::ttl_quotes`].
+    pub session_ttl: u64,
     /// Worker threads for the batched forward pass (`1` = inline, `0` = one
     /// per core). Chunks of the batch are evaluated on scoped threads;
     /// results are bit-identical for every thread count because
@@ -137,6 +140,8 @@ impl ServiceConfig {
             history_length,
             features_per_round,
             shards: 16,
+            session_capacity: 0,
+            session_ttl: 0,
             inference_threads: 1,
             mode: InferenceMode::Greedy,
         }
@@ -145,6 +150,18 @@ impl ServiceConfig {
     /// Overrides the shard count (clamped to at least 1).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the per-shard session capacity (`0` = unbounded).
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity;
+        self
+    }
+
+    /// Overrides the idle session TTL in logical ticks (`0` = never expire).
+    pub fn with_session_ttl(mut self, ttl: u64) -> Self {
+        self.session_ttl = ttl;
         self
     }
 
@@ -205,6 +222,10 @@ pub struct ServiceStats {
     pub sessions: usize,
     /// Total quotes served since construction.
     pub quotes: u64,
+    /// Sessions evicted because their shard hit capacity.
+    pub evicted: u64,
+    /// Sessions purged because they exceeded the idle TTL.
+    pub expired: u64,
 }
 
 /// A frozen pricing policy serving batched quote requests over sharded
@@ -216,7 +237,7 @@ pub struct PricingService {
     log_std: Vec<f64>,
     obs_normalizer: Option<RunningMeanStd>,
     config: ServiceConfig,
-    shards: Vec<Mutex<HashMap<u64, Session>>>,
+    store: SessionStore,
     /// Total quotes served; atomic so the hot path never serializes on a
     /// global lock (session state already contends per shard).
     quotes_served: AtomicU64,
@@ -243,16 +264,20 @@ impl PricingService {
                 policy_obs_dim: snapshot.actor.input_dim(),
             });
         }
-        let shards = (0..config.shards.max(1))
-            .map(|_| Mutex::new(HashMap::new()))
-            .collect();
+        let store = SessionStore::new(
+            config.history_length,
+            StoreConfig::default()
+                .with_shards(config.shards)
+                .with_capacity_per_shard(config.session_capacity)
+                .with_ttl_quotes(config.session_ttl),
+        );
         Ok(Self {
             actor: snapshot.actor.clone(),
             action_space: snapshot.action_space.clone(),
             log_std: snapshot.log_std.clone(),
             obs_normalizer: snapshot.obs_normalizer.clone(),
             config,
-            shards,
+            store,
             quotes_served: AtomicU64::new(0),
         })
     }
@@ -279,30 +304,26 @@ impl PricingService {
         &self.action_space
     }
 
-    /// Aggregate counters (sessions alive, quotes served).
+    /// Aggregate counters (sessions alive, quotes served, evictions).
     pub fn stats(&self) -> ServiceStats {
+        let store = self.store.stats();
         ServiceStats {
-            sessions: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("shard poisoned").len())
-                .sum(),
+            sessions: store.sessions,
             quotes: self.quotes_served.load(Ordering::Relaxed),
+            evicted: store.evicted,
+            expired: store.expired,
         }
+    }
+
+    /// Read access to the underlying [`SessionStore`] (shard occupancy,
+    /// eviction counters — e.g. for gateway telemetry).
+    pub fn session_store(&self) -> &SessionStore {
+        &self.store
     }
 
     /// Drops one session's state; returns whether it existed.
     pub fn end_session(&self, session: u64) -> bool {
-        self.shards[self.shard_of(session)]
-            .lock()
-            .expect("shard poisoned")
-            .remove(&session)
-            .is_some()
-    }
-
-    fn shard_of(&self, session: u64) -> usize {
-        // Golden-ratio hash so consecutive trip ids spread across shards.
-        (session.wrapping_add(1).wrapping_mul(GOLDEN) >> 32) as usize % self.shards.len()
+        self.store.remove(session)
     }
 
     fn normalized(&self, obs: Vec<f64>) -> Vec<f64> {
@@ -317,7 +338,7 @@ impl PricingService {
     /// locking every touched shard exactly once.
     fn gather_observations(
         &self,
-        requests: &[QuoteRequest],
+        requests: &[&QuoteRequest],
     ) -> Result<GatheredObservations, ServeError> {
         let features = self.config.features_per_round;
         for req in requests {
@@ -332,29 +353,17 @@ impl PricingService {
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); requests.len()];
         let mut warmed = vec![false; requests.len()];
         let mut draws = vec![0u64; requests.len()];
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (idx, req) in requests.iter().enumerate() {
-            by_shard[self.shard_of(req.session)].push(idx);
-        }
-        for (shard, indices) in self.shards.iter().zip(by_shard.iter()) {
-            if indices.is_empty() {
-                continue;
-            }
-            let mut sessions = shard.lock().expect("shard poisoned");
-            // Requests for the same session are applied in request order.
-            for &idx in indices {
-                let req = &requests[idx];
-                let session = sessions
-                    .entry(req.session)
-                    .or_insert_with(|| Session::new(self.config.history_length));
-                session.push(req.features.clone(), self.config.history_length);
-                session.quotes += 1;
-                warmed[idx] = session.warmed(self.config.history_length);
-                draws[idx] = session.quotes;
-                rows[idx] =
-                    self.normalized(session.observation(self.config.history_length, features));
-            }
-        }
+        let ids: Vec<u64> = requests.iter().map(|r| r.session).collect();
+        // The store locks each touched shard exactly once; requests for the
+        // same session are applied in request order.
+        self.store.touch_grouped(&ids, |idx, session| {
+            let req = requests[idx];
+            session.push(req.features.clone(), self.config.history_length);
+            session.quotes += 1;
+            warmed[idx] = session.warmed(self.config.history_length);
+            draws[idx] = session.quotes;
+            rows[idx] = self.normalized(session.observation(self.config.history_length, features));
+        });
         Ok((rows, warmed, draws))
     }
 
@@ -429,6 +438,21 @@ impl PricingService {
     /// Returns a typed [`ServeError`] for malformed feature blocks; an empty
     /// batch yields an empty quote list.
     pub fn quote_batch(&self, requests: &[QuoteRequest]) -> Result<Vec<Quote>, ServeError> {
+        let refs: Vec<&QuoteRequest> = requests.iter().collect();
+        self.quote_refs(&refs)
+    }
+
+    /// The batch-slice entry point: identical to
+    /// [`PricingService::quote_batch`] but over *borrowed* requests, so a
+    /// caller that owns requests scattered across other structures (the
+    /// gateway's pending-completion records, for instance) can assemble a
+    /// batch without cloning a single feature block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ServeError`] for malformed feature blocks; an empty
+    /// batch yields an empty quote list.
+    pub fn quote_refs(&self, requests: &[&QuoteRequest]) -> Result<Vec<Quote>, ServeError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
@@ -451,7 +475,7 @@ impl PricingService {
     ///
     /// Returns a typed [`ServeError`] for malformed feature blocks.
     pub fn quote_one(&self, request: &QuoteRequest) -> Result<Quote, ServeError> {
-        let (rows, warmed, draws) = self.gather_observations(std::slice::from_ref(request))?;
+        let (rows, warmed, draws) = self.gather_observations(&[request])?;
         let mean = self
             .actor
             .forward_vec(&rows[0])
@@ -618,12 +642,49 @@ mod tests {
         let service =
             PricingService::from_snapshot(&snap, ServiceConfig::new(3, 2).with_shards(4)).unwrap();
         service.quote_batch(&requests(0, 64, 2)).unwrap();
-        let occupied = service
-            .shards
-            .iter()
-            .filter(|s| !s.lock().unwrap().is_empty())
+        let store = service.session_store();
+        let occupied = (0..store.shard_count())
+            .filter(|&s| store.shard_len(s) > 0)
             .count();
         assert!(occupied >= 3, "only {occupied} of 4 shards used");
         assert_eq!(service.stats().sessions, 64);
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The gateway hands one service to many executor threads via `Arc`;
+        // this fails to compile if a non-Sync field ever sneaks in.
+        assert_send_sync::<PricingService>();
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_many_distinct_sessions() {
+        let snap = snapshot(6, 8);
+        let config = ServiceConfig::new(3, 2)
+            .with_shards(4)
+            .with_session_capacity(8);
+        let service = PricingService::from_snapshot(&snap, config).unwrap();
+        for round in 0..4u64 {
+            let reqs: Vec<QuoteRequest> = (0..100u64)
+                .map(|s| QuoteRequest::new(round * 1000 + s, vec![0.1, 0.2]))
+                .collect();
+            service.quote_batch(&reqs).unwrap();
+            assert!(service.stats().sessions <= 4 * 8);
+        }
+        assert!(service.stats().evicted > 0);
+        assert_eq!(service.stats().quotes, 400);
+    }
+
+    #[test]
+    fn quote_refs_matches_quote_batch() {
+        let snap = snapshot(8, 10);
+        let a = PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).unwrap();
+        let b = PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).unwrap();
+        for round in 0..3 {
+            let reqs = requests(round, 7, 2);
+            let refs: Vec<&QuoteRequest> = reqs.iter().collect();
+            assert_eq!(a.quote_batch(&reqs).unwrap(), b.quote_refs(&refs).unwrap());
+        }
     }
 }

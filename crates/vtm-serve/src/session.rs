@@ -7,16 +7,17 @@ use std::collections::VecDeque;
 /// rounds of features, so the session only has to buffer feature blocks —
 /// the client ships one block per round, never the full observation.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) struct Session {
+pub struct Session {
     /// The most recent feature blocks, oldest first (at most `L`).
     history: VecDeque<Vec<f64>>,
     /// Quotes served to this session so far (also the per-session noise
     /// counter for sampled inference).
-    pub(crate) quotes: u64,
+    pub quotes: u64,
 }
 
 impl Session {
-    pub(crate) fn new(history_length: usize) -> Self {
+    /// Creates an empty session sized for a `history_length`-round window.
+    pub fn new(history_length: usize) -> Self {
         Self {
             history: VecDeque::with_capacity(history_length),
             quotes: 0,
@@ -25,7 +26,7 @@ impl Session {
 
     /// Appends the newest round's feature block, dropping the oldest once the
     /// window is full.
-    pub(crate) fn push(&mut self, features: Vec<f64>, history_length: usize) {
+    pub fn push(&mut self, features: Vec<f64>, history_length: usize) {
         if self.history.len() == history_length {
             self.history.pop_front();
         }
@@ -33,7 +34,7 @@ impl Session {
     }
 
     /// Whether the rolling window holds a full `L` rounds of real features.
-    pub(crate) fn warmed(&self, history_length: usize) -> bool {
+    pub fn warmed(&self, history_length: usize) -> bool {
         self.history.len() >= history_length
     }
 
@@ -41,7 +42,7 @@ impl Session {
     /// warm the *oldest* block is repeated to fill the window — a
     /// deterministic stand-in for the random warm-up rounds the training
     /// environment plays.
-    pub(crate) fn observation(&self, history_length: usize, features: usize) -> Vec<f64> {
+    pub fn observation(&self, history_length: usize, features: usize) -> Vec<f64> {
         let mut obs = Vec::with_capacity(history_length * features);
         let missing = history_length - self.history.len();
         if let Some(first) = self.history.front() {

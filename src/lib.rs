@@ -14,6 +14,8 @@
 //!   trainer and versioned policy snapshots,
 //! * [`serve`] — the batched online inference layer serving price quotes
 //!   from frozen policy checkpoints,
+//! * [`gateway`] — the concurrent online pricing gateway (dynamic
+//!   micro-batching, admission control, latency/throughput telemetry),
 //! * [`nn`] — the neural-network substrate,
 //! * [`game`] — the generic Stackelberg game-theory substrate.
 //!
@@ -40,6 +42,7 @@
 
 pub use vtm_core as core;
 pub use vtm_game as game;
+pub use vtm_gateway as gateway;
 pub use vtm_nn as nn;
 pub use vtm_rl as rl;
 pub use vtm_serve as serve;
@@ -49,6 +52,7 @@ pub use vtm_sim as sim;
 pub mod prelude {
     pub use vtm_core::prelude::*;
     pub use vtm_game::prelude::*;
+    pub use vtm_gateway::{Gateway, GatewayConfig, GatewayError, QuoteTicket, TelemetrySnapshot};
     pub use vtm_nn::prelude::*;
     pub use vtm_rl::prelude::*;
     pub use vtm_serve::{
