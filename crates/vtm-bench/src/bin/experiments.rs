@@ -13,6 +13,12 @@
 //!     train --env highway --episodes 24 --checkpoint results/policy_highway.vtm
 //! cargo run -p vtm-bench --release --bin experiments -- \
 //!     serve-bench --checkpoint results/policy_highway.vtm --env highway --sessions 64
+//!
+//! # audit journal: record a gateway run, then rebuild its exact state
+//! cargo run -p vtm-bench --release --bin experiments -- \
+//!     journal-demo --env highway --requests 512 --journal results/demo.vtmj
+//! cargo run -p vtm-bench --release --bin experiments -- \
+//!     replay --env highway --journal results/demo.vtmj --expect-digest 0x...
 //! ```
 //!
 //! Each selected experiment prints its table and writes
@@ -21,6 +27,9 @@
 
 use vtm_bench::experiments::{find, manifest, ExperimentCtx};
 use vtm_bench::gateway_bench::{run_gateway_bench, GatewayBenchOptions};
+use vtm_bench::journal_cli::{
+    run_journal_demo, run_replay, JournalDemoOptions, ReplayCliOptions, SnapshotChoice,
+};
 use vtm_bench::lifecycle::{describe_checkpoint, train_to_checkpoint, TrainOptions};
 use vtm_bench::serve_bench::{run_serve_bench, ServeBenchOptions};
 use vtm_core::registry::EnvRegistry;
@@ -43,6 +52,16 @@ fn usage() -> ! {
         "       experiments gateway-bench [--env <preset>] [--checkpoint <path>] \
          [--duration-s S] [--sessions N] [--ingress N] [--executors N] \
          [--max-batch N] [--max-delay-us N] [--queue-capacity N] [--no-open-loop]"
+    );
+    eprintln!(
+        "       experiments journal-demo [--env <preset>] [--checkpoint <path>] \
+         [--journal <path>] [--requests N] [--sessions N] [--snapshot-every N] \
+         [--flush-every N]"
+    );
+    eprintln!(
+        "       experiments replay [--env <preset>] [--checkpoint <path>] \
+         [--journal <path>] [--snapshot auto|none|<path>] [--strict] \
+         [--expect-digest <hex>]"
     );
     eprintln!("known experiments:");
     for spec in manifest() {
@@ -287,6 +306,150 @@ fn main_gateway_bench(args: &[String]) {
     }
 }
 
+fn main_journal_demo(args: &[String]) {
+    let mut opts = JournalDemoOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(flag_value(args, &mut i, "--checkpoint").into())
+            }
+            "--journal" => opts.journal = flag_value(args, &mut i, "--journal").into(),
+            "--requests" => {
+                opts.requests =
+                    parse_count(flag_value(args, &mut i, "--requests"), "--requests").max(1)
+            }
+            "--sessions" => {
+                opts.sessions =
+                    parse_count(flag_value(args, &mut i, "--sessions"), "--sessions").max(1)
+            }
+            "--snapshot-every" => {
+                opts.snapshot_every = parse_count(
+                    flag_value(args, &mut i, "--snapshot-every"),
+                    "--snapshot-every",
+                ) as u64
+            }
+            "--flush-every" => {
+                opts.flush_every =
+                    parse_count(flag_value(args, &mut i, "--flush-every"), "--flush-every") as u64
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown journal-demo argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_journal_demo(&opts) {
+        Ok(result) => {
+            println!(
+                "journal-demo `{}`: {} frames ({} bytes, {} snapshots) -> {}",
+                result.env,
+                result.frames,
+                result.bytes,
+                result.snapshots,
+                result.journal.display()
+            );
+            println!("state digest 0x{:016x}", result.state_digest);
+            println!(
+                "replay with: experiments replay --env {} --journal {} \
+                 --expect-digest 0x{:016x}",
+                result.env,
+                result.journal.display(),
+                result.state_digest
+            );
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `--expect-digest` as hex (with or without `0x`) or decimal.
+fn parse_digest(value: &str) -> u64 {
+    let parsed = match value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => u64::from_str_radix(value, 16).or_else(|_| value.parse::<u64>()),
+    };
+    match parsed {
+        Ok(digest) => digest,
+        Err(_) => {
+            eprintln!("error: --expect-digest needs a hex digest, got `{value}`");
+            usage();
+        }
+    }
+}
+
+fn main_replay(args: &[String]) {
+    let mut opts = ReplayCliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(flag_value(args, &mut i, "--checkpoint").into())
+            }
+            "--journal" => opts.journal = flag_value(args, &mut i, "--journal").into(),
+            "--snapshot" => {
+                opts.snapshot = match flag_value(args, &mut i, "--snapshot") {
+                    "auto" => SnapshotChoice::Auto,
+                    "none" => SnapshotChoice::None,
+                    path => SnapshotChoice::Path(path.into()),
+                }
+            }
+            "--strict" => opts.strict = true,
+            "--expect-digest" => {
+                opts.expect_digest = Some(parse_digest(flag_value(args, &mut i, "--expect-digest")))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown replay argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_replay(&opts) {
+        Ok(result) => {
+            match result.snapshot_frames {
+                Some(frames) => println!(
+                    "replayed {} of {} frames after restoring a {frames}-frame snapshot",
+                    result.report.frames_applied, result.report.total_frames
+                ),
+                None => println!(
+                    "replayed {} of {} frames from genesis",
+                    result.report.frames_applied, result.report.total_frames
+                ),
+            }
+            if result.report.truncated_tail > 0 {
+                println!(
+                    "recovered past a torn tail of {} bytes (incomplete final frame)",
+                    result.report.truncated_tail
+                );
+            }
+            println!("state digest 0x{:016x}", result.report.state_digest);
+            match result.digest_matches {
+                Some(true) => println!("digest check: OK"),
+                Some(false) => {
+                    eprintln!("error: digest check FAILED (state diverged from the recording)");
+                    std::process::exit(1);
+                }
+                None => {}
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -295,6 +458,8 @@ fn main() {
         Some("train") => return main_train(&args[1..]),
         Some("serve-bench") => return main_serve_bench(&args[1..]),
         Some("gateway-bench") => return main_gateway_bench(&args[1..]),
+        Some("journal-demo") => return main_journal_demo(&args[1..]),
+        Some("replay") => return main_replay(&args[1..]),
         _ => {}
     }
 

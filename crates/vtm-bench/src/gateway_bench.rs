@@ -380,7 +380,7 @@ pub fn run_gateway_bench(opts: &GatewayBenchOptions) -> Result<GatewayBenchResul
     // 1-ingress/1-executor closed-loop baseline (the acceptance anchor).
     let baseline = closed_loop(
         &service,
-        gateway_config.with_executors(1),
+        gateway_config.clone().with_executors(1),
         1,
         &stream,
         duration,
@@ -401,7 +401,7 @@ pub fn run_gateway_bench(opts: &GatewayBenchOptions) -> Result<GatewayBenchResul
     // Scaled closed loop at the configured concurrency.
     let scaled = closed_loop(
         &service,
-        gateway_config.with_executors(executors),
+        gateway_config.clone().with_executors(executors),
         ingress,
         &stream,
         duration,
@@ -424,7 +424,7 @@ pub fn run_gateway_bench(opts: &GatewayBenchOptions) -> Result<GatewayBenchResul
         let rate = (scaled_qps * factor).max(1.0);
         let (achieved, telemetry) = open_loop(
             &service,
-            gateway_config.with_executors(executors),
+            gateway_config.clone().with_executors(executors),
             rate,
             &stream,
             duration,

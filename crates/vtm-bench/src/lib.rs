@@ -15,13 +15,17 @@
 //! serving layer's quote throughput against the per-request baseline;
 //! `experiments gateway-bench` ([`gateway_bench`]) drives the concurrent
 //! online gateway (`vtm-gateway`) with closed- and open-loop load and
-//! records latency percentiles, batch-size histograms and rejects.
+//! records latency percentiles, batch-size histograms and rejects;
+//! `experiments journal-demo` / `experiments replay` ([`journal_cli`])
+//! record a journaled gateway run and reconstruct its exact service state
+//! from the audit journal (optionally resuming from a snapshot).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod gateway_bench;
+pub mod journal_cli;
 pub mod lifecycle;
 pub mod report;
 pub mod serve_bench;

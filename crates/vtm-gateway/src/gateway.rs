@@ -23,16 +23,18 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use vtm_journal::{snapshot_path, JournalOptions, JournalWriter, StateSnapshot};
 use vtm_serve::{PricingService, Quote, QuoteRequest};
 
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 
 /// Static configuration of a [`Gateway`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GatewayConfig {
     /// Flush a forming batch as soon as it holds this many requests.
     pub max_batch: usize,
@@ -46,17 +48,25 @@ pub struct GatewayConfig {
     pub queue_capacity: usize,
     /// Inference executor threads draining flushed batches.
     pub executors: usize,
+    /// Audit journaling: when set, every admitted request is appended to a
+    /// fresh on-disk journal *before* it enters the batching pipeline, so
+    /// the journal's frame order is exactly the admission order. With a
+    /// single executor the journal (plus its periodic state snapshots)
+    /// deterministically replays to the service's byte-identical state —
+    /// see the `vtm-journal` crate.
+    pub journal: Option<JournalOptions>,
 }
 
 impl Default for GatewayConfig {
     /// 32-request batches, a 1 ms flush deadline, 1024 in-flight requests,
-    /// one executor.
+    /// one executor, no journaling.
     fn default() -> Self {
         Self {
             max_batch: 32,
             max_delay: Duration::from_millis(1),
             queue_capacity: 1024,
             executors: 1,
+            journal: None,
         }
     }
 }
@@ -85,6 +95,12 @@ impl GatewayConfig {
         self.executors = executors.max(1);
         self
     }
+
+    /// Enables admission journaling (see [`GatewayConfig::journal`]).
+    pub fn with_journal(mut self, options: JournalOptions) -> Self {
+        self.journal = Some(options);
+        self
+    }
 }
 
 /// Typed failure modes of the gateway request path.
@@ -110,6 +126,10 @@ pub enum GatewayError {
     /// The executor-side service call failed for the whole batch
     /// (an internal geometry bug surfaced as a typed error, never a panic).
     Service(String),
+    /// The admission journal could not be created or appended to. A request
+    /// rejected with this error was **not** admitted (its in-flight slot is
+    /// released) — the journal never under-records admissions.
+    Journal(String),
     /// The gateway was shut down before the request could be accepted.
     ShutDown,
 }
@@ -130,6 +150,7 @@ impl fmt::Display for GatewayError {
                 "session {session}: feature block has {got} features, expected {expected}"
             ),
             GatewayError::Service(msg) => write!(f, "service error: {msg}"),
+            GatewayError::Journal(msg) => write!(f, "journal error: {msg}"),
             GatewayError::ShutDown => write!(f, "gateway is shut down"),
         }
     }
@@ -338,6 +359,14 @@ struct Shared {
     telemetry: Telemetry,
     ingress: IngressQueue,
     batches: BatchQueue,
+    /// The admission journal, when configured. The mutex is held across
+    /// `append` *and* the ingress push, so on-disk frame order is exactly
+    /// the order requests entered the pipeline.
+    journal: Option<Mutex<JournalWriter>>,
+    /// Requests fully processed by executors — the journal position the
+    /// next periodic snapshot is tagged with (meaningful with one
+    /// executor, where processing order equals admission order).
+    frames_processed: AtomicU64,
 }
 
 /// The concurrent online pricing gateway. See the crate docs for the
@@ -360,13 +389,43 @@ impl fmt::Debug for Gateway {
 impl Gateway {
     /// Starts a gateway over a shared frozen [`PricingService`]: spawns the
     /// scheduler thread plus `config.executors` executor threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured admission journal cannot be created; use
+    /// [`Gateway::try_start`] to handle that as a typed error.
     pub fn start(service: Arc<PricingService>, config: GatewayConfig) -> Self {
+        Self::try_start(service, config).expect("gateway start failed")
+    }
+
+    /// Starts a gateway, surfacing journal-creation failures as
+    /// [`GatewayError::Journal`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::Journal`] when `config.journal` is set and
+    /// the journal file cannot be created.
+    pub fn try_start(
+        service: Arc<PricingService>,
+        config: GatewayConfig,
+    ) -> Result<Self, GatewayError> {
+        let journal = match &config.journal {
+            Some(options) => Some(Mutex::new(
+                options
+                    .open()
+                    .map_err(|e| GatewayError::Journal(e.to_string()))?,
+            )),
+            None => None,
+        };
+        let executor_count = config.executors.max(1);
         let shared = Arc::new(Shared {
             service,
             config,
             telemetry: Telemetry::new(),
             ingress: IngressQueue::default(),
             batches: BatchQueue::default(),
+            journal,
+            frames_processed: AtomicU64::new(0),
         });
 
         let scheduler = {
@@ -376,7 +435,7 @@ impl Gateway {
                 .spawn(move || scheduler_loop(&shared))
                 .expect("spawn scheduler")
         };
-        let executors = (0..config.executors.max(1))
+        let executors = (0..executor_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -386,11 +445,11 @@ impl Gateway {
             })
             .collect();
 
-        Self {
+        Ok(Self {
             shared,
             scheduler: Some(scheduler),
             executors,
-        }
+        })
     }
 
     /// The gateway configuration.
@@ -440,7 +499,27 @@ impl Gateway {
             state: Arc::clone(&state),
             submitted: Instant::now(),
         };
-        if !self.shared.ingress.push(pending) {
+        // Journal the admission and enqueue under ONE lock, so the on-disk
+        // frame order is exactly the order requests enter the pipeline
+        // (replay order == admission order). A failed append un-admits the
+        // request — the journal never under-records what the service saw.
+        let pushed = match &self.shared.journal {
+            Some(journal) => {
+                let mut writer = journal.lock().expect("journal poisoned");
+                let before = writer.bytes_written();
+                if let Err(err) = writer.append(&pending.request) {
+                    drop(writer);
+                    self.shared.telemetry.record_abort();
+                    return Err(GatewayError::Journal(err.to_string()));
+                }
+                self.shared
+                    .telemetry
+                    .record_journal_append(writer.bytes_written() - before);
+                self.shared.ingress.push(pending)
+            }
+            None => self.shared.ingress.push(pending),
+        };
+        if !pushed {
             self.shared.telemetry.record_abort();
             return Err(GatewayError::ShutDown);
         }
@@ -478,6 +557,14 @@ impl Gateway {
         for handle in self.executors.drain(..) {
             let _ = handle.join();
         }
+        // Make the journal crash-durable before reporting shutdown complete:
+        // every admitted request has been processed, so the synced journal
+        // replays to exactly the service's final state.
+        if let Some(journal) = &self.shared.journal {
+            if let Ok(mut writer) = journal.lock() {
+                let _ = writer.sync();
+            }
+        }
     }
 }
 
@@ -490,11 +577,8 @@ impl Drop for Gateway {
 /// Scheduler thread: drain micro-batches off the ingress queue until it is
 /// closed and empty, then close the batch queue so executors wind down.
 fn scheduler_loop(shared: &Shared) {
-    let GatewayConfig {
-        max_batch,
-        max_delay,
-        ..
-    } = shared.config;
+    let max_batch = shared.config.max_batch;
+    let max_delay = shared.config.max_delay;
     while let Some(batch) = shared.ingress.pop_batch(max_batch, max_delay) {
         if batch.is_empty() {
             continue;
@@ -512,11 +596,13 @@ fn executor_loop(shared: &Shared) {
         let refs: Vec<&QuoteRequest> = batch.iter().map(|p| &p.request).collect();
         match shared.service.quote_refs(&refs) {
             Ok(quotes) => {
+                let processed = batch.len();
                 for (pending, quote) in batch.into_iter().zip(quotes) {
                     let latency_us = pending.submitted.elapsed().as_micros() as u64;
                     shared.telemetry.record_completion(latency_us);
                     pending.state.complete(Ok(quote));
                 }
+                maybe_snapshot(shared, processed as u64);
             }
             Err(err) => {
                 // Feature widths were validated at submit time, so this is
@@ -528,6 +614,50 @@ fn executor_loop(shared: &Shared) {
                         .state
                         .complete(Err(GatewayError::Service(message.clone())));
                 }
+            }
+        }
+    }
+}
+
+/// Executor-side periodic snapshotting: after a batch completes, capture
+/// the service state whenever the processed-request count crosses a
+/// `snapshot_every` boundary, tagged with the exact journal position.
+///
+/// Only taken with a single executor — there, batches finish in admission
+/// order, so "requests processed" IS the journal prefix the state is
+/// consistent with. With more executors the mapping breaks (batches finish
+/// out of order) and snapshots are skipped; crash recovery then replays
+/// the whole journal from genesis.
+fn maybe_snapshot(shared: &Shared, processed: u64) {
+    let Some(options) = &shared.config.journal else {
+        return;
+    };
+    if options.snapshot_every == 0 || shared.config.executors != 1 {
+        return;
+    }
+    let total = shared
+        .frames_processed
+        .fetch_add(processed, Ordering::Relaxed)
+        + processed;
+    if total / options.snapshot_every == (total - processed) / options.snapshot_every {
+        return;
+    }
+    // Between the quote_refs above and here no other executor runs, so the
+    // service state is exactly "the first `total` admitted requests". Push
+    // the journal to disk first: a snapshot must never claim more frames
+    // than the journal can replay.
+    if let Some(journal) = &shared.journal {
+        if journal
+            .lock()
+            .map(|mut writer| writer.sync().is_ok())
+            .unwrap_or(false)
+        {
+            let snapshot = StateSnapshot::capture(&shared.service, total);
+            if snapshot
+                .save_to(snapshot_path(&options.path, total))
+                .is_ok()
+            {
+                shared.telemetry.record_snapshot();
             }
         }
     }

@@ -41,6 +41,12 @@ pub struct Telemetry {
     /// Admitted-but-not-yet-completed requests — both the queue-depth
     /// gauge and the admission counter (see [`Telemetry::try_admit`]).
     in_flight: AtomicU64,
+    /// Admissions appended to the audit journal.
+    journal_frames: AtomicU64,
+    /// Journal bytes written (container framing included).
+    journal_bytes: AtomicU64,
+    /// Periodic state snapshots written next to the journal.
+    snapshots: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     latency_sum_us: AtomicU64,
     latency_max_us: AtomicU64,
@@ -65,6 +71,9 @@ impl Telemetry {
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            journal_frames: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_us: AtomicU64::new(0),
             latency_max_us: AtomicU64::new(0),
@@ -125,6 +134,17 @@ impl Telemetry {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Records one admission appended to the journal (`bytes` framed).
+    pub(crate) fn record_journal_append(&self, bytes: u64) {
+        self.journal_frames.fetch_add(1, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one periodic state snapshot written to disk.
+    pub(crate) fn record_snapshot(&self) {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Admitted-but-not-yet-completed requests right now.
     pub fn in_flight(&self) -> u64 {
         self.in_flight.load(Ordering::Relaxed)
@@ -151,6 +171,9 @@ impl Telemetry {
             failed: self.failed.load(Ordering::Relaxed),
             batches,
             queue_depth: self.in_flight.load(Ordering::Relaxed),
+            journal_frames: self.journal_frames.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
             latency_p50_us: percentile_from_buckets(&latency, 0.50),
             latency_p95_us: percentile_from_buckets(&latency, 0.95),
             latency_p99_us: percentile_from_buckets(&latency, 0.99),
@@ -205,6 +228,13 @@ pub struct TelemetrySnapshot {
     pub batches: u64,
     /// Admitted-but-not-yet-completed requests at snapshot time.
     pub queue_depth: u64,
+    /// Admissions appended to the audit journal (0 when journaling is
+    /// off; equals `submitted` minus shutdown-race aborts when on).
+    pub journal_frames: u64,
+    /// Journal bytes written, container framing included.
+    pub journal_bytes: u64,
+    /// Periodic state snapshots written next to the journal.
+    pub snapshots: u64,
     /// Median completion latency (bucket upper bound, µs).
     pub latency_p50_us: u64,
     /// 95th-percentile completion latency (bucket upper bound, µs).
@@ -241,6 +271,7 @@ impl TelemetrySnapshot {
         format!(
             "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
              \"batches\": {}, \"queue_depth\": {}, \
+             \"journal\": {{\"frames\": {}, \"bytes\": {}, \"snapshots\": {}}}, \
              \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}}}, \
              \"batch_size\": {{\"mean\": {:.2}, \"max\": {}}}, \
              \"latency_buckets\": {}, \"batch_size_buckets\": {}}}",
@@ -250,6 +281,9 @@ impl TelemetrySnapshot {
             self.failed,
             self.batches,
             self.queue_depth,
+            self.journal_frames,
+            self.journal_bytes,
+            self.snapshots,
             self.latency_p50_us,
             self.latency_p95_us,
             self.latency_p99_us,

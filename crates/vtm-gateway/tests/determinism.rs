@@ -29,6 +29,16 @@ fn service(snapshot: &PolicySnapshot) -> Arc<PricingService> {
     )
 }
 
+/// A service config under capacity and TTL pressure, so the determinism
+/// contract is also exercised against eviction/expiry bookkeeping — state a
+/// quote-only comparison would miss.
+fn pressured_config() -> ServiceConfig {
+    ServiceConfig::new(HISTORY, FEATURES)
+        .with_shards(4)
+        .with_session_capacity(3)
+        .with_session_ttl(24)
+}
+
 /// The deterministic request stream both sides replay: `rounds` rounds of
 /// one request per session with round/session-dependent features.
 fn request_stream(rounds: usize, sessions: usize) -> Vec<Vec<QuoteRequest>> {
@@ -67,10 +77,26 @@ fn quotes_digest(quotes: &[Quote]) -> u64 {
     }))
 }
 
+/// What one gateway (or direct) replay of the stream produced: the quote
+/// digest, the full service counters (sessions/quotes/evictions/expiries)
+/// and the byte-identical service-state digest.
+#[derive(Debug, PartialEq)]
+struct RunOutcome {
+    quotes_digest: u64,
+    service_stats: vtm_serve::ServiceStats,
+    state_digest: u64,
+}
+
 /// Replays the stream through a gateway (round by round, waiting each
-/// round's tickets in submission order) and digests the quotes.
-fn gateway_digest(config: GatewayConfig, stream: &[Vec<QuoteRequest>]) -> u64 {
-    let gateway = Gateway::start(service(&snapshot(2)), config);
+/// round's tickets in submission order) over a fresh service built with
+/// `service_config`, and captures the full outcome.
+fn gateway_outcome(
+    config: GatewayConfig,
+    service_config: ServiceConfig,
+    stream: &[Vec<QuoteRequest>],
+) -> RunOutcome {
+    let service = Arc::new(PricingService::from_snapshot(&snapshot(2), service_config).unwrap());
+    let gateway = Gateway::start(Arc::clone(&service), config);
     let mut quotes = Vec::new();
     for round in stream {
         let tickets: Vec<_> = round
@@ -84,34 +110,52 @@ fn gateway_digest(config: GatewayConfig, stream: &[Vec<QuoteRequest>]) -> u64 {
     let stats = gateway.shutdown();
     assert_eq!(stats.completed, quotes.len() as u64);
     assert_eq!(stats.failed, 0);
-    quotes_digest(&quotes)
+    RunOutcome {
+        quotes_digest: quotes_digest(&quotes),
+        service_stats: service.stats(),
+        state_digest: service.state_digest(),
+    }
 }
 
-/// The acceptance criterion: with a single executor and greedy mode,
-/// gateway output for a given request sequence is bit-identical to
-/// `PricingService::quote_batch` — regardless of how the scheduler slices
+/// The acceptance criterion: with a single executor and greedy mode, a
+/// gateway replay of a request sequence is indistinguishable from direct
+/// `PricingService::quote_batch` calls — not just quote-for-quote, but in
+/// the *complete* service state: session histories, LRU/TTL bookkeeping,
+/// eviction and expiry counters — regardless of how the scheduler slices
 /// the stream into micro-batches.
 #[test]
 fn single_executor_greedy_gateway_matches_quote_batch_digest() {
-    let stream = request_stream(6, 9);
+    // 13 sessions over 4 shards with capacity 3 and a TTL forces evictions
+    // and expiries, so batch-slicing invariance of that bookkeeping is
+    // exercised too (a quote-only comparison would miss divergence there).
+    let stream = request_stream(6, 13);
 
     // Reference: direct caller-formed batches, no gateway.
-    let reference = service(&snapshot(2));
+    let reference =
+        Arc::new(PricingService::from_snapshot(&snapshot(2), pressured_config()).unwrap());
     let mut reference_quotes = Vec::new();
     for round in &stream {
         reference_quotes.extend(reference.quote_batch(round).unwrap());
     }
-    let reference_digest = quotes_digest(&reference_quotes);
+    let reference_outcome = RunOutcome {
+        quotes_digest: quotes_digest(&reference_quotes),
+        service_stats: reference.stats(),
+        state_digest: reference.state_digest(),
+    };
+    assert!(
+        reference_outcome.service_stats.evicted > 0,
+        "stream must trigger evictions for the comparison to be meaningful"
+    );
 
-    // Gateway under several batching configs: digests must all agree.
+    // Gateway under several batching configs: full outcomes must agree.
     for (max_batch, delay_us) in [(1, 0), (3, 200), (9, 1000), (64, 50)] {
         let config = GatewayConfig::default()
             .with_executors(1)
             .with_max_batch(max_batch)
             .with_max_delay(Duration::from_micros(delay_us));
         assert_eq!(
-            gateway_digest(config, &stream),
-            reference_digest,
+            gateway_outcome(config, pressured_config(), &stream),
+            reference_outcome,
             "gateway (max_batch {max_batch}, delay {delay_us}us) diverged from quote_batch"
         );
     }

@@ -1,0 +1,93 @@
+//! # vtm-journal — audit-grade request journal with deterministic replay
+//!
+//! The serving stack's determinism contracts (serial ≡ parallel, batched ≡
+//! per-request, gateway ≡ `quote_batch`) mean a
+//! [`PricingService`](vtm_serve::PricingService)'s state is a *pure
+//! function of its admitted request sequence*. This crate turns that
+//! property into a production feature:
+//!
+//! * **append-only frame journal** ([`JournalWriter`]) — every admitted
+//!   [`QuoteRequest`](vtm_serve::QuoteRequest) is framed with the
+//!   workspace's `VTMW` container codec (magic, version,
+//!   [`KIND_JOURNAL_FRAME`](vtm_nn::codec::KIND_JOURNAL_FRAME) tag,
+//!   FNV-1a checksum) and appended in admission order;
+//! * **state snapshots** ([`StateSnapshot`]) — a point-in-time capture of
+//!   the service's session store and serving counters, tagged with the
+//!   journal frame count it is consistent with and the policy-version
+//!   fingerprint it belongs to;
+//! * **deterministic replay** ([`replay_journal`]) — reconstructs
+//!   *byte-identical* service state from any snapshot plus the journal
+//!   suffix (or from genesis with no snapshot at all), pinned by
+//!   [`state_digest`](vtm_serve::PricingService::state_digest);
+//! * **crash recovery** — a process killed mid-write leaves a partial
+//!   trailing frame; [`ScanMode::RecoverTail`] recovers every complete
+//!   frame and reports the torn tail, while [`ScanMode::Strict`] treats
+//!   *any* anomaly (truncation, bit flips, reordered frames) as a typed
+//!   [`JournalError`] naming the exact failing frame — never a panic,
+//!   never a silent divergence.
+//!
+//! ## On-disk frame format
+//!
+//! A journal is a plain concatenation of `VTMW` containers, one per
+//! admitted request:
+//!
+//! ```text
+//! +---------+---------+---------+-------------+---------------- payload ---------------+----------+
+//! | "VTMW"  | version | kind=3  | payload_len | seq    | session | n_feat | features   | checksum |
+//! | 4 bytes | u16 LE  | u16 LE  |   u64 LE    | u64 LE | u64 LE  | u64 LE | n× f64 LE  |  u64 LE  |
+//! +---------+---------+---------+-------------+----------------------------------------+----------+
+//! ```
+//!
+//! `seq` is the frame's zero-based position — scanners verify it so a
+//! spliced or reordered journal is rejected. Features are raw `f64` bit
+//! patterns, so record → replay is bit-exact. The checksum is FNV-1a over
+//! the payload. Snapshots use the same container with kind
+//! [`KIND_STATE_SNAPSHOT`](vtm_nn::codec::KIND_STATE_SNAPSHOT) and live
+//! next to the journal as `<journal>.snap.<frames_applied>`.
+//!
+//! ## Example
+//!
+//! ```
+//! use vtm_journal::{replay_journal, JournalWriter, ReplayOptions, StateSnapshot};
+//! use vtm_rl::env::ActionSpace;
+//! use vtm_rl::ppo::{PpoAgent, PpoConfig};
+//! use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+//!
+//! let agent = PpoAgent::new(PpoConfig::new(4, 1).with_seed(1), ActionSpace::scalar(5.0, 50.0));
+//! let snapshot = agent.snapshot();
+//! let config = ServiceConfig::new(2, 2);
+//! let live = PricingService::from_snapshot(&snapshot, config).unwrap();
+//!
+//! // Record every admitted request, then serve it.
+//! let path = std::env::temp_dir().join(format!("vtm_journal_doc_{}.vtmj", std::process::id()));
+//! let mut journal = JournalWriter::create(&path).unwrap();
+//! for round in 0..4u64 {
+//!     let request = QuoteRequest::new(7, vec![0.25 * round as f64, 0.5]);
+//!     journal.append(&request).unwrap();
+//!     live.quote_batch(std::slice::from_ref(&request)).unwrap();
+//! }
+//! journal.sync().unwrap();
+//!
+//! // A fresh service + the journal reconstruct byte-identical state.
+//! let recovered = PricingService::from_snapshot(&snapshot, config).unwrap();
+//! let report = replay_journal(&recovered, &path, None, &ReplayOptions::default()).unwrap();
+//! assert_eq!(report.frames_applied, 4);
+//! assert_eq!(recovered.state_digest(), live.state_digest());
+//! std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod journal;
+mod replay;
+mod snapshot;
+
+pub use error::JournalError;
+pub use journal::{
+    scan_journal, scan_journal_bytes, JournalFrame, JournalOptions, JournalWriter, ScanMode,
+    ScannedJournal,
+};
+pub use replay::{replay_frames, replay_journal, ReplayOptions, ReplayReport};
+pub use snapshot::{find_latest_snapshot, find_snapshots, snapshot_path, StateSnapshot};

@@ -1,0 +1,183 @@
+//! Corruption property tests: a fixed-seed loop flips one random byte per
+//! iteration in journal frames and snapshot containers. Every flip must be
+//! *detected* — a typed error carrying the exact failing frame index (or a
+//! recover-tail cut at exactly that frame) — and never panic, never pass a
+//! corrupted frame through as valid data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vtm_journal::{
+    scan_journal_bytes, JournalError, JournalFrame, JournalWriter, ScanMode, StateSnapshot,
+};
+use vtm_nn::codec::CodecError;
+use vtm_rl::env::ActionSpace;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+
+const FEATURES: usize = 2;
+const FRAMES: usize = 16;
+
+fn policy(seed: u64) -> PolicySnapshot {
+    PpoAgent::new(
+        PpoConfig::new(4, 1).with_seed(seed),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+    .snapshot()
+}
+
+fn journal_bytes(tag: &str) -> Vec<u8> {
+    let path =
+        std::env::temp_dir().join(format!("vtm_corruption_{tag}_{}.vtmj", std::process::id()));
+    let mut journal = JournalWriter::create(&path).unwrap();
+    for i in 0..FRAMES as u64 {
+        journal
+            .append(&QuoteRequest::new(i % 3, vec![i as f64 * 0.25, 0.75]))
+            .unwrap();
+    }
+    journal.sync().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    bytes
+}
+
+#[test]
+fn every_single_byte_flip_in_a_journal_is_detected_at_the_right_frame() {
+    let clean = journal_bytes("flip");
+    let frame_len = JournalFrame::framed_len(FEATURES);
+    assert_eq!(clean.len(), FRAMES * frame_len);
+
+    let mut rng = StdRng::seed_from_u64(0xC0FF_EE00_DEAD_BEEF);
+    let mut seen_checksum = 0usize;
+    let mut seen_other = 0usize;
+    for iteration in 0..400 {
+        let pos = rng.gen_range(0..clean.len());
+        let bit = rng.gen_range(0..8u32);
+        let mut corrupt = clean.clone();
+        corrupt[pos] ^= 1 << bit;
+        let hit = pos / frame_len;
+
+        // Strict scan: always a typed error at exactly the flipped frame.
+        match scan_journal_bytes(&corrupt, ScanMode::Strict) {
+            Err(JournalError::Frame { index, source }) => {
+                assert_eq!(
+                    index, hit,
+                    "iteration {iteration}: flip at byte {pos} blamed frame {index}, \
+                     expected {hit}"
+                );
+                match source {
+                    CodecError::ChecksumMismatch { .. } => seen_checksum += 1,
+                    _ => seen_other += 1,
+                }
+            }
+            Err(other) => {
+                panic!("iteration {iteration}: flip at byte {pos}: unexpected error {other}")
+            }
+            Ok(_) => {
+                panic!("iteration {iteration}: flip of bit {bit} at byte {pos} went undetected")
+            }
+        }
+
+        // RecoverTail may only "forgive" a flip by cutting the journal at
+        // the flipped frame (a corrupted length field reads as a frame that
+        // runs past end-of-file). It must never return a corrupted frame.
+        match scan_journal_bytes(&corrupt, ScanMode::RecoverTail) {
+            Ok(scanned) => {
+                assert_eq!(scanned.frames.len(), hit, "iteration {iteration}");
+                assert_eq!(
+                    scanned.truncated_tail,
+                    (clean.len() - hit * frame_len) as u64
+                );
+                for (i, frame) in scanned.frames.iter().enumerate() {
+                    assert_eq!(frame.seq, i as u64);
+                }
+            }
+            Err(JournalError::Frame { index, .. }) => assert_eq!(index, hit),
+            Err(other) => {
+                panic!("iteration {iteration}: flip at byte {pos}: unexpected error {other}")
+            }
+        }
+    }
+    // The loop must have exercised the dominant detection path (payload and
+    // checksum flips) plus header-field flips (magic/version/kind/length).
+    assert!(seen_checksum > 0, "no checksum mismatch ever observed");
+    assert!(seen_other > 0, "no header-field corruption ever observed");
+}
+
+#[test]
+fn every_single_byte_flip_in_a_snapshot_is_detected() {
+    let snap = policy(51);
+    let config = ServiceConfig::new(2, FEATURES).with_shards(2);
+    let service = PricingService::from_snapshot(&snap, config).unwrap();
+    for i in 0..10u64 {
+        service
+            .quote_batch(&[QuoteRequest::new(i % 4, vec![0.5, i as f64 * 0.1])])
+            .unwrap();
+    }
+    let clean = StateSnapshot::capture(&service, 10).to_bytes();
+    assert_eq!(
+        StateSnapshot::from_bytes(&clean).unwrap().frames_applied,
+        10
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_5EED_5EED_5EED);
+    for iteration in 0..200 {
+        let pos = rng.gen_range(0..clean.len());
+        let bit = rng.gen_range(0..8u32);
+        let mut corrupt = clean.clone();
+        corrupt[pos] ^= 1 << bit;
+        match StateSnapshot::from_bytes(&corrupt) {
+            Err(JournalError::Snapshot(_)) => {}
+            Err(other) => {
+                panic!("iteration {iteration}: flip at byte {pos}: unexpected error {other}")
+            }
+            Ok(_) => panic!(
+                "iteration {iteration}: flip of bit {bit} at byte {pos} of a snapshot went \
+                 undetected"
+            ),
+        }
+        // Random truncation of the container is equally typed.
+        let cut = rng.gen_range(0..clean.len());
+        assert!(
+            matches!(
+                StateSnapshot::from_bytes(&clean[..cut]),
+                Err(JournalError::Snapshot(_))
+            ),
+            "iteration {iteration}: truncation to {cut} bytes went undetected"
+        );
+    }
+}
+
+#[test]
+fn flips_in_restored_state_payloads_never_corrupt_the_service() {
+    // Even when the container checksum is *recomputed* over a flipped state
+    // payload (a hostile or buggy writer), restore must either reject the
+    // payload or leave the service in a state it fully owns — never panic.
+    let snap = policy(52);
+    let config = ServiceConfig::new(2, FEATURES).with_shards(2);
+    let service = PricingService::from_snapshot(&snap, config).unwrap();
+    for i in 0..8u64 {
+        service
+            .quote_batch(&[QuoteRequest::new(i, vec![0.3, 0.6])])
+            .unwrap();
+    }
+    let reference = StateSnapshot::capture(&service, 8);
+    let mut rng = StdRng::seed_from_u64(0xFEED_FACE_CAFE_F00D);
+    let mut rejected = 0usize;
+    for _ in 0..200 {
+        let mut tampered = reference.clone();
+        let pos = rng.gen_range(0..tampered.state.len());
+        tampered.state[pos] ^= 1 << rng.gen_range(0..8u32);
+        let target = PricingService::from_snapshot(&snap, config).unwrap();
+        match tampered.restore_into(&target) {
+            Err(JournalError::Serve(_)) => rejected += 1,
+            Err(other) => panic!("unexpected error {other}"),
+            // Some flips produce a structurally valid (if different) state —
+            // e.g. a flipped feature bit. That is indistinguishable from a
+            // legitimate snapshot by construction; the container checksum is
+            // the layer that catches it (previous test).
+            Ok(()) => {}
+        }
+    }
+    assert!(rejected > 0, "no structural rejection ever observed");
+}

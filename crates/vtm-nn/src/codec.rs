@@ -58,6 +58,15 @@ pub const KIND_MLP: u16 = 1;
 /// written by `vtm_rl::snapshot::PolicySnapshot`.
 pub const KIND_POLICY: u16 = 2;
 
+/// Payload kind: one admitted quote-request frame in an append-only request
+/// journal; written by `vtm-journal`'s `JournalWriter`.
+pub const KIND_JOURNAL_FRAME: u16 = 3;
+
+/// Payload kind: a point-in-time service-state snapshot (session store +
+/// serving counters) taken at a journal frame boundary; written by
+/// `vtm-journal`'s `StateSnapshot`.
+pub const KIND_STATE_SNAPSHOT: u16 = 4;
+
 /// Size of the fixed container header (magic + version + kind + payload len).
 const HEADER_LEN: usize = 4 + 2 + 2 + 8;
 
@@ -180,12 +189,30 @@ impl WeightCodec {
 
     /// Validates the container framing and returns the payload slice.
     ///
+    /// Trailing bytes beyond the container are ignored; use
+    /// [`WeightCodec::decode_prefix`] when the container is one frame of a
+    /// longer stream and the consumed length matters.
+    ///
     /// # Errors
     ///
     /// Returns the matching [`CodecError`] for a bad magic, an unsupported
     /// version, a payload-kind mismatch, a truncated file or a checksum
     /// mismatch.
     pub fn decode(bytes: &[u8], expected_kind: u16) -> Result<&[u8], CodecError> {
+        Self::decode_prefix(bytes, expected_kind).map(|(payload, _)| payload)
+    }
+
+    /// Validates one container at the *front* of `bytes` — which may be
+    /// followed by further frames — and returns the payload slice together
+    /// with the total number of bytes the container occupies (header +
+    /// payload + checksum). This is the streaming entry point the
+    /// append-only request journal iterates frames with.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WeightCodec::decode`]; a [`CodecError::Truncated`] whose
+    /// `available` equals `bytes.len()` means the stream ends mid-frame.
+    pub fn decode_prefix(bytes: &[u8], expected_kind: u16) -> Result<(&[u8], usize), CodecError> {
         if bytes.len() < HEADER_LEN {
             return Err(CodecError::Truncated {
                 needed: HEADER_LEN,
@@ -232,7 +259,13 @@ impl WeightCodec {
                 found: computed,
             });
         }
-        Ok(payload)
+        Ok((payload, needed))
+    }
+
+    /// The total on-disk size of a container holding `payload_len` payload
+    /// bytes (header + payload + checksum).
+    pub fn framed_len(payload_len: usize) -> usize {
+        HEADER_LEN + payload_len + CHECKSUM_LEN
     }
 
     /// Frames `payload` and writes it to `path`.
@@ -306,6 +339,12 @@ impl PayloadWriter {
         for &v in values {
             self.write_f64(v);
         }
+    }
+
+    /// Appends a length-prefixed raw byte slice (e.g. a nested payload).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a length-prefixed `usize` slice.
@@ -420,6 +459,18 @@ impl<'a> PayloadReader<'a> {
         (0..len).map(|_| self.read_f64()).collect()
     }
 
+    /// Reads a length-prefixed raw byte slice written by
+    /// [`PayloadWriter::write_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] when the declared length exceeds the
+    /// remaining bytes.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.read_usize()?;
+        self.take(len)
+    }
+
     /// Reads a length-prefixed `usize` vector.
     ///
     /// # Errors
@@ -505,6 +556,32 @@ mod tests {
         let framed = WeightCodec::encode(KIND_MLP, &payload);
         let decoded = WeightCodec::decode(&framed, KIND_MLP).unwrap();
         assert_eq!(decoded, payload.as_slice());
+    }
+
+    #[test]
+    fn decode_prefix_iterates_concatenated_frames() {
+        let payloads: [&[u8]; 3] = [b"first", b"second frame", b""];
+        let mut stream = Vec::new();
+        for payload in payloads {
+            stream.extend_from_slice(&WeightCodec::encode(KIND_JOURNAL_FRAME, payload));
+        }
+        let mut offset = 0;
+        for payload in payloads {
+            let (decoded, consumed) =
+                WeightCodec::decode_prefix(&stream[offset..], KIND_JOURNAL_FRAME).unwrap();
+            assert_eq!(decoded, payload);
+            assert_eq!(consumed, WeightCodec::framed_len(payload.len()));
+            offset += consumed;
+        }
+        assert_eq!(offset, stream.len());
+        // A partial trailing frame reports Truncated with the stream's
+        // remaining length, so a scanner can tell "ends mid-frame" apart
+        // from mid-stream corruption.
+        stream.extend_from_slice(&WeightCodec::encode(KIND_JOURNAL_FRAME, b"tail")[..7]);
+        match WeightCodec::decode_prefix(&stream[offset..], KIND_JOURNAL_FRAME) {
+            Err(CodecError::Truncated { available, .. }) => assert_eq!(available, 7),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use vtm_nn::codec::{fnv1a, CodecError, PayloadReader, PayloadWriter};
 use vtm_nn::matrix::ShapeError;
 use vtm_nn::mlp::Mlp;
 use vtm_rl::distribution::DiagGaussian;
@@ -45,6 +46,9 @@ pub enum ServeError {
     /// The batched forward pass rejected the assembled observation matrix
     /// (indicates an internal geometry bug, surfaced instead of panicking).
     Forward(ShapeError),
+    /// A serialized service-state payload (journal snapshot) is corrupt,
+    /// truncated or structurally incompatible with this service.
+    State(CodecError),
 }
 
 impl fmt::Display for ServeError {
@@ -68,6 +72,7 @@ impl fmt::Display for ServeError {
                 "session {session}: feature block has {got} features, expected {expected}"
             ),
             ServeError::Forward(err) => write!(f, "batched forward failed: {err}"),
+            ServeError::State(err) => write!(f, "state payload error: {err}"),
         }
     }
 }
@@ -77,6 +82,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Snapshot(err) => Some(err),
             ServeError::Forward(err) => Some(err),
+            ServeError::State(err) => Some(err),
             _ => None,
         }
     }
@@ -241,6 +247,10 @@ pub struct PricingService {
     /// Total quotes served; atomic so the hot path never serializes on a
     /// global lock (session state already contends per shard).
     quotes_served: AtomicU64,
+    /// FNV-1a over the originating policy snapshot's canonical byte
+    /// encoding — the policy *version* a journal snapshot records, so
+    /// replay can refuse to restore state onto the wrong weights.
+    policy_fingerprint: u64,
 }
 
 impl PricingService {
@@ -279,6 +289,7 @@ impl PricingService {
             config,
             store,
             quotes_served: AtomicU64::new(0),
+            policy_fingerprint: fnv1a(&snapshot.to_bytes()),
         })
     }
 
@@ -324,6 +335,62 @@ impl PricingService {
     /// Drops one session's state; returns whether it existed.
     pub fn end_session(&self, session: u64) -> bool {
         self.store.remove(session)
+    }
+
+    /// FNV-1a fingerprint of the policy snapshot this service was built
+    /// from — the "policy version" recorded in journal state snapshots.
+    /// Two services quote identically on every request stream whenever
+    /// their fingerprints match (the snapshot encoding is canonical).
+    pub fn policy_fingerprint(&self) -> u64 {
+        self.policy_fingerprint
+    }
+
+    /// Serializes the service's complete mutable state (quote counter plus
+    /// the canonical [`SessionStore`] payload — see
+    /// [`SessionStore::save_payload`]) into a byte payload. Identical
+    /// logical state always yields identical bytes, which is what makes
+    /// [`PricingService::state_digest`] a meaningful equality witness.
+    ///
+    /// The caller must quiesce concurrent quoting if the snapshot has to be
+    /// consistent with a specific request-stream position.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.write_u64(self.quotes_served.load(Ordering::Relaxed));
+        self.store.save_payload(&mut w);
+        w.into_bytes()
+    }
+
+    /// Replaces the service's mutable state with one captured by
+    /// [`PricingService::save_state`] (typically: restore from a journal
+    /// snapshot, then replay the journal suffix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::State`] for corrupt/truncated payloads or a
+    /// shard-count mismatch — never panics; the session store is left
+    /// unchanged on error.
+    pub fn restore_state(&self, payload: &[u8]) -> Result<(), ServeError> {
+        let mut r = PayloadReader::new(payload);
+        let quotes = r.read_u64().map_err(ServeError::State)?;
+        self.store
+            .restore_payload(&mut r)
+            .map_err(ServeError::State)?;
+        if !r.is_exhausted() {
+            return Err(ServeError::State(CodecError::Invalid(format!(
+                "{} trailing bytes after service state",
+                r.remaining()
+            ))));
+        }
+        self.quotes_served.store(quotes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// FNV-1a digest of [`PricingService::save_state`] — the byte-identical
+    /// service-state witness the determinism, crash-recovery and replay
+    /// tests compare. Equal digests mean equal session histories, noise
+    /// counters, LRU/TTL bookkeeping and serving counters.
+    pub fn state_digest(&self) -> u64 {
+        fnv1a(&self.save_state())
     }
 
     fn normalized(&self, obs: Vec<f64>) -> Vec<f64> {
@@ -674,6 +741,70 @@ mod tests {
         }
         assert!(service.stats().evicted > 0);
         assert_eq!(service.stats().quotes, 400);
+    }
+
+    #[test]
+    fn state_save_restore_round_trips_and_digests_agree() {
+        let snap = snapshot(8, 11);
+        let config = ServiceConfig::new(4, 2)
+            .with_shards(4)
+            .with_session_capacity(4)
+            .with_session_ttl(16);
+        let source = PricingService::from_snapshot(&snap, config).unwrap();
+        for round in 0..5 {
+            source.quote_batch(&requests(round, 11, 2)).unwrap();
+        }
+        let state = source.save_state();
+        let target = PricingService::from_snapshot(&snap, config).unwrap();
+        assert_ne!(target.state_digest(), source.state_digest());
+        target.restore_state(&state).unwrap();
+        assert_eq!(target.state_digest(), source.state_digest());
+        assert_eq!(target.stats(), source.stats());
+        // Future quotes agree bit-for-bit: the restored state carries the
+        // histories, noise counters and LRU/TTL bookkeeping.
+        for round in 5..8 {
+            let reqs = requests(round, 11, 2);
+            assert_eq!(
+                source.quote_batch(&reqs).unwrap(),
+                target.quote_batch(&reqs).unwrap(),
+                "round {round} diverged after restore"
+            );
+        }
+        assert_eq!(target.state_digest(), source.state_digest());
+    }
+
+    #[test]
+    fn state_restore_rejects_corruption_with_typed_errors() {
+        let snap = snapshot(6, 12);
+        let service = PricingService::from_snapshot(&snap, ServiceConfig::new(3, 2)).unwrap();
+        service.quote_batch(&requests(0, 4, 2)).unwrap();
+        let state = service.save_state();
+        let digest = service.state_digest();
+        // Truncated payload.
+        assert!(matches!(
+            service.restore_state(&state[..state.len() - 3]),
+            Err(ServeError::State(CodecError::Truncated { .. }))
+        ));
+        // Trailing garbage.
+        let mut padded = state.clone();
+        padded.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            service.restore_state(&padded),
+            Err(ServeError::State(CodecError::Invalid(_)))
+        ));
+        // Failed restores leave the live state untouched.
+        assert_eq!(service.state_digest(), digest);
+    }
+
+    #[test]
+    fn policy_fingerprint_identifies_the_snapshot() {
+        let snap_a = snapshot(8, 13);
+        let a1 = PricingService::from_snapshot(&snap_a, ServiceConfig::new(4, 2)).unwrap();
+        let a2 = PricingService::from_snapshot(&snap_a, ServiceConfig::new(4, 2)).unwrap();
+        assert_eq!(a1.policy_fingerprint(), a2.policy_fingerprint());
+        let snap_b = snapshot(8, 14);
+        let b = PricingService::from_snapshot(&snap_b, ServiceConfig::new(4, 2)).unwrap();
+        assert_ne!(a1.policy_fingerprint(), b.policy_fingerprint());
     }
 
     #[test]

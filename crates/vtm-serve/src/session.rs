@@ -3,6 +3,8 @@
 
 use std::collections::VecDeque;
 
+use vtm_nn::codec::{CodecError, PayloadReader, PayloadWriter};
+
 /// One VMU session's serving-side state. The policy observes the last `L`
 /// rounds of features, so the session only has to buffer feature blocks —
 /// the client ships one block per round, never the full observation.
@@ -55,6 +57,41 @@ impl Session {
         }
         obs
     }
+
+    /// Serializes the session into a payload: the quote counter followed by
+    /// the buffered feature blocks, oldest first. Floats are stored as raw
+    /// bit patterns, so save → load → observe is bit-exact.
+    pub fn save_payload(&self, w: &mut PayloadWriter) {
+        w.write_u64(self.quotes);
+        w.write_usize(self.history.len());
+        for block in &self.history {
+            w.write_f64_vec(block);
+        }
+    }
+
+    /// Reconstructs a session written by [`Session::save_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CodecError`] for truncated or structurally
+    /// invalid payloads — never panics on corrupt input.
+    pub fn load_payload(
+        r: &mut PayloadReader<'_>,
+        history_length: usize,
+    ) -> Result<Self, CodecError> {
+        let quotes = r.read_u64()?;
+        let blocks = r.read_usize()?;
+        if blocks > history_length {
+            return Err(CodecError::Invalid(format!(
+                "session holds {blocks} blocks, window is {history_length}"
+            )));
+        }
+        let mut history = VecDeque::with_capacity(history_length);
+        for _ in 0..blocks {
+            history.push_back(r.read_f64_vec()?);
+        }
+        Ok(Self { history, quotes })
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +110,44 @@ mod tests {
         assert_eq!(s.observation(3, 1), vec![1.0, 2.0, 3.0]);
         s.push(vec![4.0], 3);
         assert_eq!(s.observation(3, 1), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn payload_round_trip_is_bit_exact() {
+        let mut s = Session::new(3);
+        s.push(vec![0.1, -2.5], 3);
+        s.push(vec![f64::MIN_POSITIVE, 7.75], 3);
+        s.quotes = 42;
+        let mut w = PayloadWriter::new();
+        s.save_payload(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        let restored = Session::load_payload(&mut r, 3).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored, s);
+        assert_eq!(restored.observation(3, 2), s.observation(3, 2));
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_errors() {
+        let mut w = PayloadWriter::new();
+        Session::new(2).save_payload(&mut w);
+        let bytes = w.into_bytes();
+        // Truncation mid-payload.
+        let mut r = PayloadReader::new(&bytes[..4]);
+        assert!(matches!(
+            Session::load_payload(&mut r, 2),
+            Err(CodecError::Truncated { .. })
+        ));
+        // A block count beyond the window is structurally invalid.
+        let mut w = PayloadWriter::new();
+        w.write_u64(0);
+        w.write_usize(9);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(
+            Session::load_payload(&mut r, 2),
+            Err(CodecError::Invalid(_))
+        ));
     }
 }

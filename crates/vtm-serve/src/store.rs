@@ -25,6 +25,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use vtm_nn::codec::{CodecError, PayloadReader, PayloadWriter};
+
 use crate::session::Session;
 
 /// Seed-decorrelation constant shared with the training stack (also used
@@ -250,6 +252,93 @@ impl SessionStore {
         }
     }
 
+    /// Serializes the complete store state into a payload in a *canonical*
+    /// form: shards in index order, each shard's logical clock followed by
+    /// its entries sorted by session id, then the eviction counters. Two
+    /// stores holding the same logical state always serialize to identical
+    /// bytes, so the payload doubles as the store's determinism digest
+    /// input (replay tests hash it with FNV-1a).
+    ///
+    /// Locks each shard in turn; the caller is responsible for quiescing
+    /// concurrent traffic if a frame-consistent snapshot is required.
+    pub fn save_payload(&self, w: &mut PayloadWriter) {
+        w.write_usize(self.shards.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            w.write_u64(shard.tick);
+            let mut ids: Vec<u64> = shard.sessions.keys().copied().collect();
+            ids.sort_unstable();
+            w.write_usize(ids.len());
+            for id in ids {
+                let entry = &shard.sessions[&id];
+                w.write_u64(id);
+                w.write_u64(entry.last_touched);
+                entry.session.save_payload(w);
+            }
+        }
+        w.write_u64(self.evicted.load(Ordering::Relaxed));
+        w.write_u64(self.expired.load(Ordering::Relaxed));
+    }
+
+    /// Replaces the store's entire state with one written by
+    /// [`SessionStore::save_payload`]. The shard count must match this
+    /// store's configuration (shard assignment is a pure function of the
+    /// shard count, so restoring across a different sharding would
+    /// scatter sessions to the wrong locks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CodecError`] for truncated or structurally invalid
+    /// payloads and for a shard-count mismatch — never panics. On error the
+    /// store is left unchanged.
+    pub fn restore_payload(&self, r: &mut PayloadReader<'_>) -> Result<(), CodecError> {
+        let shards = r.read_usize()?;
+        if shards != self.shards.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot has {shards} shards, store has {}",
+                self.shards.len()
+            )));
+        }
+        // Decode fully before touching the live shards so a corrupt tail
+        // cannot leave the store half-restored. One decoded shard is its
+        // logical tick plus `(id, last_touched, session)` rows.
+        type DecodedShard = (u64, Vec<(u64, u64, Session)>);
+        let mut decoded: Vec<DecodedShard> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let tick = r.read_u64()?;
+            let entries = r.read_usize()?;
+            let mut sessions = Vec::with_capacity(entries.min(1024));
+            for _ in 0..entries {
+                let id = r.read_u64()?;
+                let last_touched = r.read_u64()?;
+                let session = Session::load_payload(r, self.history_length)?;
+                sessions.push((id, last_touched, session));
+            }
+            decoded.push((tick, sessions));
+        }
+        let evicted = r.read_u64()?;
+        let expired = r.read_u64()?;
+        for (shard, (tick, sessions)) in self.shards.iter().zip(decoded) {
+            let mut shard = shard.lock().expect("shard poisoned");
+            shard.tick = tick;
+            shard.sessions = sessions
+                .into_iter()
+                .map(|(id, last_touched, session)| {
+                    (
+                        id,
+                        Entry {
+                            session,
+                            last_touched,
+                        },
+                    )
+                })
+                .collect();
+        }
+        self.evicted.store(evicted, Ordering::Relaxed);
+        self.expired.store(expired, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Visits (creating on demand) the session of every id in `ids`,
     /// calling `f(index_into_ids, &mut Session)` exactly once per id.
     ///
@@ -387,6 +476,75 @@ mod tests {
             seen.push((idx, session.quotes));
         });
         assert_eq!(seen, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn state_round_trip_is_byte_identical_and_behaviour_preserving() {
+        let source = store(4, 2, 3);
+        let sequence: Vec<u64> = vec![0, 9, 17, 3, 9, 0, 25, 3, 17, 9, 0, 33, 9, 41, 0];
+        for &id in &sequence {
+            source.touch_grouped(&[id], |_, s| {
+                s.push(vec![id as f64, 0.5], 2);
+            });
+        }
+        let mut w = PayloadWriter::new();
+        source.save_payload(&mut w);
+        let bytes = w.into_bytes();
+
+        let restored = store(4, 2, 3);
+        let mut r = PayloadReader::new(&bytes);
+        restored.restore_payload(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.stats(), source.stats());
+
+        // Canonical serialization: the restored store re-serializes to the
+        // exact same bytes even though its HashMaps were rebuilt.
+        let mut w2 = PayloadWriter::new();
+        restored.save_payload(&mut w2);
+        assert_eq!(w2.as_bytes(), bytes.as_slice());
+
+        // Behaviour equivalence: future touches (incl. TTL/LRU decisions,
+        // which depend on the restored ticks and LRU stamps) agree.
+        let probe: Vec<u64> = vec![49, 9, 0, 57, 17];
+        let mut seen_source = Vec::new();
+        source.touch_grouped(&probe, |idx, s| {
+            s.quotes += 1;
+            seen_source.push((probe[idx], s.quotes, s.warmed(2)));
+        });
+        let mut seen_restored = Vec::new();
+        restored.touch_grouped(&probe, |idx, s| {
+            s.quotes += 1;
+            seen_restored.push((probe[idx], s.quotes, s.warmed(2)));
+        });
+        assert_eq!(seen_source, seen_restored);
+        assert_eq!(source.stats(), restored.stats());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shard_count_and_corrupt_payloads() {
+        let source = store(2, 0, 0);
+        source.touch_grouped(&[1, 2, 3], |_, _| {});
+        let mut w = PayloadWriter::new();
+        source.save_payload(&mut w);
+        let bytes = w.into_bytes();
+
+        let wrong_shards = store(4, 0, 0);
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(
+            wrong_shards.restore_payload(&mut r),
+            Err(CodecError::Invalid(_))
+        ));
+
+        // A truncated payload fails with a typed error and leaves the
+        // target store untouched.
+        let target = store(2, 0, 0);
+        target.touch_grouped(&[77], |_, _| {});
+        let mut r = PayloadReader::new(&bytes[..bytes.len() - 5]);
+        assert!(matches!(
+            target.restore_payload(&mut r),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(target.contains(77), "failed restore must not clobber state");
     }
 
     #[test]

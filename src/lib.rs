@@ -16,6 +16,9 @@
 //!   from frozen policy checkpoints,
 //! * [`gateway`] — the concurrent online pricing gateway (dynamic
 //!   micro-batching, admission control, latency/throughput telemetry),
+//! * [`journal`] — the audit-grade request journal (append-only
+//!   checksummed frames, state snapshots, deterministic replay with crash
+//!   recovery),
 //! * [`nn`] — the neural-network substrate,
 //! * [`game`] — the generic Stackelberg game-theory substrate.
 //!
@@ -43,6 +46,7 @@
 pub use vtm_core as core;
 pub use vtm_game as game;
 pub use vtm_gateway as gateway;
+pub use vtm_journal as journal;
 pub use vtm_nn as nn;
 pub use vtm_rl as rl;
 pub use vtm_serve as serve;
@@ -53,6 +57,10 @@ pub mod prelude {
     pub use vtm_core::prelude::*;
     pub use vtm_game::prelude::*;
     pub use vtm_gateway::{Gateway, GatewayConfig, GatewayError, QuoteTicket, TelemetrySnapshot};
+    pub use vtm_journal::{
+        replay_journal, JournalError, JournalWriter, ReplayOptions, ReplayReport, ScanMode,
+        StateSnapshot,
+    };
     pub use vtm_nn::prelude::*;
     pub use vtm_rl::prelude::*;
     pub use vtm_serve::{
