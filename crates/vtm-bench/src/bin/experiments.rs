@@ -25,6 +25,7 @@
 //! `results/<name>.csv` + `results/<name>.json`; `serve-bench` writes
 //! `results/BENCH_serve.json`.
 
+use vtm_bench::chaos::{run_chaos, ChaosOptions, PLANS};
 use vtm_bench::experiments::{find, manifest, ExperimentCtx};
 use vtm_bench::gateway_bench::{run_gateway_bench, GatewayBenchOptions};
 use vtm_bench::journal_cli::{
@@ -63,6 +64,11 @@ fn usage() -> ! {
          [--journal <path>] [--snapshot auto|none|<path>] [--strict] \
          [--expect-digest <hex>]"
     );
+    eprintln!(
+        "       experiments chaos [--env <preset>] [--checkpoint <path>] \
+         [--plan <name>]... [--requests N] [--sessions N] [--journal <path>]"
+    );
+    eprintln!("chaos plans: {}", PLANS.join(", "));
     eprintln!("known experiments:");
     for spec in manifest() {
         eprintln!("  {:<28} {}", spec.name, spec.description);
@@ -450,6 +456,80 @@ fn main_replay(args: &[String]) {
     }
 }
 
+fn main_chaos(args: &[String]) {
+    let mut opts = ChaosOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(flag_value(args, &mut i, "--checkpoint").into())
+            }
+            "--plan" => opts
+                .plans
+                .push(flag_value(args, &mut i, "--plan").to_string()),
+            "--requests" => {
+                opts.requests =
+                    parse_count(flag_value(args, &mut i, "--requests"), "--requests").max(4)
+            }
+            "--sessions" => {
+                opts.sessions =
+                    parse_count(flag_value(args, &mut i, "--sessions"), "--sessions").max(1)
+            }
+            "--journal" => opts.journal = flag_value(args, &mut i, "--journal").into(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown chaos argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_chaos(&opts) {
+        Ok(results) => {
+            let mut failed = false;
+            for r in &results {
+                let replay = match r.replay_equivalent {
+                    Some(true) => ", replay OK",
+                    Some(false) => ", replay DIVERGED",
+                    None => "",
+                };
+                println!(
+                    "chaos `{}`: {} admitted / {} quoted / {} errored / {} rejected — \
+                     panics {}, restarts {}, expired {}, shed {}, degraded {}, \
+                     watchdog {}, journal retries {}, bypassed {}{replay}",
+                    r.plan,
+                    r.admitted,
+                    r.quoted,
+                    r.errored,
+                    r.rejected,
+                    r.stats.panics,
+                    r.stats.restarts,
+                    r.stats.expired,
+                    r.stats.shed,
+                    r.stats.degraded_quotes,
+                    r.stats.watchdog_fires,
+                    r.stats.journal_retries,
+                    r.stats.journal_bypassed,
+                );
+                for violation in &r.violations {
+                    failed = true;
+                    eprintln!("  VIOLATION: {violation}");
+                }
+            }
+            if failed {
+                eprintln!("error: chaos invariants violated");
+                std::process::exit(1);
+            }
+            println!("all {} plan(s) passed", results.len());
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -460,6 +540,7 @@ fn main() {
         Some("gateway-bench") => return main_gateway_bench(&args[1..]),
         Some("journal-demo") => return main_journal_demo(&args[1..]),
         Some("replay") => return main_replay(&args[1..]),
+        Some("chaos") => return main_chaos(&args[1..]),
         _ => {}
     }
 

@@ -142,7 +142,7 @@ pub struct ReplayCliResult {
 /// Builds the pricing service both the demo and the replay run on: same
 /// policy resolution (checkpoint or fixed-seed fallback training) and same
 /// geometry, so the snapshot fingerprint and state digests are comparable.
-fn build_service(
+pub(crate) fn build_service(
     env: &str,
     checkpoint: Option<&std::path::Path>,
     train_episodes: usize,

@@ -18,11 +18,14 @@
 //! records latency percentiles, batch-size histograms and rejects;
 //! `experiments journal-demo` / `experiments replay` ([`journal_cli`])
 //! record a journaled gateway run and reconstruct its exact service state
-//! from the audit journal (optionally resuming from a snapshot).
+//! from the audit journal (optionally resuming from a snapshot);
+//! `experiments chaos` ([`chaos`]) injects deterministic fault plans into a
+//! live gateway and checks liveness plus post-recovery replay equivalence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod gateway_bench;
 pub mod journal_cli;

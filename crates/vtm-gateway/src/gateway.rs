@@ -1,29 +1,42 @@
 //! The concurrent pricing gateway: ingress → micro-batching scheduler →
-//! executor pool → completion handles.
+//! executor pool → completion handles, wrapped in a supervision layer.
 //!
 //! ```text
 //!  submit(&self, QuoteRequest)            (any number of caller threads)
 //!        │  feature-width check (typed reject, nothing enqueued)
+//!        │  health controller: Shedding → typed retry-after reject,
+//!        │                     Degraded → cached quote (no pipeline)
 //!        │  admission control: in_flight < queue_capacity or Overloaded
+//!        │  journal append (bounded retry; FailStop or bypass policy)
 //!        ▼
 //!  IngressQueue (Mutex<VecDeque> + Condvar, bounded by admission)
 //!        │
-//!  scheduler thread: drain up to max_batch, or whatever arrived when
-//!        │            max_delay expires — whichever comes first
+//!  scheduler thread: expire stale deadlines, then drain up to max_batch,
+//!        │            or whatever arrived when max_delay expires
 //!        ▼
-//!  BatchQueue (Mutex<VecDeque<Vec<Pending>>> + Condvar)
+//!  BatchQueue (Mutex<VecDeque<Batch>> + Condvar)
 //!        │
-//!  executor pool (N threads): PricingService::quote_refs per batch
+//!  executor pool (N threads): PricingService::quote_refs per batch,
+//!        │                    under catch_unwind — a panicked batch fails
+//!        │                    only its own tickets
 //!        ▼
 //!  QuoteTicket::wait() resolves; telemetry records latency + batch size
+//!
+//!  supervisor thread: respawns panicked executors, watches the scheduler
+//!  and fails pending tickets (instead of hanging) if it dies
 //! ```
 //!
 //! All synchronisation is `std` (`Mutex`/`Condvar`/atomics) — no async
-//! runtime, consistent with the dependency-free workspace.
+//! runtime, consistent with the dependency-free workspace. The liveness
+//! invariant is structural: every admitted request is owned by exactly one
+//! [`Pending`], and a `Pending` resolves its ticket on drop if nothing else
+//! did, so no [`QuoteTicket::wait`] can block forever — under panics,
+//! injected faults, watchdog activations or shutdown.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -31,10 +44,29 @@ use std::time::{Duration, Instant};
 use vtm_journal::{snapshot_path, JournalOptions, JournalWriter, StateSnapshot};
 use vtm_serve::{PricingService, Quote, QuoteRequest};
 
-use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::fault::{FaultPlan, FaultState};
+use crate::health::{HealthConfig, HealthController, HealthState};
+use crate::telemetry::{percentile_from_buckets, Telemetry, TelemetrySnapshot};
+
+/// What the gateway does when a journal append still fails after its
+/// bounded retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JournalBypassPolicy {
+    /// Reject the request with [`GatewayError::Journal`] and release its
+    /// admission slot: the journal never under-records what the service
+    /// processed, at the cost of availability on a bad disk.
+    #[default]
+    FailStop,
+    /// Admit the request *without* a journal frame (counted in
+    /// `journal_bypassed` telemetry): quotes keep flowing on a bad disk,
+    /// at the cost of an audit gap — replay of the journal no longer
+    /// reproduces the live state, and periodic snapshots are disabled for
+    /// the rest of the run.
+    DegradeWithoutJournal,
+}
 
 /// Static configuration of a [`Gateway`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GatewayConfig {
     /// Flush a forming batch as soon as it holds this many requests.
     pub max_batch: usize,
@@ -55,11 +87,34 @@ pub struct GatewayConfig {
     /// deterministically replays to the service's byte-identical state —
     /// see the `vtm-journal` crate.
     pub journal: Option<JournalOptions>,
+    /// Per-request completion deadline stamped at admission (`None` = no
+    /// deadline). The scheduler expires queued requests whose deadline has
+    /// passed before forming batches ([`GatewayError::DeadlineExceeded`]),
+    /// and [`QuoteTicket::wait`] stops blocking at the deadline.
+    pub default_deadline: Option<Duration>,
+    /// Bounded retries for a failed journal append before the
+    /// [`JournalBypassPolicy`] decides the request's fate.
+    pub journal_retries: u32,
+    /// Backoff slept before journal append retry `n` (`n * journal_backoff`,
+    /// linear). Held under the journal lock so admission order is kept.
+    pub journal_backoff: Duration,
+    /// What happens when journal retries are exhausted.
+    pub journal_policy: JournalBypassPolicy,
+    /// Graceful-degradation ladder (`None` = always Healthy, the exact
+    /// pre-supervision behaviour).
+    pub health: Option<HealthConfig>,
+    /// Deterministic fault injection for the chaos harness (`None` in
+    /// production; see [`FaultPlan`]).
+    pub faults: Option<FaultPlan>,
+    /// How often the supervisor thread checks worker liveness (executor
+    /// respawn latency and scheduler-watchdog reaction time).
+    pub supervisor_poll: Duration,
 }
 
 impl Default for GatewayConfig {
     /// 32-request batches, a 1 ms flush deadline, 1024 in-flight requests,
-    /// one executor, no journaling.
+    /// one executor, no journaling, no deadlines, 2 journal retries with
+    /// fail-stop, no health controller, no faults, 2 ms supervisor poll.
     fn default() -> Self {
         Self {
             max_batch: 32,
@@ -67,6 +122,13 @@ impl Default for GatewayConfig {
             queue_capacity: 1024,
             executors: 1,
             journal: None,
+            default_deadline: None,
+            journal_retries: 2,
+            journal_backoff: Duration::from_micros(500),
+            journal_policy: JournalBypassPolicy::FailStop,
+            health: None,
+            faults: None,
+            supervisor_poll: Duration::from_millis(2),
         }
     }
 }
@@ -101,6 +163,48 @@ impl GatewayConfig {
         self.journal = Some(options);
         self
     }
+
+    /// Stamps every admitted request with a completion deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the bounded journal-append retry count.
+    pub fn with_journal_retries(mut self, retries: u32) -> Self {
+        self.journal_retries = retries;
+        self
+    }
+
+    /// Overrides the linear journal-retry backoff unit.
+    pub fn with_journal_backoff(mut self, backoff: Duration) -> Self {
+        self.journal_backoff = backoff;
+        self
+    }
+
+    /// Overrides the journal-bypass policy.
+    pub fn with_journal_policy(mut self, policy: JournalBypassPolicy) -> Self {
+        self.journal_policy = policy;
+        self
+    }
+
+    /// Enables the Healthy → Shedding → Degraded health controller.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (chaos harness).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the supervisor liveness-poll interval (clamped ≥ 100 µs).
+    pub fn with_supervisor_poll(mut self, poll: Duration) -> Self {
+        self.supervisor_poll = poll.max(Duration::from_micros(100));
+        self
+    }
 }
 
 /// Typed failure modes of the gateway request path.
@@ -113,6 +217,24 @@ pub enum GatewayError {
         /// The admission bound that was hit.
         queue_capacity: usize,
     },
+    /// The health controller is shedding load: the request was rejected at
+    /// the door (no admission slot was consumed) with a retry hint derived
+    /// from the live latency histogram and queue depth.
+    Shed {
+        /// Suggested client backoff before retrying, in microseconds.
+        retry_after_us: u64,
+    },
+    /// The request's deadline passed before it could be priced (expired by
+    /// the scheduler, or reported by a deadline-aware
+    /// [`QuoteTicket::wait`]).
+    DeadlineExceeded,
+    /// The executor pricing this request's batch panicked; only that
+    /// batch's requests fail with this error, and the supervisor respawns
+    /// the executor.
+    ExecutorFailed,
+    /// The scheduler thread died; the watchdog failed this pending request
+    /// instead of letting its ticket hang.
+    SchedulerStalled,
     /// The request's feature block has the wrong width for the policy
     /// (checked at submission, before anything is enqueued).
     BadFeatureBlock {
@@ -126,10 +248,13 @@ pub enum GatewayError {
     /// The executor-side service call failed for the whole batch
     /// (an internal geometry bug surfaced as a typed error, never a panic).
     Service(String),
-    /// The admission journal could not be created or appended to. A request
+    /// The admission journal could not be created or appended to (after
+    /// bounded retries, under [`JournalBypassPolicy::FailStop`]). A request
     /// rejected with this error was **not** admitted (its in-flight slot is
     /// released) — the journal never under-records admissions.
     Journal(String),
+    /// The request was still queued when shutdown drained the pipeline.
+    ShuttingDown,
     /// The gateway was shut down before the request could be accepted.
     ShutDown,
 }
@@ -141,6 +266,16 @@ impl fmt::Display for GatewayError {
                 f,
                 "gateway overloaded: {queue_capacity} requests already in flight"
             ),
+            GatewayError::Shed { retry_after_us } => {
+                write!(f, "gateway shedding load: retry after ~{retry_after_us} µs")
+            }
+            GatewayError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            GatewayError::ExecutorFailed => {
+                write!(f, "executor panicked while pricing the request's batch")
+            }
+            GatewayError::SchedulerStalled => {
+                write!(f, "gateway scheduler stalled; request failed by watchdog")
+            }
             GatewayError::BadFeatureBlock {
                 session,
                 expected,
@@ -151,6 +286,7 @@ impl fmt::Display for GatewayError {
             ),
             GatewayError::Service(msg) => write!(f, "service error: {msg}"),
             GatewayError::Journal(msg) => write!(f, "journal error: {msg}"),
+            GatewayError::ShuttingDown => write!(f, "gateway is shutting down"),
             GatewayError::ShutDown => write!(f, "gateway is shut down"),
         }
     }
@@ -158,25 +294,42 @@ impl fmt::Display for GatewayError {
 
 impl std::error::Error for GatewayError {}
 
-/// Shared slot a [`QuoteTicket`] waits on and an executor fills.
+/// Shared slot a [`QuoteTicket`] waits on and the pipeline fills.
 #[derive(Debug)]
 struct TicketState {
-    slot: Mutex<Option<Result<Quote, GatewayError>>>,
+    slot: Mutex<TicketSlot>,
     ready: Condvar,
+}
+
+/// The slot payload: `resolved` stays true after a waiter takes the result,
+/// so the pipeline can tell "already completed" from "result consumed" and
+/// never double-counts a completion.
+#[derive(Debug, Default)]
+struct TicketSlot {
+    result: Option<Result<Quote, GatewayError>>,
+    resolved: bool,
 }
 
 impl TicketState {
     fn new() -> Arc<Self> {
         Arc::new(Self {
-            slot: Mutex::new(None),
+            slot: Mutex::new(TicketSlot::default()),
             ready: Condvar::new(),
         })
     }
 
-    fn complete(&self, result: Result<Quote, GatewayError>) {
+    /// First resolution wins: returns `true` when this call resolved the
+    /// ticket, `false` when it was already resolved (the result is kept).
+    fn complete(&self, result: Result<Quote, GatewayError>) -> bool {
         let mut slot = self.slot.lock().expect("ticket poisoned");
-        *slot = Some(result);
+        if slot.resolved {
+            return false;
+        }
+        slot.result = Some(result);
+        slot.resolved = true;
+        drop(slot);
         self.ready.notify_all();
+        true
     }
 }
 
@@ -185,27 +338,49 @@ impl TicketState {
 #[derive(Debug)]
 pub struct QuoteTicket {
     state: Arc<TicketState>,
+    deadline: Option<Instant>,
 }
 
 impl QuoteTicket {
-    /// Blocks until the quote (or a typed error) is available.
+    /// Blocks until the quote (or a typed error) is available. With a
+    /// configured deadline the wait is bounded: once the deadline passes
+    /// without a result, [`GatewayError::DeadlineExceeded`] is returned
+    /// (the pipeline still resolves and releases the request's slot on its
+    /// own — nothing leaks). A result that is already available is
+    /// returned even past the deadline.
     pub fn wait(self) -> Result<Quote, GatewayError> {
         let mut slot = self.state.slot.lock().expect("ticket poisoned");
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = slot.result.take() {
                 return result;
             }
-            slot = self.state.ready.wait(slot).expect("ticket poisoned");
+            match self.deadline {
+                None => slot = self.state.ready.wait(slot).expect("ticket poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(GatewayError::DeadlineExceeded);
+                    }
+                    let (guard, _) = self
+                        .state
+                        .ready
+                        .wait_timeout(slot, deadline - now)
+                        .expect("ticket poisoned");
+                    slot = guard;
+                }
+            }
         }
     }
 
-    /// Blocks up to `timeout`; `None` when the quote is not ready in time
-    /// (the ticket stays valid and can be waited on again).
+    /// Blocks up to `timeout`; `None` when the quote is not ready in time.
+    /// The ticket stays valid and can be waited on again — and if the
+    /// request is later shed, expired or failed, the pipeline resolves the
+    /// slot with the typed error, so a re-wait always terminates.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Quote, GatewayError>> {
         let deadline = Instant::now() + timeout;
         let mut slot = self.state.slot.lock().expect("ticket poisoned");
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = slot.result.take() {
                 return Some(result);
             }
             let now = Instant::now();
@@ -223,15 +398,53 @@ impl QuoteTicket {
 
     /// Non-blocking poll; `None` while the quote is still pending.
     pub fn try_take(&self) -> Option<Result<Quote, GatewayError>> {
-        self.state.slot.lock().expect("ticket poisoned").take()
+        self.state
+            .slot
+            .lock()
+            .expect("ticket poisoned")
+            .result
+            .take()
     }
 }
 
 /// One admitted request travelling through the pipeline.
+///
+/// Owns the liveness invariant: if a `Pending` is dropped anywhere —
+/// executor panic, queue teardown, a future bug — without its ticket having
+/// been resolved, [`Drop`] resolves it with
+/// [`GatewayError::ExecutorFailed`] and releases the admission slot. No
+/// waiter can hang on a request the pipeline lost.
 struct Pending {
     request: QuoteRequest,
     state: Arc<TicketState>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Pending {
+    /// Fails the ticket (first resolution wins) and releases the slot.
+    fn fail(&self, err: GatewayError) {
+        if self.state.complete(Err(err)) {
+            self.telemetry.record_failure();
+        }
+    }
+
+    /// Rolls an admission back entirely: resolves the ticket with `err`
+    /// and undoes the submit booking (the request never entered the
+    /// pipeline, so this is an abort, not a failure).
+    fn abort(&self, err: GatewayError) {
+        self.state.complete(Err(err));
+        self.telemetry.record_abort();
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if self.state.complete(Err(GatewayError::ExecutorFailed)) {
+            self.telemetry.record_failure();
+        }
+    }
 }
 
 /// The bounded ingress queue (bounded via the shared in-flight gauge, so
@@ -249,21 +462,29 @@ struct IngressInner {
 }
 
 impl IngressQueue {
-    /// Enqueues an admitted request; `false` when the queue is closed.
-    fn push(&self, pending: Pending) -> bool {
+    /// Enqueues an admitted request; hands it back when the queue is
+    /// closed so the caller can abort it properly.
+    fn push(&self, pending: Pending) -> Option<Pending> {
         let mut inner = self.inner.lock().expect("ingress poisoned");
         if inner.closed {
-            return false;
+            return Some(pending);
         }
         inner.queue.push_back(pending);
         drop(inner);
         self.not_empty.notify_one();
-        true
+        None
     }
 
     fn close(&self) {
         self.inner.lock().expect("ingress poisoned").closed = true;
         self.not_empty.notify_all();
+    }
+
+    /// Removes and returns everything still queued (watchdog / shutdown
+    /// sweep).
+    fn drain_all(&self) -> Vec<Pending> {
+        let mut inner = self.inner.lock().expect("ingress poisoned");
+        inner.queue.drain(..).collect()
     }
 
     /// The scheduler's blocking micro-batch drain: waits for a first
@@ -309,6 +530,13 @@ impl IngressQueue {
     }
 }
 
+/// One flushed micro-batch with its scheduler-assigned index (flush order;
+/// the unit fault injection and executor supervision reason about).
+struct Batch {
+    index: u64,
+    items: Vec<Pending>,
+}
+
 /// The scheduler → executor batch queue (unbounded; its length is already
 /// bounded by admission control upstream).
 #[derive(Default)]
@@ -319,12 +547,12 @@ struct BatchQueue {
 
 #[derive(Default)]
 struct BatchInner {
-    queue: VecDeque<Vec<Pending>>,
+    queue: VecDeque<Batch>,
     closed: bool,
 }
 
 impl BatchQueue {
-    fn push(&self, batch: Vec<Pending>) {
+    fn push(&self, batch: Batch) {
         let mut inner = self.inner.lock().expect("batch queue poisoned");
         inner.queue.push_back(batch);
         drop(inner);
@@ -336,7 +564,14 @@ impl BatchQueue {
         self.not_empty.notify_all();
     }
 
-    fn pop(&self) -> Option<Vec<Pending>> {
+    /// Removes and returns every undrained batch (shutdown sweep after the
+    /// executors are gone).
+    fn drain_all(&self) -> Vec<Batch> {
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        inner.queue.drain(..).collect()
+    }
+
+    fn pop(&self) -> Option<Batch> {
         let mut inner = self.inner.lock().expect("batch queue poisoned");
         loop {
             if let Some(batch) = inner.queue.pop_front() {
@@ -350,13 +585,55 @@ impl BatchQueue {
     }
 }
 
-/// State shared by the gateway handle, the scheduler and the executors.
-/// The admission counter lives inside [`Telemetry`] (it doubles as the
-/// queue-depth gauge), so there is exactly one in-flight count.
+/// A wakeable shutdown latch the supervisor sleeps on, so shutdown never
+/// has to wait out a full poll interval.
+#[derive(Default)]
+struct ShutdownGate {
+    flag: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl ShutdownGate {
+    /// Sleeps up to `timeout`; `true` when shutdown was signalled.
+    fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut flag = self.flag.lock().expect("shutdown gate poisoned");
+        while !*flag {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .signal
+                .wait_timeout(flag, deadline - now)
+                .expect("shutdown gate poisoned");
+            flag = guard;
+        }
+        true
+    }
+
+    fn open(&self) {
+        *self.flag.lock().expect("shutdown gate poisoned") = true;
+        self.signal.notify_all();
+    }
+}
+
+/// The worker thread handles, owned behind a lock so the supervisor can
+/// reap and respawn executors while the gateway handle is elsewhere.
+#[derive(Default)]
+struct Workers {
+    scheduler: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+/// State shared by the gateway handle, the scheduler, the executors and
+/// the supervisor. The admission counter lives inside [`Telemetry`] (it
+/// doubles as the queue-depth gauge), so there is exactly one in-flight
+/// count.
 struct Shared {
     service: Arc<PricingService>,
     config: GatewayConfig,
-    telemetry: Telemetry,
+    telemetry: Arc<Telemetry>,
     ingress: IngressQueue,
     batches: BatchQueue,
     /// The admission journal, when configured. The mutex is held across
@@ -367,28 +644,53 @@ struct Shared {
     /// next periodic snapshot is tagged with (meaningful with one
     /// executor, where processing order equals admission order).
     frames_processed: AtomicU64,
+    /// Armed fault-injection plan (chaos harness), if any.
+    faults: Option<FaultState>,
+    /// The degradation-ladder controller, if configured.
+    health: Option<HealthController>,
+    /// Set (before anything else) by shutdown; workers and the supervisor
+    /// treat every finished thread as normal wind-down from here on.
+    shutting_down: AtomicBool,
+    /// Set by the watchdog when the scheduler died outside shutdown;
+    /// submissions are rejected with [`GatewayError::SchedulerStalled`].
+    scheduler_failed: AtomicBool,
+    /// Set when live service state stopped matching the journal's frame
+    /// sequence (a batch panicked after its frames were journaled, a
+    /// deadline expired a journaled request, a journal append was
+    /// bypassed). Disables periodic snapshots, which would otherwise
+    /// claim frames the service never processed.
+    pipeline_diverged: AtomicBool,
+    /// Wakes the supervisor out of its poll sleep at shutdown.
+    gate: ShutdownGate,
+    workers: Mutex<Workers>,
+}
+
+impl Shared {
+    /// Marks live state as no longer reproducible from the journal alone.
+    fn mark_diverged(&self) {
+        self.pipeline_diverged.store(true, Ordering::Release);
+    }
 }
 
 /// The concurrent online pricing gateway. See the crate docs for the
-/// design and determinism contract.
+/// design, determinism contract and fault model.
 pub struct Gateway {
     shared: Arc<Shared>,
-    scheduler: Option<JoinHandle<()>>,
-    executors: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl fmt::Debug for Gateway {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Gateway")
             .field("config", &self.shared.config)
-            .field("executors", &self.executors.len())
             .finish()
     }
 }
 
 impl Gateway {
     /// Starts a gateway over a shared frozen [`PricingService`]: spawns the
-    /// scheduler thread plus `config.executors` executor threads.
+    /// scheduler thread, `config.executors` executor threads and the
+    /// supervisor.
     ///
     /// # Panics
     ///
@@ -418,14 +720,23 @@ impl Gateway {
             None => None,
         };
         let executor_count = config.executors.max(1);
+        let faults = config.faults.clone().map(FaultState::new);
+        let health = config.health.clone().map(HealthController::new);
         let shared = Arc::new(Shared {
             service,
             config,
-            telemetry: Telemetry::new(),
+            telemetry: Arc::new(Telemetry::new()),
             ingress: IngressQueue::default(),
             batches: BatchQueue::default(),
             journal,
             frames_processed: AtomicU64::new(0),
+            faults,
+            health,
+            shutting_down: AtomicBool::new(false),
+            scheduler_failed: AtomicBool::new(false),
+            pipeline_diverged: AtomicBool::new(false),
+            gate: ShutdownGate::default(),
+            workers: Mutex::new(Workers::default()),
         });
 
         let scheduler = {
@@ -436,19 +747,24 @@ impl Gateway {
                 .expect("spawn scheduler")
         };
         let executors = (0..executor_count)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("vtm-gateway-executor-{i}"))
-                    .spawn(move || executor_loop(&shared))
-                    .expect("spawn executor")
-            })
+            .map(|i| spawn_executor(&shared, format!("vtm-gateway-executor-{i}")))
             .collect();
+        {
+            let mut workers = shared.workers.lock().expect("workers poisoned");
+            workers.scheduler = Some(scheduler);
+            workers.executors = executors;
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vtm-gateway-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn supervisor")
+        };
 
         Ok(Self {
             shared,
-            scheduler: Some(scheduler),
-            executors,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -464,14 +780,20 @@ impl Gateway {
 
     /// Submits one quote request; returns immediately with a completion
     /// handle. Malformed requests and overload are rejected here, before
-    /// anything is enqueued.
+    /// anything is enqueued; the health controller may shed the request or
+    /// answer it from the degraded cache.
     ///
     /// # Errors
     ///
     /// [`GatewayError::BadFeatureBlock`] for a wrong feature width,
+    /// [`GatewayError::Shed`] while the health controller is shedding (or
+    /// degraded with no cached quote for the session),
     /// [`GatewayError::Overloaded`] when `queue_capacity` requests are
-    /// already in flight (backpressure — retry later), and
-    /// [`GatewayError::ShutDown`] after shutdown.
+    /// already in flight (backpressure — retry later),
+    /// [`GatewayError::Journal`] when journaling fails under the fail-stop
+    /// policy, [`GatewayError::SchedulerStalled`] after the watchdog
+    /// declared the scheduler dead, and [`GatewayError::ShutDown`] after
+    /// shutdown.
     pub fn submit(&self, request: QuoteRequest) -> Result<QuoteTicket, GatewayError> {
         let expected = self.shared.service.config().features_per_round;
         if request.features.len() != expected {
@@ -480,6 +802,44 @@ impl Gateway {
                 expected,
                 got: request.features.len(),
             });
+        }
+        if self.shared.scheduler_failed.load(Ordering::Acquire) {
+            return Err(GatewayError::SchedulerStalled);
+        }
+        // The degradation ladder is evaluated on the submit path: the
+        // scheduler may legitimately be parked inside its batch drain, so
+        // submissions drive the controller.
+        if let Some(health) = &self.shared.health {
+            let depth = self.shared.telemetry.in_flight();
+            let capacity = self.shared.config.queue_capacity as u64;
+            let buckets = self.shared.telemetry.latency_buckets_now();
+            match health.observe(depth, capacity, &buckets) {
+                HealthState::Healthy => {}
+                HealthState::Shedding => {
+                    self.shared.telemetry.record_shed();
+                    return Err(GatewayError::Shed {
+                        retry_after_us: self.retry_after_us(depth, &buckets),
+                    });
+                }
+                HealthState::Degraded => {
+                    // Answer from the session-local last-quote cache
+                    // without touching the pipeline or the session state;
+                    // sessions the cache cannot help are shed.
+                    if let Some(quote) = self.shared.service.cached_quote(request.session) {
+                        self.shared.telemetry.record_degraded_quote();
+                        let state = TicketState::new();
+                        state.complete(Ok(quote));
+                        return Ok(QuoteTicket {
+                            state,
+                            deadline: None,
+                        });
+                    }
+                    self.shared.telemetry.record_shed();
+                    return Err(GatewayError::Shed {
+                        retry_after_us: self.retry_after_us(depth, &buckets),
+                    });
+                }
+            }
         }
         // Admission control: atomically claim an in-flight slot or reject.
         let capacity = self.shared.config.queue_capacity as u64;
@@ -494,36 +854,89 @@ impl Gateway {
         // must never observe completed > submitted.
         self.shared.telemetry.record_submit();
         let state = TicketState::new();
+        let submitted = Instant::now();
+        let deadline = self.shared.config.default_deadline.map(|d| submitted + d);
         let pending = Pending {
             request,
             state: Arc::clone(&state),
-            submitted: Instant::now(),
+            submitted,
+            deadline,
+            telemetry: Arc::clone(&self.shared.telemetry),
         };
         // Journal the admission and enqueue under ONE lock, so the on-disk
         // frame order is exactly the order requests enter the pipeline
-        // (replay order == admission order). A failed append un-admits the
-        // request — the journal never under-records what the service saw.
-        let pushed = match &self.shared.journal {
+        // (replay order == admission order). A failed append is retried
+        // with bounded backoff; exhaustion is decided by the bypass policy.
+        let rejected = match &self.shared.journal {
             Some(journal) => {
                 let mut writer = journal.lock().expect("journal poisoned");
-                let before = writer.bytes_written();
-                if let Err(err) = writer.append(&pending.request) {
-                    drop(writer);
-                    self.shared.telemetry.record_abort();
-                    return Err(GatewayError::Journal(err.to_string()));
+                let mut outcome = self.journal_append(&mut writer, &pending.request);
+                let mut attempt = 0u32;
+                while outcome.is_err() && attempt < self.shared.config.journal_retries {
+                    attempt += 1;
+                    self.shared.telemetry.record_journal_retry();
+                    std::thread::sleep(self.shared.config.journal_backoff * attempt);
+                    outcome = self.journal_append(&mut writer, &pending.request);
                 }
-                self.shared
-                    .telemetry
-                    .record_journal_append(writer.bytes_written() - before);
-                self.shared.ingress.push(pending)
+                match outcome {
+                    Ok(bytes) => {
+                        self.shared.telemetry.record_journal_append(bytes);
+                        self.shared.ingress.push(pending)
+                    }
+                    Err(message) => match self.shared.config.journal_policy {
+                        JournalBypassPolicy::FailStop => {
+                            drop(writer);
+                            // Un-admit: the journal never under-records
+                            // what the service processed.
+                            pending.abort(GatewayError::Journal(message.clone()));
+                            return Err(GatewayError::Journal(message));
+                        }
+                        JournalBypassPolicy::DegradeWithoutJournal => {
+                            self.shared.telemetry.record_journal_bypass();
+                            self.shared.mark_diverged();
+                            self.shared.ingress.push(pending)
+                        }
+                    },
+                }
             }
             None => self.shared.ingress.push(pending),
         };
-        if !pushed {
-            self.shared.telemetry.record_abort();
-            return Err(GatewayError::ShutDown);
+        if let Some(pending) = rejected {
+            let err = if self.shared.scheduler_failed.load(Ordering::Acquire) {
+                GatewayError::SchedulerStalled
+            } else {
+                GatewayError::ShutDown
+            };
+            pending.abort(err.clone());
+            return Err(err);
         }
-        Ok(QuoteTicket { state })
+        Ok(QuoteTicket { state, deadline })
+    }
+
+    /// One journal append attempt, with the fault-injection hook in front
+    /// (an injected error consumes the attempt without writing a frame).
+    fn journal_append(
+        &self,
+        writer: &mut JournalWriter,
+        request: &QuoteRequest,
+    ) -> Result<u64, String> {
+        if let Some(faults) = &self.shared.faults {
+            if let Some(kind) = faults.next_journal_append() {
+                return Err(std::io::Error::from(kind).to_string());
+            }
+        }
+        let before = writer.bytes_written();
+        writer.append(request).map_err(|e| e.to_string())?;
+        Ok(writer.bytes_written() - before)
+    }
+
+    /// The `retry_after` hint a shed request carries: the live median batch
+    /// latency times the number of batches queued ahead — a cheap, honest
+    /// "when will the backlog plausibly have drained" estimate.
+    fn retry_after_us(&self, depth: u64, latency_buckets: &[u64]) -> u64 {
+        let p50 = percentile_from_buckets(latency_buckets, 0.50).max(1);
+        let batches_ahead = depth.div_ceil(self.shared.config.max_batch as u64).max(1);
+        p50.saturating_mul(batches_ahead)
     }
 
     /// Convenience: submit and block for the quote.
@@ -535,31 +948,68 @@ impl Gateway {
         self.submit(request)?.wait()
     }
 
-    /// A point-in-time telemetry snapshot (counters, queue depth,
-    /// latency/batch-size histograms with p50/p95/p99).
+    /// A point-in-time telemetry snapshot (counters, queue depth, health
+    /// state, latency/batch-size histograms with p50/p95/p99).
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        self.shared.telemetry.snapshot()
+        let mut snapshot = self.shared.telemetry.snapshot();
+        if let Some(health) = &self.shared.health {
+            snapshot.health = health.current();
+        }
+        snapshot
     }
 
-    /// Stops accepting new requests, drains every in-flight request to
-    /// completion, joins all worker threads and returns the final
-    /// telemetry snapshot. Called implicitly on drop.
+    /// Stops accepting new requests, drains or fails every in-flight
+    /// request (queued work that can no longer be priced fails with
+    /// [`GatewayError::ShuttingDown`] instead of leaking its ticket), joins
+    /// all worker threads and returns the final telemetry snapshot. Called
+    /// implicitly on drop.
     pub fn shutdown(mut self) -> TelemetrySnapshot {
         self.shutdown_inner();
-        self.shared.telemetry.snapshot()
+        let mut snapshot = self.shared.telemetry.snapshot();
+        if let Some(health) = &self.shared.health {
+            snapshot.health = health.current();
+        }
+        snapshot
     }
 
     fn shutdown_inner(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.gate.open();
         self.shared.ingress.close();
-        if let Some(handle) = self.scheduler.take() {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
-        for handle in self.executors.drain(..) {
+        let (scheduler, executors) = {
+            let mut workers = self.shared.workers.lock().expect("workers poisoned");
+            (
+                workers.scheduler.take(),
+                std::mem::take(&mut workers.executors),
+            )
+        };
+        if let Some(handle) = scheduler {
             let _ = handle.join();
+        }
+        // A scheduler that died before the watchdog noticed never closed
+        // the batch queue; close it now (idempotent — queued batches are
+        // still drained) so executors can wind down.
+        self.shared.batches.close();
+        for handle in executors {
+            let _ = handle.join();
+        }
+        // Final sweep: every worker is gone, so anything still queued can
+        // never be priced — fail it with a typed error instead of leaking
+        // the tickets (and their admission slots).
+        for pending in self.shared.ingress.drain_all() {
+            pending.fail(GatewayError::ShuttingDown);
+        }
+        for batch in self.shared.batches.drain_all() {
+            for pending in &batch.items {
+                pending.fail(GatewayError::ShuttingDown);
+            }
         }
         // Make the journal crash-durable before reporting shutdown complete:
-        // every admitted request has been processed, so the synced journal
-        // replays to exactly the service's final state.
+        // every admitted request has been processed (or typed-failed), so
+        // the synced journal replays to exactly what the journal recorded.
         if let Some(journal) = &self.shared.journal {
             if let Ok(mut writer) = journal.lock() {
                 let _ = writer.sync();
@@ -574,49 +1024,196 @@ impl Drop for Gateway {
     }
 }
 
-/// Scheduler thread: drain micro-batches off the ingress queue until it is
-/// closed and empty, then close the batch queue so executors wind down.
+/// Spawns one executor thread (initial pool and supervisor respawns).
+fn spawn_executor(shared: &Arc<Shared>, name: String) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || executor_loop(&shared))
+        .expect("spawn executor")
+}
+
+/// Scheduler thread: expire stale requests, then drain micro-batches off
+/// the ingress queue until it is closed and empty, then close the batch
+/// queue so executors wind down.
 fn scheduler_loop(shared: &Shared) {
     let max_batch = shared.config.max_batch;
     let max_delay = shared.config.max_delay;
-    while let Some(batch) = shared.ingress.pop_batch(max_batch, max_delay) {
+    let mut next_index = 0u64;
+    loop {
+        if let Some(faults) = &shared.faults {
+            if faults.next_scheduler_iteration() {
+                panic!("injected scheduler panic");
+            }
+        }
+        let Some(drained) = shared.ingress.pop_batch(max_batch, max_delay) else {
+            break;
+        };
+        // Deadline expiry before batch formation: work that can no longer
+        // meet its deadline is failed here instead of wasting an executor
+        // slot (and, under load shedding, instead of growing the backlog).
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(drained.len());
+        for pending in drained {
+            if pending.deadline.is_some_and(|d| now >= d) {
+                // The request may already be journaled: live state no
+                // longer tracks the journal frame-for-frame.
+                shared.mark_diverged();
+                if pending.state.complete(Err(GatewayError::DeadlineExceeded)) {
+                    pending.telemetry.record_expired();
+                }
+            } else {
+                batch.push(pending);
+            }
+        }
         if batch.is_empty() {
             continue;
         }
         shared.telemetry.record_batch(batch.len());
-        shared.batches.push(batch);
+        shared.batches.push(Batch {
+            index: next_index,
+            items: batch,
+        });
+        next_index += 1;
     }
     shared.batches.close();
 }
 
 /// Executor thread: price whole batches against the shared frozen service
-/// and resolve every ticket.
+/// and resolve every ticket. Batches run under `catch_unwind`: a panic
+/// fails only that batch's tickets, then the thread exits and the
+/// supervisor respawns it.
 fn executor_loop(shared: &Shared) {
     while let Some(batch) = shared.batches.pop() {
-        let refs: Vec<&QuoteRequest> = batch.iter().map(|p| &p.request).collect();
-        match shared.service.quote_refs(&refs) {
-            Ok(quotes) => {
-                let processed = batch.len();
-                for (pending, quote) in batch.into_iter().zip(quotes) {
-                    let latency_us = pending.submitted.elapsed().as_micros() as u64;
-                    shared.telemetry.record_completion(latency_us);
-                    pending.state.complete(Ok(quote));
-                }
-                maybe_snapshot(shared, processed as u64);
+        if !run_batch(shared, batch) {
+            // Deliberate die-and-respawn: a panicked executor's internal
+            // state is suspect, so the supervisor replaces the thread.
+            return;
+        }
+    }
+}
+
+/// Prices one batch; `false` when the executor must die (batch panicked).
+fn run_batch(shared: &Shared, batch: Batch) -> bool {
+    if let Some(faults) = &shared.faults {
+        if let Some(delay) = faults.batch_delay(batch.index) {
+            std::thread::sleep(delay);
+        }
+    }
+    let priced = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(faults) = &shared.faults {
+            if faults.executor_panic(batch.index) {
+                panic!("injected executor panic on batch {}", batch.index);
             }
-            Err(err) => {
-                // Feature widths were validated at submit time, so this is
-                // an internal error; fail the whole batch with it.
-                let message = err.to_string();
-                for pending in batch {
-                    shared.telemetry.record_failure();
-                    pending
-                        .state
-                        .complete(Err(GatewayError::Service(message.clone())));
-                }
+        }
+        let refs: Vec<&QuoteRequest> = batch.items.iter().map(|p| &p.request).collect();
+        shared.service.quote_refs(&refs)
+    }));
+    match priced {
+        Ok(Ok(quotes)) => {
+            let processed = batch.items.len();
+            for (pending, quote) in batch.items.into_iter().zip(quotes) {
+                let latency_us = pending.submitted.elapsed().as_micros() as u64;
+                // Record before completing the ticket: a caller that submits
+                // again the instant `wait` returns must already see this
+                // completion in the telemetry/health latency window. The
+                // executor owns its popped batch, so nothing else can have
+                // resolved these tickets — `complete` always wins here.
+                pending.telemetry.record_completion(latency_us);
+                pending.state.complete(Ok(quote));
+            }
+            maybe_snapshot(shared, processed as u64);
+            true
+        }
+        Ok(Err(err)) => {
+            // Feature widths were validated at submit time, so this is an
+            // internal error; fail the whole batch with it. The requests
+            // may be journaled without having been priced.
+            shared.mark_diverged();
+            let message = err.to_string();
+            for pending in &batch.items {
+                pending.fail(GatewayError::Service(message.clone()));
+            }
+            true
+        }
+        Err(_) => {
+            // The injected (or real) panic fired before pricing touched the
+            // shared service, or pricing itself blew up: either way only
+            // this batch is affected. Its requests may already be
+            // journaled, so live state diverges from the journal.
+            shared.telemetry.record_panic();
+            shared.mark_diverged();
+            for pending in &batch.items {
+                pending.fail(GatewayError::ExecutorFailed);
+            }
+            false
+        }
+    }
+}
+
+/// Supervisor thread: reaps and respawns panicked executors, and watches
+/// the scheduler — if it dies outside shutdown, pending tickets are failed
+/// (typed) instead of hanging forever.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut respawned = 0u64;
+    loop {
+        if shared.gate.wait(shared.config.supervisor_poll) {
+            // Shutdown owns joining the workers from here.
+            return;
+        }
+        // Scheduler watchdog.
+        let scheduler_finished = {
+            let workers = shared.workers.lock().expect("workers poisoned");
+            workers
+                .scheduler
+                .as_ref()
+                .is_some_and(|handle| handle.is_finished())
+        };
+        if scheduler_finished && !shared.shutting_down.load(Ordering::Acquire) {
+            let handle = shared
+                .workers
+                .lock()
+                .expect("workers poisoned")
+                .scheduler
+                .take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            on_scheduler_death(shared);
+        }
+        if shared.scheduler_failed.load(Ordering::Acquire) {
+            // No respawns after scheduler death: the queues are closed and
+            // surviving executors are draining what remains.
+            continue;
+        }
+        // Executor supervision: a finished executor outside shutdown died
+        // from a batch panic — replace it.
+        let mut workers = shared.workers.lock().expect("workers poisoned");
+        for slot in workers.executors.iter_mut() {
+            if slot.is_finished() && !shared.shutting_down.load(Ordering::Acquire) {
+                let name = format!("vtm-gateway-executor-r{respawned}");
+                respawned += 1;
+                let dead = std::mem::replace(slot, spawn_executor(shared, name));
+                let _ = dead.join();
+                shared.telemetry.record_restart();
             }
         }
     }
+}
+
+/// The watchdog path: the scheduler died outside shutdown. Fail everything
+/// it stranded, close the pipeline so executors wind down, and reject
+/// future submissions with a typed error.
+fn on_scheduler_death(shared: &Shared) {
+    shared.scheduler_failed.store(true, Ordering::Release);
+    shared.mark_diverged();
+    shared.telemetry.record_watchdog_fire();
+    shared.ingress.close();
+    for pending in shared.ingress.drain_all() {
+        pending.fail(GatewayError::SchedulerStalled);
+    }
+    // Executors still drain already-flushed batches, then exit.
+    shared.batches.close();
 }
 
 /// Executor-side periodic snapshotting: after a batch completes, capture
@@ -627,12 +1224,18 @@ fn executor_loop(shared: &Shared) {
 /// order, so "requests processed" IS the journal prefix the state is
 /// consistent with. With more executors the mapping breaks (batches finish
 /// out of order) and snapshots are skipped; crash recovery then replays
-/// the whole journal from genesis.
+/// the whole journal from genesis. Snapshots are also disabled once live
+/// state diverged from the journal (panicked batches, expired deadlines,
+/// journal bypass) — a snapshot must never claim frames the service never
+/// processed.
 fn maybe_snapshot(shared: &Shared, processed: u64) {
     let Some(options) = &shared.config.journal else {
         return;
     };
-    if options.snapshot_every == 0 || shared.config.executors != 1 {
+    if options.snapshot_every == 0
+        || shared.config.executors != 1
+        || shared.pipeline_diverged.load(Ordering::Acquire)
+    {
         return;
     }
     let total = shared
@@ -673,26 +1276,67 @@ mod tests {
             .with_max_batch(0)
             .with_queue_capacity(0)
             .with_executors(0)
-            .with_max_delay(Duration::from_micros(250));
+            .with_max_delay(Duration::from_micros(250))
+            .with_default_deadline(Duration::from_millis(5))
+            .with_journal_retries(3)
+            .with_journal_backoff(Duration::from_micros(50))
+            .with_journal_policy(JournalBypassPolicy::DegradeWithoutJournal)
+            .with_supervisor_poll(Duration::ZERO);
         assert_eq!(config.max_batch, 1);
         assert_eq!(config.queue_capacity, 1);
         assert_eq!(config.executors, 1);
         assert_eq!(config.max_delay, Duration::from_micros(250));
+        assert_eq!(config.default_deadline, Some(Duration::from_millis(5)));
+        assert_eq!(config.journal_retries, 3);
+        assert_eq!(config.journal_backoff, Duration::from_micros(50));
+        assert_eq!(
+            config.journal_policy,
+            JournalBypassPolicy::DegradeWithoutJournal
+        );
+        assert_eq!(config.supervisor_poll, Duration::from_micros(100));
+        assert_eq!(
+            GatewayConfig::default().journal_policy,
+            JournalBypassPolicy::FailStop
+        );
     }
 
     #[test]
     fn errors_display() {
         for err in [
             GatewayError::Overloaded { queue_capacity: 4 },
+            GatewayError::Shed { retry_after_us: 9 },
+            GatewayError::DeadlineExceeded,
+            GatewayError::ExecutorFailed,
+            GatewayError::SchedulerStalled,
             GatewayError::BadFeatureBlock {
                 session: 1,
                 expected: 2,
                 got: 3,
             },
             GatewayError::Service("boom".to_string()),
+            GatewayError::Journal("disk".to_string()),
+            GatewayError::ShuttingDown,
             GatewayError::ShutDown,
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn ticket_resolution_is_first_wins() {
+        let state = TicketState::new();
+        assert!(state.complete(Err(GatewayError::DeadlineExceeded)));
+        assert!(!state.complete(Err(GatewayError::ExecutorFailed)));
+        let ticket = QuoteTicket {
+            state,
+            deadline: None,
+        };
+        assert!(matches!(
+            ticket.try_take(),
+            Some(Err(GatewayError::DeadlineExceeded))
+        ));
+        // Taken, but still resolved: later completions stay no-ops.
+        assert!(!ticket.state.complete(Err(GatewayError::ExecutorFailed)));
+        assert!(ticket.try_take().is_none());
     }
 }

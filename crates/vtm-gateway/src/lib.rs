@@ -29,6 +29,32 @@
 //!   distribution and reject counts as a [`TelemetrySnapshot`], with no
 //!   lock on the request path.
 //!
+//! # Fault model
+//!
+//! The gateway is supervised: executors price batches under
+//! `catch_unwind`, so a panicked batch fails only its own tickets
+//! ([`GatewayError::ExecutorFailed`]) and the supervisor thread respawns
+//! the executor; a watchdog detects a dead scheduler and fails pending
+//! tickets ([`GatewayError::SchedulerStalled`]) instead of hanging them.
+//! Requests can carry deadlines
+//! ([`GatewayConfig::with_default_deadline`]) — the scheduler expires
+//! stale queued work before batch formation and
+//! [`QuoteTicket::wait`] stops blocking at the deadline. An optional
+//! three-state health controller ([`HealthConfig`], Healthy → Shedding →
+//! Degraded) sheds load with a computed `retry_after` hint and, when
+//! degraded, answers from the service's session-local last-quote cache
+//! (quotes marked `degraded`). Journal appends get bounded
+//! retry-with-backoff and an explicit [`JournalBypassPolicy`], so a bad
+//! disk cannot freeze admission. All of it is testable deterministically:
+//! a seeded [`FaultPlan`] ([`GatewayConfig::with_faults`]) injects
+//! executor panics, scheduler panics, journal i/o errors and artificial
+//! batch latency at exact, reproducible points.
+//!
+//! The liveness invariant is structural: every admitted request resolves
+//! its ticket exactly once — on completion, failure, expiry, watchdog
+//! sweep or shutdown — so no [`QuoteTicket::wait`] blocks forever under
+//! any injected fault.
+//!
 //! # Determinism contract
 //!
 //! With a **single executor** and **greedy** inference, gateway output for
@@ -71,8 +97,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod gateway;
+mod health;
 mod telemetry;
 
-pub use gateway::{Gateway, GatewayConfig, GatewayError, QuoteTicket};
+pub use fault::FaultPlan;
+pub use gateway::{Gateway, GatewayConfig, GatewayError, JournalBypassPolicy, QuoteTicket};
+pub use health::{HealthConfig, HealthState};
 pub use telemetry::{Telemetry, TelemetrySnapshot, LATENCY_BUCKETS, MAX_TRACKED_BATCH};

@@ -12,6 +12,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::health::HealthState;
+
 /// Log-scale latency buckets: `[2^b, 2^(b+1))` µs for `b` in `0..40`
 /// (covers 1 µs up to ~12.7 days, far beyond any sane quote latency).
 pub const LATENCY_BUCKETS: usize = 40;
@@ -21,7 +23,7 @@ pub const LATENCY_BUCKETS: usize = 40;
 pub const MAX_TRACKED_BATCH: usize = 64;
 
 /// Which log-scale bucket a microsecond latency lands in.
-fn latency_bucket(us: u64) -> usize {
+pub(crate) fn latency_bucket(us: u64) -> usize {
     ((63 - us.max(1).leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
 }
 
@@ -36,6 +38,27 @@ pub struct Telemetry {
     rejected: AtomicU64,
     /// Requests failed by an executor-side service error.
     failed: AtomicU64,
+    /// Requests expired by the scheduler before batch formation because
+    /// their deadline had already passed.
+    expired: AtomicU64,
+    /// Submissions rejected by the health controller's Shedding state
+    /// (distinct from `rejected`, which is the hard admission bound).
+    shed: AtomicU64,
+    /// Submissions answered from the session-local last-quote cache while
+    /// Degraded (these never enter the pipeline).
+    degraded_quotes: AtomicU64,
+    /// Executor batch panics caught by the supervisor layer.
+    panics: AtomicU64,
+    /// Executor threads respawned after a panic.
+    restarts: AtomicU64,
+    /// Scheduler-watchdog activations (a dead scheduler detected and its
+    /// pending work failed instead of hanging).
+    watchdog_fires: AtomicU64,
+    /// Journal append retries after a transient append failure.
+    journal_retries: AtomicU64,
+    /// Admissions that proceeded without a journal frame under the
+    /// `DegradeWithoutJournal` bypass policy.
+    journal_bypassed: AtomicU64,
     /// Batches flushed by the scheduler.
     batches: AtomicU64,
     /// Admitted-but-not-yet-completed requests — both the queue-depth
@@ -69,6 +92,14 @@ impl Telemetry {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded_quotes: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            watchdog_fires: AtomicU64::new(0),
+            journal_retries: AtomicU64::new(0),
+            journal_bypassed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             journal_frames: AtomicU64::new(0),
@@ -134,6 +165,57 @@ impl Telemetry {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Records a queued request expired by the scheduler (it held an
+    /// in-flight slot, which is released here).
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a submission shed at the door (no slot was ever claimed).
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a degraded cache-served quote (never entered the pipeline).
+    pub(crate) fn record_degraded_quote(&self) {
+        self.degraded_quotes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one caught executor batch panic.
+    pub(crate) fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executor respawn by the supervisor.
+    pub(crate) fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one scheduler-watchdog activation.
+    pub(crate) fn record_watchdog_fire(&self) {
+        self.watchdog_fires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried journal append attempt.
+    pub(crate) fn record_journal_retry(&self) {
+        self.journal_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admission that bypassed the journal.
+    pub(crate) fn record_journal_bypass(&self) {
+        self.journal_bypassed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A lock-free copy of the cumulative latency histogram (the health
+    /// controller differences consecutive copies into completion windows).
+    pub(crate) fn latency_buckets_now(&self) -> Vec<u64> {
+        self.latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Records one admission appended to the journal (`bytes` framed).
     pub(crate) fn record_journal_append(&self, bytes: u64) {
         self.journal_frames.fetch_add(1, Ordering::Relaxed);
@@ -169,6 +251,15 @@ impl Telemetry {
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded_quotes: self.degraded_quotes.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            watchdog_fires: self.watchdog_fires.load(Ordering::Relaxed),
+            journal_retries: self.journal_retries.load(Ordering::Relaxed),
+            journal_bypassed: self.journal_bypassed.load(Ordering::Relaxed),
+            health: HealthState::Healthy,
             batches,
             queue_depth: self.in_flight.load(Ordering::Relaxed),
             journal_frames: self.journal_frames.load(Ordering::Relaxed),
@@ -197,7 +288,7 @@ impl Telemetry {
 
 /// Upper bound (µs) of the first latency bucket whose cumulative count
 /// reaches `q` of the total; 0 when the histogram is empty.
-fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+pub(crate) fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
         return 0;
@@ -224,6 +315,26 @@ pub struct TelemetrySnapshot {
     pub rejected: u64,
     /// Requests failed by a service error.
     pub failed: u64,
+    /// Requests expired by the scheduler because their deadline passed
+    /// before batch formation.
+    pub expired: u64,
+    /// Submissions rejected while the health controller was Shedding.
+    pub shed: u64,
+    /// Submissions answered from the degraded last-quote cache.
+    pub degraded_quotes: u64,
+    /// Executor batch panics caught and contained.
+    pub panics: u64,
+    /// Executor threads respawned after a panic.
+    pub restarts: u64,
+    /// Scheduler-watchdog activations.
+    pub watchdog_fires: u64,
+    /// Journal append retries after transient failures.
+    pub journal_retries: u64,
+    /// Admissions that proceeded without a journal frame (bypass policy).
+    pub journal_bypassed: u64,
+    /// The health controller's state at snapshot time (always
+    /// [`HealthState::Healthy`] when no health controller is configured).
+    pub health: HealthState,
     /// Batches flushed by the scheduler.
     pub batches: u64,
     /// Admitted-but-not-yet-completed requests at snapshot time.
@@ -270,8 +381,11 @@ impl TelemetrySnapshot {
         };
         format!(
             "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
-             \"batches\": {}, \"queue_depth\": {}, \
-             \"journal\": {{\"frames\": {}, \"bytes\": {}, \"snapshots\": {}}}, \
+             \"batches\": {}, \"queue_depth\": {}, \"health\": \"{}\", \
+             \"faults\": {{\"expired\": {}, \"shed\": {}, \"degraded_quotes\": {}, \
+             \"panics\": {}, \"restarts\": {}, \"watchdog_fires\": {}}}, \
+             \"journal\": {{\"frames\": {}, \"bytes\": {}, \"snapshots\": {}, \
+             \"retries\": {}, \"bypassed\": {}}}, \
              \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}}}, \
              \"batch_size\": {{\"mean\": {:.2}, \"max\": {}}}, \
              \"latency_buckets\": {}, \"batch_size_buckets\": {}}}",
@@ -281,9 +395,18 @@ impl TelemetrySnapshot {
             self.failed,
             self.batches,
             self.queue_depth,
+            self.health.as_str(),
+            self.expired,
+            self.shed,
+            self.degraded_quotes,
+            self.panics,
+            self.restarts,
+            self.watchdog_fires,
             self.journal_frames,
             self.journal_bytes,
             self.snapshots,
+            self.journal_retries,
+            self.journal_bypassed,
             self.latency_p50_us,
             self.latency_p95_us,
             self.latency_p99_us,
@@ -390,10 +513,44 @@ mod tests {
         t.record_batch(1);
         t.record_completion(100);
         t.record_reject();
+        t.record_shed();
+        t.record_panic();
+        t.record_restart();
+        t.record_watchdog_fire();
+        t.record_journal_retry();
+        t.record_journal_bypass();
+        assert!(t.try_admit(8));
+        t.record_submit();
+        t.record_expired();
+        t.record_degraded_quote();
         let json = t.snapshot().to_json();
-        assert!(json.contains("\"submitted\": 1"));
+        assert!(json.contains("\"submitted\": 2"));
         assert!(json.contains("\"rejected\": 1"));
         assert!(json.contains("\"p99\""));
         assert!(json.contains("\"batch_size_buckets\""));
+        assert!(json.contains("\"health\": \"healthy\""));
+        assert!(json.contains(
+            "\"faults\": {\"expired\": 1, \"shed\": 1, \"degraded_quotes\": 1, \
+             \"panics\": 1, \"restarts\": 1, \"watchdog_fires\": 1}"
+        ));
+        assert!(json.contains("\"retries\": 1, \"bypassed\": 1"));
+    }
+
+    #[test]
+    fn fault_counters_release_in_flight_slots_correctly() {
+        let t = Telemetry::new();
+        // expired releases a claimed slot; shed and degraded never claim one.
+        assert!(t.try_admit(4));
+        t.record_submit();
+        t.record_expired();
+        t.record_shed();
+        t.record_degraded_quote();
+        let snap = t.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.degraded_quotes, 1);
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.completed, 0);
     }
 }

@@ -1,0 +1,570 @@
+//! Fixed-seed chaos suite: deterministic fault plans injected into a live
+//! gateway, asserting the liveness invariant (every submitted ticket
+//! resolves — no `wait` hangs), exact fault telemetry (`panics`,
+//! `restarts`, `shed`, `expired`, `degraded_quotes`, journal counters) and
+//! journal/replay equivalence under partial failure.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vtm_gateway::{
+    FaultPlan, Gateway, GatewayConfig, GatewayError, HealthConfig, JournalBypassPolicy,
+};
+use vtm_journal::{scan_journal, JournalOptions, ScanMode};
+use vtm_rl::env::ActionSpace;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+
+const HISTORY: usize = 3;
+const FEATURES: usize = 2;
+
+fn policy(seed: u64) -> PolicySnapshot {
+    PpoAgent::new(
+        PpoConfig::new(HISTORY * FEATURES, 1).with_seed(seed),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+    .snapshot()
+}
+
+fn fresh_service(snap: &PolicySnapshot) -> Arc<PricingService> {
+    Arc::new(PricingService::from_snapshot(snap, ServiceConfig::new(HISTORY, FEATURES)).unwrap())
+}
+
+fn requests(total: usize) -> Vec<QuoteRequest> {
+    (0..total)
+        .map(|i| {
+            QuoteRequest::new(
+                (i % 5) as u64,
+                vec![((i * 7) % 13) as f64 / 13.0, ((i * 3) % 5) as f64 / 5.0],
+            )
+        })
+        .collect()
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vtm_gw_chaos_{tag}_{}.vtmj", std::process::id()))
+}
+
+fn cleanup(journal: &PathBuf) {
+    let _ = std::fs::remove_file(journal);
+}
+
+/// Polls `cond` until it holds or `timeout` elapses; returns the final
+/// evaluation (async fault handling — supervisor respawns, watchdog fires —
+/// settles within milliseconds, but never at an exact instant).
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The reference for digest comparisons: the same requests priced directly,
+/// one call per request (≡ a fault-free single-executor gateway).
+fn reference_digest(snap: &PolicySnapshot, reqs: &[QuoteRequest]) -> u64 {
+    let service = fresh_service(snap);
+    for req in reqs {
+        service.quote_batch(std::slice::from_ref(req)).unwrap();
+    }
+    service.state_digest()
+}
+
+/// A single-request-batch gateway: with `max_batch == 1` and sequential
+/// waited submission, batch index N is exactly request N, so fault plans
+/// target specific requests deterministically.
+fn serial_config() -> GatewayConfig {
+    GatewayConfig::default()
+        .with_executors(1)
+        .with_max_batch(1)
+        .with_max_delay(Duration::from_micros(100))
+}
+
+/// Executor panic mid-run: only the panicked batch's ticket fails, the
+/// supervisor respawns the executor, and every later request completes.
+#[test]
+fn executor_panic_fails_only_its_batch_and_is_respawned() {
+    let snap = policy(71);
+    let service = fresh_service(&snap);
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        serial_config().with_faults(FaultPlan::new(1).with_executor_panic(2)),
+    );
+    let reqs = requests(6);
+    let mut completed = 0u64;
+    for (i, req) in reqs.iter().enumerate() {
+        let result = gateway
+            .submit(req.clone())
+            .unwrap()
+            .wait_timeout(Duration::from_secs(30))
+            .expect("liveness: every ticket must resolve under an executor panic");
+        if i == 2 {
+            assert_eq!(result, Err(GatewayError::ExecutorFailed), "request {i}");
+        } else {
+            assert_eq!(result.unwrap().session, req.session, "request {i}");
+            completed += 1;
+        }
+    }
+    assert!(
+        eventually(Duration::from_secs(10), || gateway.telemetry().restarts
+            == 1),
+        "supervisor must respawn the panicked executor exactly once"
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(
+        stats.queue_depth, 0,
+        "every admission slot must be released"
+    );
+    // The panicked request was never priced: the live state equals the
+    // reference with request 2 removed.
+    let mut survived = reqs.clone();
+    survived.remove(2);
+    assert_eq!(service.state_digest(), reference_digest(&snap, &survived));
+}
+
+/// A deadline storm: every queued request expires before batch formation;
+/// all tickets resolve with `DeadlineExceeded` and nothing is priced.
+#[test]
+fn deadline_storm_expires_every_request_with_exact_counters() {
+    let service = fresh_service(&policy(72));
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        GatewayConfig::default()
+            .with_executors(1)
+            .with_max_batch(32)
+            .with_max_delay(Duration::from_millis(1))
+            .with_default_deadline(Duration::ZERO),
+    );
+    let tickets: Vec<_> = requests(6)
+        .into_iter()
+        .map(|req| gateway.submit(req).unwrap())
+        .collect();
+    for ticket in tickets {
+        let result = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .expect("liveness: expired tickets must still resolve");
+        assert_eq!(result, Err(GatewayError::DeadlineExceeded));
+    }
+    assert!(
+        eventually(Duration::from_secs(10), || gateway.telemetry().expired == 6),
+        "scheduler must expire all six requests"
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(stats.expired, 6);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.failed, 0, "expiry is not a failure");
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(service.stats().quotes, 0, "expired work is never priced");
+}
+
+/// Deadline-aware `wait`: the caller unblocks at the deadline even while
+/// the request is still parked in the forming batch, and the pipeline
+/// expires the request on its own afterwards — nothing leaks.
+#[test]
+fn wait_unblocks_at_the_deadline_before_the_pipeline_resolves() {
+    let gateway = Gateway::start(
+        fresh_service(&policy(73)),
+        GatewayConfig::default()
+            .with_max_batch(64)
+            .with_max_delay(Duration::from_millis(300))
+            .with_default_deadline(Duration::from_millis(30)),
+    );
+    let ticket = gateway.submit(requests(1).pop().unwrap()).unwrap();
+    let started = Instant::now();
+    assert_eq!(ticket.wait(), Err(GatewayError::DeadlineExceeded));
+    assert!(
+        started.elapsed() < Duration::from_millis(250),
+        "wait must unblock at the 30ms deadline, not the 300ms flush"
+    );
+    assert!(
+        eventually(Duration::from_secs(10), || gateway.telemetry().expired == 1),
+        "the scheduler must expire the parked request on its own"
+    );
+    let stats = gateway.shutdown();
+    assert_eq!(
+        (stats.expired, stats.completed, stats.queue_depth),
+        (1, 0, 0)
+    );
+}
+
+/// Journal append failure under `FailStop`: the request is rejected and
+/// un-admitted, the journal records exactly the successful admissions, and
+/// replaying it reproduces the live state bit-for-bit.
+#[test]
+fn journal_failstop_rejects_the_request_and_keeps_replay_exact() {
+    let snap = policy(74);
+    let journal = temp_journal("failstop");
+    cleanup(&journal);
+    let service = fresh_service(&snap);
+    let gateway = Gateway::try_start(
+        Arc::clone(&service),
+        serial_config()
+            .with_journal(JournalOptions::new(&journal))
+            .with_journal_retries(0)
+            .with_faults(FaultPlan::new(2).with_journal_error(2, std::io::ErrorKind::StorageFull)),
+    )
+    .unwrap();
+    let reqs = requests(8);
+    let mut admitted = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        match gateway.submit(req.clone()) {
+            Ok(ticket) => {
+                ticket
+                    .wait_timeout(Duration::from_secs(30))
+                    .expect("liveness under journal faults")
+                    .unwrap();
+                admitted.push(req.clone());
+            }
+            Err(GatewayError::Journal(msg)) => {
+                assert_eq!(i, 2, "only append attempt 2 is injected");
+                assert!(!msg.is_empty());
+            }
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    let stats = gateway.shutdown();
+    assert_eq!(admitted.len(), 7);
+    assert_eq!(stats.submitted, 7, "a fail-stopped request is un-admitted");
+    assert_eq!(stats.completed, 7);
+    assert_eq!(stats.journal_frames, 7);
+    assert_eq!(stats.journal_retries, 0);
+    assert_eq!(stats.journal_bypassed, 0);
+    // The journal holds exactly the admitted requests, in admission order,
+    // and replays to the live state.
+    let scanned = scan_journal(&journal, ScanMode::Strict).unwrap();
+    let frames: Vec<QuoteRequest> = scanned.frames.into_iter().map(|f| f.request).collect();
+    assert_eq!(frames, admitted);
+    assert_eq!(service.state_digest(), reference_digest(&snap, &frames));
+    cleanup(&journal);
+}
+
+/// Journal append failure under `DegradeWithoutJournal`: quotes keep
+/// flowing, the bypass is counted, and the (incomplete) journal still
+/// replays exactly the frames it recorded.
+#[test]
+fn journal_bypass_keeps_quotes_flowing_with_an_audited_gap() {
+    let snap = policy(75);
+    let journal = temp_journal("bypass");
+    cleanup(&journal);
+    let service = fresh_service(&snap);
+    let gateway = Gateway::try_start(
+        Arc::clone(&service),
+        serial_config()
+            .with_journal(JournalOptions::new(&journal))
+            .with_journal_retries(0)
+            .with_journal_policy(JournalBypassPolicy::DegradeWithoutJournal)
+            .with_faults(FaultPlan::new(3).with_journal_error(2, std::io::ErrorKind::WouldBlock)),
+    )
+    .unwrap();
+    let reqs = requests(8);
+    for req in &reqs {
+        gateway
+            .submit(req.clone())
+            .unwrap()
+            .wait_timeout(Duration::from_secs(30))
+            .expect("liveness under journal bypass")
+            .unwrap();
+    }
+    let stats = gateway.shutdown();
+    assert_eq!(stats.completed, 8, "bypass must not lose the request");
+    assert_eq!(stats.journal_bypassed, 1);
+    assert_eq!(stats.journal_frames, 7);
+    // Live state includes the bypassed request; the journal does not — the
+    // audit gap is real, but what the journal *does* record replays
+    // bit-for-bit.
+    let scanned = scan_journal(&journal, ScanMode::Strict).unwrap();
+    let frames: Vec<QuoteRequest> = scanned.frames.into_iter().map(|f| f.request).collect();
+    let mut journaled = reqs.clone();
+    journaled.remove(2);
+    assert_eq!(frames, journaled);
+    assert_eq!(service.state_digest(), reference_digest(&snap, &reqs));
+    assert_eq!(
+        reference_digest(&snap, &frames),
+        reference_digest(&snap, &journaled)
+    );
+    assert_ne!(service.state_digest(), reference_digest(&snap, &frames));
+    cleanup(&journal);
+}
+
+/// Bounded retry heals transient journal errors: two injected failures are
+/// absorbed by one retry each, every frame lands, and the digest matches a
+/// fault-free run.
+#[test]
+fn journal_retries_heal_transient_errors_without_losing_frames() {
+    let snap = policy(76);
+    let journal = temp_journal("healing");
+    cleanup(&journal);
+    let service = fresh_service(&snap);
+    let gateway = Gateway::try_start(
+        Arc::clone(&service),
+        serial_config()
+            .with_journal(JournalOptions::new(&journal))
+            .with_journal_retries(2)
+            .with_journal_backoff(Duration::from_micros(50))
+            .with_faults(
+                FaultPlan::new(4)
+                    .with_journal_error(2, std::io::ErrorKind::Interrupted)
+                    .with_journal_error(5, std::io::ErrorKind::WouldBlock),
+            ),
+    )
+    .unwrap();
+    let reqs = requests(8);
+    for req in &reqs {
+        gateway
+            .submit(req.clone())
+            .unwrap()
+            .wait_timeout(Duration::from_secs(30))
+            .expect("liveness under healed journal faults")
+            .unwrap();
+    }
+    let stats = gateway.shutdown();
+    // Attempts 0,1 ok; attempt 2 (request 2) fails once, heals on attempt
+    // 3; attempt 4 ok; attempt 5 (request 4) fails once, heals on 6.
+    assert_eq!(stats.journal_retries, 2);
+    assert_eq!(stats.journal_bypassed, 0);
+    assert_eq!(stats.journal_frames, 8);
+    assert_eq!(stats.completed, 8);
+    let scanned = scan_journal(&journal, ScanMode::Strict).unwrap();
+    assert_eq!(scanned.frames.len(), 8);
+    assert_eq!(service.state_digest(), reference_digest(&snap, &reqs));
+    cleanup(&journal);
+}
+
+/// Scheduler death: the watchdog fails every stranded ticket with a typed
+/// error instead of hanging them, and later submissions are rejected.
+#[test]
+fn watchdog_fails_pending_tickets_when_the_scheduler_dies() {
+    let service = fresh_service(&policy(77));
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        GatewayConfig::default()
+            .with_executors(1)
+            .with_supervisor_poll(Duration::from_millis(1))
+            .with_faults(FaultPlan::new(5).with_scheduler_panic(0)),
+    );
+    // The scheduler panics on its very first iteration, before draining
+    // anything; these submissions land in the ingress queue.
+    let tickets: Vec<_> = requests(3)
+        .into_iter()
+        .filter_map(|req| gateway.submit(req).ok())
+        .collect();
+    for ticket in &tickets {
+        let result = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .expect("liveness: the watchdog must resolve stranded tickets");
+        assert_eq!(result, Err(GatewayError::SchedulerStalled));
+    }
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            gateway.telemetry().watchdog_fires == 1
+        }),
+        "the watchdog must fire exactly once"
+    );
+    assert!(matches!(
+        gateway.submit(requests(1).pop().unwrap()),
+        Err(GatewayError::SchedulerStalled)
+    ));
+    let stats = gateway.shutdown();
+    assert_eq!(stats.watchdog_fires, 1);
+    assert_eq!(stats.failed, tickets.len() as u64);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(service.stats().quotes, 0);
+}
+
+/// Shutdown under a dead executor pool: queued batches that can no longer
+/// be priced are failed with `ShuttingDown` — and a ticket that already
+/// timed out in `wait_timeout` stays waitable and receives that error too
+/// (the wait-timeout-leak satellite).
+#[test]
+fn shutdown_sweeps_stranded_batches_with_a_typed_error() {
+    let service = fresh_service(&policy(78));
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        serial_config()
+            // A poll far beyond the test horizon: the dead executor stays
+            // dead, so batches 1 and 2 are stranded until shutdown.
+            .with_supervisor_poll(Duration::from_secs(600))
+            .with_faults(FaultPlan::new(6).with_executor_panic(0)),
+    );
+    let tickets: Vec<_> = requests(3)
+        .into_iter()
+        .map(|req| gateway.submit(req).unwrap())
+        .collect();
+    assert_eq!(
+        tickets[0]
+            .wait_timeout(Duration::from_secs(30))
+            .expect("the panicked batch must fail its own ticket"),
+        Err(GatewayError::ExecutorFailed)
+    );
+    // A timed-out wait does not consume or leak the ticket…
+    assert_eq!(tickets[1].wait_timeout(Duration::from_millis(5)), None);
+    let stats = gateway.shutdown();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.restarts, 0, "supervisor never polled");
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.queue_depth, 0);
+    // …shutdown resolves it (and the never-waited one) with the typed
+    // sweep error.
+    for ticket in &tickets[1..] {
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(1)),
+            Some(Err(GatewayError::ShuttingDown))
+        );
+    }
+}
+
+/// Depth-driven shedding: once the queue depth fraction crosses the
+/// threshold, submissions are rejected with a positive retry hint and no
+/// admission slot is consumed.
+#[test]
+fn depth_crossing_sheds_submissions_with_a_retry_hint() {
+    let service = fresh_service(&policy(79));
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        GatewayConfig::default()
+            .with_executors(1)
+            // Park admitted requests in the forming batch.
+            .with_max_batch(64)
+            .with_max_delay(Duration::from_secs(30))
+            .with_queue_capacity(8)
+            .with_health(HealthConfig::default().with_shed_depth(0.5)),
+    );
+    let reqs = requests(6);
+    for req in &reqs[..4] {
+        gateway.submit(req.clone()).unwrap();
+    }
+    // Depth 4 of capacity 8 crosses the 0.5 shed threshold.
+    for req in &reqs[4..] {
+        match gateway.submit(req.clone()) {
+            Err(GatewayError::Shed { retry_after_us }) => assert!(retry_after_us > 0),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+    }
+    let stats = gateway.shutdown(); // flushes and prices the parked four
+    assert_eq!(stats.shed, 2);
+    assert_eq!(stats.submitted, 4, "shed requests never consume a slot");
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+/// The full degradation ladder on the latency signal: a severe p99 breach
+/// jumps straight to Degraded (cached quotes, unknown sessions shed), and
+/// calm observations walk the ladder back down one state at a time.
+#[test]
+fn severe_latency_degrades_to_cached_quotes_then_recovers_stepwise() {
+    let snap = policy(80);
+    let service = fresh_service(&snap);
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        serial_config()
+            // The first four batches each take ~20ms: far beyond 8x the
+            // 1µs SLO, so the first evaluated window is severe.
+            .with_faults(FaultPlan::new(7).with_batch_delay(Duration::from_millis(20), 4))
+            .with_health(
+                HealthConfig::default()
+                    .with_p99_slo_us(Some(1))
+                    .with_shed_depth(10.0)
+                    .with_degrade_depth(10.0)
+                    .with_recovery_observations(2),
+            ),
+    );
+    let session = 1u64;
+    let features = || vec![0.25, 0.75];
+    // Four slow completions build the latency window (and the session's
+    // last-quote cache).
+    let mut last_fresh = None;
+    for _ in 0..4 {
+        let quote = gateway
+            .submit(QuoteRequest::new(session, features()))
+            .unwrap()
+            .wait_timeout(Duration::from_secs(30))
+            .expect("slow batches still complete")
+            .unwrap();
+        assert!(!quote.degraded);
+        last_fresh = Some(quote);
+    }
+    // Observation 5 evaluates the 4-completion window: severe → Degraded →
+    // answered from the cache without pricing.
+    let cached = gateway
+        .submit(QuoteRequest::new(session, features()))
+        .unwrap()
+        .wait_timeout(Duration::from_secs(5))
+        .expect("degraded quotes resolve immediately")
+        .unwrap();
+    assert!(cached.degraded);
+    assert_eq!(cached.action, last_fresh.unwrap().action);
+    // A session with no cached quote is shed instead (calm observation 1:
+    // the idle pipeline cleared the sticky severe signal).
+    assert!(matches!(
+        gateway.submit(QuoteRequest::new(999, features())),
+        Err(GatewayError::Shed { .. })
+    ));
+    // Calm observation 2 steps Degraded → Shedding; observation 1 of the
+    // next streak holds it there.
+    for _ in 0..2 {
+        assert!(matches!(
+            gateway.submit(QuoteRequest::new(session, features())),
+            Err(GatewayError::Shed { .. })
+        ));
+    }
+    // Calm observation 2 of the second streak steps Shedding → Healthy:
+    // the request is admitted and priced for real again.
+    let recovered = gateway
+        .submit(QuoteRequest::new(session, features()))
+        .unwrap()
+        .wait_timeout(Duration::from_secs(30))
+        .expect("recovered gateway prices normally")
+        .unwrap();
+    assert!(!recovered.degraded);
+    let stats = gateway.shutdown();
+    assert_eq!(stats.degraded_quotes, 1);
+    assert_eq!(stats.shed, 3);
+    assert_eq!(stats.completed, 5, "4 slow + 1 recovered");
+    assert_eq!(
+        service.stats().quotes,
+        5,
+        "cached quotes never touch the service"
+    );
+}
+
+/// A fault plan with nothing armed changes nothing: the run is equivalent
+/// to a fault-free gateway, bit-for-bit.
+#[test]
+fn empty_fault_plan_is_behaviourally_invisible() {
+    let snap = policy(81);
+    let reqs = requests(12);
+    let service = fresh_service(&snap);
+    let gateway = Gateway::start(
+        Arc::clone(&service),
+        serial_config().with_faults(FaultPlan::new(99)),
+    );
+    for req in &reqs {
+        gateway
+            .submit(req.clone())
+            .unwrap()
+            .wait_timeout(Duration::from_secs(30))
+            .expect("liveness")
+            .unwrap();
+    }
+    let stats = gateway.shutdown();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(
+        (stats.panics, stats.restarts, stats.expired, stats.shed),
+        (0, 0, 0, 0)
+    );
+    assert_eq!(service.state_digest(), reference_digest(&snap, &reqs));
+}

@@ -212,6 +212,10 @@ pub struct Quote {
     /// Whether the session's history window was already full (before
     /// warm-up, the observation pads the window with the oldest block).
     pub warmed: bool,
+    /// Whether this quote was answered from the session's last-quote cache
+    /// instead of a fresh policy evaluation (the gateway's degraded mode).
+    /// Freshly priced quotes always carry `false`.
+    pub degraded: bool,
 }
 
 impl Quote {
@@ -449,7 +453,26 @@ impl PricingService {
             session,
             action,
             warmed,
+            degraded: false,
         }
+    }
+
+    /// Answers a quote from the session's cached last action *without*
+    /// pricing: no forward pass, no history push, no tick, no counter —
+    /// the session state is untouched, so serving degraded quotes never
+    /// perturbs the determinism contract. Returns `None` for sessions
+    /// that were never quoted (or whose state was evicted); the quote is
+    /// marked [`Quote::degraded`]. The cache deliberately ignores the
+    /// idle TTL — degraded mode would rather serve a stale price than
+    /// none.
+    pub fn cached_quote(&self, session: u64) -> Option<Quote> {
+        let (action, warmed) = self.store.peek_last_action(session)?;
+        Some(Quote {
+            session,
+            action,
+            warmed,
+            degraded: true,
+        })
     }
 
     /// Batched (and optionally multi-threaded) actor evaluation: one matrix
@@ -527,11 +550,20 @@ impl PricingService {
         let means = self.forward_means(&rows)?;
         self.quotes_served
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-        Ok(requests
+        let quotes: Vec<Quote> = requests
             .iter()
             .enumerate()
             .map(|(i, req)| self.quote_from_mean(req.session, &means[i], draws[i], warmed[i]))
-            .collect())
+            .collect();
+        // Refresh the degraded-mode caches; within-batch duplicates apply
+        // in request order, so the last request's action wins — exactly
+        // what sequential single-request calls would leave behind.
+        let updates: Vec<(u64, &[f64])> = quotes
+            .iter()
+            .map(|q| (q.session, q.action.as_slice()))
+            .collect();
+        self.store.record_last_actions(&updates);
+        Ok(quotes)
     }
 
     /// Prices a single request with a per-request row-vector forward pass —
@@ -548,7 +580,10 @@ impl PricingService {
             .forward_vec(&rows[0])
             .map_err(ServeError::Forward)?;
         self.quotes_served.fetch_add(1, Ordering::Relaxed);
-        Ok(self.quote_from_mean(request.session, &mean, draws[0], warmed[0]))
+        let quote = self.quote_from_mean(request.session, &mean, draws[0], warmed[0]);
+        self.store
+            .record_last_actions(&[(quote.session, quote.action.as_slice())]);
+        Ok(quote)
     }
 }
 
@@ -805,6 +840,27 @@ mod tests {
         let snap_b = snapshot(8, 14);
         let b = PricingService::from_snapshot(&snap_b, ServiceConfig::new(4, 2)).unwrap();
         assert_ne!(a1.policy_fingerprint(), b.policy_fingerprint());
+    }
+
+    #[test]
+    fn cached_quotes_mirror_the_last_priced_action_without_state_changes() {
+        let snap = snapshot(6, 15);
+        let service = PricingService::from_snapshot(&snap, ServiceConfig::new(3, 2)).unwrap();
+        assert!(service.cached_quote(3).is_none(), "never-quoted session");
+        let fresh = service.quote_batch(&requests(0, 4, 2)).unwrap();
+        assert!(fresh.iter().all(|q| !q.degraded));
+        let digest = service.state_digest();
+        let cached = service.cached_quote(3).unwrap();
+        assert!(cached.degraded);
+        assert_eq!(cached.action, fresh[3].action);
+        assert_eq!(cached.warmed, fresh[3].warmed);
+        // Serving from the cache is a pure read: counters, histories and
+        // LRU/TTL bookkeeping are untouched.
+        assert_eq!(service.state_digest(), digest);
+        assert_eq!(service.stats().quotes, 4);
+        // The cache tracks the most recent round.
+        let newer = service.quote_batch(&requests(1, 4, 2)).unwrap();
+        assert_eq!(service.cached_quote(3).unwrap().action, newer[3].action);
     }
 
     #[test]

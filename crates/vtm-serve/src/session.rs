@@ -15,6 +15,10 @@ pub struct Session {
     /// Quotes served to this session so far (also the per-session noise
     /// counter for sampled inference).
     pub quotes: u64,
+    /// The raw policy action behind the most recent quote served to this
+    /// session — the degraded-mode answer when the pricing pipeline is
+    /// unavailable.
+    last_action: Option<Vec<f64>>,
 }
 
 impl Session {
@@ -23,7 +27,19 @@ impl Session {
         Self {
             history: VecDeque::with_capacity(history_length),
             quotes: 0,
+            last_action: None,
         }
+    }
+
+    /// Records the raw action behind the latest quote served to this
+    /// session (the degraded-mode cache).
+    pub fn set_last_action(&mut self, action: Vec<f64>) {
+        self.last_action = Some(action);
+    }
+
+    /// The raw action behind the latest quote, if one was ever served.
+    pub fn last_action(&self) -> Option<&[f64]> {
+        self.last_action.as_deref()
     }
 
     /// Appends the newest round's feature block, dropping the oldest once the
@@ -67,6 +83,13 @@ impl Session {
         for block in &self.history {
             w.write_f64_vec(block);
         }
+        match &self.last_action {
+            Some(action) => {
+                w.write_u64(1);
+                w.write_f64_vec(action);
+            }
+            None => w.write_u64(0),
+        }
     }
 
     /// Reconstructs a session written by [`Session::save_payload`].
@@ -90,7 +113,20 @@ impl Session {
         for _ in 0..blocks {
             history.push_back(r.read_f64_vec()?);
         }
-        Ok(Self { history, quotes })
+        let last_action = match r.read_u64()? {
+            0 => None,
+            1 => Some(r.read_f64_vec()?),
+            tag => {
+                return Err(CodecError::Invalid(format!(
+                    "session last-action tag must be 0 or 1, got {tag}"
+                )))
+            }
+        };
+        Ok(Self {
+            history,
+            quotes,
+            last_action,
+        })
     }
 }
 
@@ -118,6 +154,7 @@ mod tests {
         s.push(vec![0.1, -2.5], 3);
         s.push(vec![f64::MIN_POSITIVE, 7.75], 3);
         s.quotes = 42;
+        s.set_last_action(vec![13.25, -0.5]);
         let mut w = PayloadWriter::new();
         s.save_payload(&mut w);
         let bytes = w.into_bytes();
@@ -126,6 +163,7 @@ mod tests {
         assert!(r.is_exhausted());
         assert_eq!(restored, s);
         assert_eq!(restored.observation(3, 2), s.observation(3, 2));
+        assert_eq!(restored.last_action(), Some(&[13.25, -0.5][..]));
     }
 
     #[test]
@@ -143,6 +181,17 @@ mod tests {
         let mut w = PayloadWriter::new();
         w.write_u64(0);
         w.write_usize(9);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(
+            Session::load_payload(&mut r, 2),
+            Err(CodecError::Invalid(_))
+        ));
+        // A last-action tag other than 0/1 is structurally invalid.
+        let mut w = PayloadWriter::new();
+        w.write_u64(0);
+        w.write_usize(0);
+        w.write_u64(7);
         let bytes = w.into_bytes();
         let mut r = PayloadReader::new(&bytes);
         assert!(matches!(

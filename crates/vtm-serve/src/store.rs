@@ -339,6 +339,47 @@ impl SessionStore {
         Ok(())
     }
 
+    /// Records the raw actions behind freshly served quotes into their
+    /// sessions' degraded-mode caches, grouping by shard so each touched
+    /// shard is locked exactly once.
+    ///
+    /// This is a *pure write-back*: it advances no logical clock and
+    /// refreshes no LRU stamp, so it cannot change any future TTL or
+    /// eviction decision — the store's slicing-invariance (and with it the
+    /// gateway determinism contract) is untouched. Ids whose session has
+    /// already been evicted are skipped, never resurrected.
+    pub fn record_last_actions(&self, updates: &[(u64, &[f64])]) {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (idx, &(id, _)) in updates.iter().enumerate() {
+            by_shard[self.shard_of(id)].push(idx);
+        }
+        for (shard, indices) in self.shards.iter().zip(by_shard.iter()) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = shard.lock().expect("shard poisoned");
+            for &idx in indices {
+                let (id, action) = updates[idx];
+                if let Some(entry) = shard.sessions.get_mut(&id) {
+                    entry.session.set_last_action(action.to_vec());
+                }
+            }
+        }
+    }
+
+    /// Reads a session's cached last action without touching it: no tick,
+    /// no LRU refresh, and deliberately no TTL check — degraded mode would
+    /// rather serve a stale quote than none. Returns the action together
+    /// with whether the session's observation window was warm.
+    pub fn peek_last_action(&self, session: u64) -> Option<(Vec<f64>, bool)> {
+        let shard = self.shards[self.shard_of(session)]
+            .lock()
+            .expect("shard poisoned");
+        let entry = shard.sessions.get(&session)?;
+        let action = entry.session.last_action()?.to_vec();
+        Some((action, entry.session.warmed(self.history_length)))
+    }
+
     /// Visits (creating on demand) the session of every id in `ids`,
     /// calling `f(index_into_ids, &mut Session)` exactly once per id.
     ///
@@ -476,6 +517,25 @@ mod tests {
             seen.push((idx, session.quotes));
         });
         assert_eq!(seen, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn last_action_write_back_is_invisible_to_eviction_and_ttl() {
+        let store = store(1, 2, 0);
+        store.touch_grouped(&[1, 2], |_, _| {});
+        store.touch_grouped(&[1], |_, _| {}); // 2 becomes the LRU
+        assert_eq!(store.peek_last_action(1), None);
+        // Writing 2's last action must NOT refresh its LRU stamp…
+        store.record_last_actions(&[(2, &[9.5][..]), (1, &[4.0][..])]);
+        assert_eq!(store.peek_last_action(2), Some((vec![9.5], false)));
+        // …and peeking must not either: inserting 3 still evicts 2.
+        store.touch_grouped(&[3], |_, _| {});
+        assert!(!store.contains(2));
+        assert_eq!(store.peek_last_action(2), None);
+        assert_eq!(store.peek_last_action(1), Some((vec![4.0], false)));
+        // Absent sessions are skipped, never resurrected.
+        store.record_last_actions(&[(99, &[1.0][..])]);
+        assert!(!store.contains(99));
     }
 
     #[test]

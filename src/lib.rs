@@ -56,7 +56,10 @@ pub use vtm_sim as sim;
 pub mod prelude {
     pub use vtm_core::prelude::*;
     pub use vtm_game::prelude::*;
-    pub use vtm_gateway::{Gateway, GatewayConfig, GatewayError, QuoteTicket, TelemetrySnapshot};
+    pub use vtm_gateway::{
+        FaultPlan, Gateway, GatewayConfig, GatewayError, HealthConfig, HealthState,
+        JournalBypassPolicy, QuoteTicket, TelemetrySnapshot,
+    };
     pub use vtm_journal::{
         replay_journal, JournalError, JournalWriter, ReplayOptions, ReplayReport, ScanMode,
         StateSnapshot,
