@@ -32,7 +32,7 @@ use vtm_bench::journal_cli::{
     run_journal_demo, run_replay, JournalDemoOptions, ReplayCliOptions, SnapshotChoice,
 };
 use vtm_bench::lifecycle::{describe_checkpoint, train_to_checkpoint, TrainOptions};
-use vtm_bench::serve_bench::{run_serve_bench, ServeBenchOptions};
+use vtm_bench::serve_bench::{run_serve_bench, BenchPrecision, ServeBenchOptions};
 use vtm_core::registry::EnvRegistry;
 use vtm_core::scenario::ScenarioKind;
 
@@ -47,12 +47,13 @@ fn usage() -> ! {
     );
     eprintln!(
         "       experiments serve-bench [--env <preset>] [--checkpoint <path>] \
-         [--sessions N] [--rounds N] [--repeats N]"
+         [--sessions N] [--rounds N] [--repeats N] [--precision f64|f32|both]"
     );
     eprintln!(
         "       experiments gateway-bench [--env <preset>] [--checkpoint <path>] \
          [--duration-s S] [--sessions N] [--ingress N] [--executors N] \
-         [--max-batch N] [--max-delay-us N] [--queue-capacity N] [--no-open-loop]"
+         [--max-batch N] [--max-delay-us N] [--queue-capacity N] [--no-open-loop] \
+         [--precision f64|f32|both]"
     );
     eprintln!(
         "       experiments journal-demo [--env <preset>] [--checkpoint <path>] \
@@ -112,6 +113,16 @@ fn parse_count(value: &str, flag: &str) -> usize {
         Ok(n) => n,
         Err(_) => {
             eprintln!("error: {flag} needs a number, got `{value}`");
+            usage();
+        }
+    }
+}
+
+fn parse_precision(value: &str) -> BenchPrecision {
+    match BenchPrecision::parse(value) {
+        Ok(p) => p,
+        Err(err) => {
+            eprintln!("error: {err}");
             usage();
         }
     }
@@ -187,6 +198,9 @@ fn main_serve_bench(args: &[String]) {
                 opts.repeats =
                     parse_count(flag_value(args, &mut i, "--repeats"), "--repeats").max(1)
             }
+            "--precision" => {
+                opts.precision = parse_precision(flag_value(args, &mut i, "--precision"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown serve-bench argument `{other}`");
@@ -207,6 +221,16 @@ fn main_serve_bench(args: &[String]) {
                 result.per_request_qps,
                 result.speedup
             );
+            if let (Some(qps), Some(speedup)) = (result.f32_batched_qps, result.f32_speedup) {
+                println!(
+                    "  f32 batched {:.0} quotes/s ({:.2}x vs f64 batched), max price err \
+                     {:.2e}, argmax agree: {}",
+                    qps,
+                    speedup,
+                    result.f32_max_price_err.unwrap_or(0.0),
+                    result.f32_argmax_agree.unwrap_or(false)
+                );
+            }
             match result.save() {
                 Ok(path) => println!("(saved to {})", path.display()),
                 Err(err) => {
@@ -267,6 +291,9 @@ fn main_gateway_bench(args: &[String]) {
                 .max(1)
             }
             "--no-open-loop" => opts.open_loop_factors.clear(),
+            "--precision" => {
+                opts.precision = parse_precision(flag_value(args, &mut i, "--precision"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown gateway-bench argument `{other}`");
@@ -282,6 +309,9 @@ fn main_gateway_bench(args: &[String]) {
                  {:.0} quotes/s ({:.2}x)",
                 result.env, result.baseline_qps, result.scaled_qps, result.speedup
             );
+            if let (Some(qps), Some(speedup)) = (result.f32_scaled_qps, result.f32_speedup) {
+                println!("  f32 scaled {qps:.0} quotes/s ({speedup:.2}x vs f64 scaled)");
+            }
             for run in &result.runs {
                 let offered = run
                     .offered_qps

@@ -26,10 +26,10 @@ use std::time::{Duration, Instant};
 
 use vtm_core::registry::{EnvBuildOptions, EnvRegistry, RequestFrame};
 use vtm_gateway::{Gateway, GatewayConfig, GatewayError, TelemetrySnapshot};
-use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+use vtm_serve::{Precision, PricingService, QuoteRequest, ServiceConfig};
 
 use crate::results_dir;
-use crate::serve_bench::resolve_snapshot;
+use crate::serve_bench::{resolve_snapshot, BenchPrecision};
 use crate::timing::{available_cores, percentile};
 
 /// Options of one gateway-bench run.
@@ -62,6 +62,11 @@ pub struct GatewayBenchOptions {
     /// Open-loop offered loads, as multiples of the scaled closed-loop
     /// throughput (empty = skip the open-loop sweep).
     pub open_loop_factors: Vec<f64>,
+    /// Precision modes to measure: with
+    /// [`BenchPrecision::WithF32`] a second scaled closed loop runs over
+    /// an f32 service, so `BENCH_gateway.json` records gateway capacity in
+    /// both numeric modes.
+    pub precision: BenchPrecision,
 }
 
 impl Default for GatewayBenchOptions {
@@ -79,6 +84,7 @@ impl Default for GatewayBenchOptions {
             max_delay_us: 1000,
             queue_capacity: 4096,
             open_loop_factors: vec![0.5, 1.0, 2.0],
+            precision: BenchPrecision::default(),
         }
     }
 }
@@ -131,6 +137,12 @@ pub struct GatewayBenchResult {
     pub scaled_qps: f64,
     /// `scaled_qps / baseline_qps` — the concurrency speedup.
     pub speedup: f64,
+    /// Scaled closed-loop throughput over the quantized f32 service (when
+    /// measured).
+    pub f32_scaled_qps: Option<f64>,
+    /// `f32_scaled_qps / scaled_qps` — what quantization buys the gateway
+    /// on top of concurrency (when measured).
+    pub f32_speedup: Option<f64>,
     /// Every timed run, in execution order.
     pub runs: Vec<GatewayRunResult>,
 }
@@ -166,7 +178,7 @@ impl GatewayBenchResult {
              \"features_per_round\": {feat},\n    \"max_batch\": {max_batch},\n    \
              \"max_delay_us\": {delay},\n    \"duration_s\": {dur}\n  }},\n  \
              \"baseline_qps\": {base:.1},\n  \"scaled_qps\": {scaled:.1},\n  \
-             \"speedup\": {speedup:.3},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+             \"speedup\": {speedup:.3},{f32}\n  \"runs\": [\n{runs}\n  ]\n}}\n",
             env = self.env,
             sessions = self.sessions,
             hist = self.history_length,
@@ -177,6 +189,12 @@ impl GatewayBenchResult {
             base = self.baseline_qps,
             scaled = self.scaled_qps,
             speedup = self.speedup,
+            f32 = match (self.f32_scaled_qps, self.f32_speedup) {
+                (Some(qps), Some(speedup)) => format!(
+                    "\n  \"f32_scaled_qps\": {qps:.1},\n  \"f32_speedup_vs_f64\": {speedup:.3},"
+                ),
+                _ => String::new(),
+            },
             runs = runs.join(",\n"),
         )
     }
@@ -419,6 +437,39 @@ pub fn run_gateway_bench(opts: &GatewayBenchOptions) -> Result<GatewayBenchResul
         telemetry: scaled.telemetry,
     });
 
+    // Quantized mode: the same scaled closed loop over an f32 service, so
+    // the report shows what precision buys at the same concurrency (the
+    // per-run telemetry carries the precision label).
+    let mut f32_scaled_qps = None;
+    if opts.precision == BenchPrecision::WithF32 {
+        let f32_service = Arc::new(
+            PricingService::from_snapshot(
+                &snapshot,
+                ServiceConfig::new(build.history_length, features).with_precision(Precision::F32),
+            )
+            .map_err(|e| format!("cannot build f32 service: {e}"))?,
+        );
+        let f32_scaled = closed_loop(
+            &f32_service,
+            gateway_config.clone().with_executors(executors),
+            ingress,
+            &stream,
+            duration,
+        )?;
+        f32_scaled_qps = Some(f32_scaled.achieved_qps);
+        runs.push(GatewayRunResult {
+            label: "scaled-closed-f32".to_string(),
+            mode: "closed",
+            ingress,
+            executors,
+            offered_qps: None,
+            achieved_qps: f32_scaled.achieved_qps,
+            client_p50_us: Some(f32_scaled.client_p50_us),
+            client_p99_us: Some(f32_scaled.client_p99_us),
+            telemetry: f32_scaled.telemetry,
+        });
+    }
+
     // Open-loop sweep: offered load as multiples of the measured capacity.
     for &factor in &opts.open_loop_factors {
         let rate = (scaled_qps * factor).max(1.0);
@@ -453,6 +504,8 @@ pub fn run_gateway_bench(opts: &GatewayBenchOptions) -> Result<GatewayBenchResul
         baseline_qps,
         scaled_qps,
         speedup: scaled_qps / baseline_qps.max(1e-9),
+        f32_scaled_qps,
+        f32_speedup: f32_scaled_qps.map(|qps| qps / scaled_qps.max(1e-9)),
         runs,
     })
 }
@@ -482,7 +535,16 @@ mod tests {
         assert!(result.baseline_qps > 0.0);
         assert!(result.scaled_qps > 0.0);
         assert!(result.speedup > 0.0);
-        assert_eq!(result.runs.len(), 3); // baseline + scaled + one open
+        // baseline + scaled + scaled-f32 + one open
+        assert_eq!(result.runs.len(), 4);
+        assert!(result.f32_scaled_qps.unwrap() > 0.0);
+        assert!(result.f32_speedup.unwrap() > 0.0);
+        let f32_run = result
+            .runs
+            .iter()
+            .find(|r| r.label == "scaled-closed-f32")
+            .unwrap();
+        assert_eq!(f32_run.telemetry.precision, "f32");
         for run in &result.runs {
             let t = &run.telemetry;
             assert_eq!(t.submitted, t.completed + t.failed, "books must balance");
@@ -497,6 +559,8 @@ mod tests {
         assert!(json.contains("\"bench\": \"gateway\""));
         assert!(json.contains("\"baseline_qps\""));
         assert!(json.contains("\"open-x1.00\""));
+        assert!(json.contains("\"f32_scaled_qps\""));
+        assert!(json.contains("\"scaled-closed-f32\""));
         assert!(json.contains("\"client_p50_us\""));
         assert!(json.contains("\"p99\""));
         assert!(json.contains("\"batch_size_buckets\""));

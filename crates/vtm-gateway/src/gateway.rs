@@ -952,6 +952,7 @@ impl Gateway {
     /// state, latency/batch-size histograms with p50/p95/p99).
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let mut snapshot = self.shared.telemetry.snapshot();
+        snapshot.precision = self.shared.service.config().precision.name();
         if let Some(health) = &self.shared.health {
             snapshot.health = health.current();
         }
@@ -966,6 +967,7 @@ impl Gateway {
     pub fn shutdown(mut self) -> TelemetrySnapshot {
         self.shutdown_inner();
         let mut snapshot = self.shared.telemetry.snapshot();
+        snapshot.precision = self.shared.service.config().precision.name();
         if let Some(health) = &self.shared.health {
             snapshot.health = health.current();
         }

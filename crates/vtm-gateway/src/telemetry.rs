@@ -260,6 +260,7 @@ impl Telemetry {
             journal_retries: self.journal_retries.load(Ordering::Relaxed),
             journal_bypassed: self.journal_bypassed.load(Ordering::Relaxed),
             health: HealthState::Healthy,
+            precision: "f64",
             batches,
             queue_depth: self.in_flight.load(Ordering::Relaxed),
             journal_frames: self.journal_frames.load(Ordering::Relaxed),
@@ -335,6 +336,10 @@ pub struct TelemetrySnapshot {
     /// The health controller's state at snapshot time (always
     /// [`HealthState::Healthy`] when no health controller is configured).
     pub health: HealthState,
+    /// Forward-pass precision of the serving policy (`"f64"` or `"f32"`),
+    /// copied from the service configuration so capacity reports name the
+    /// numeric mode they were measured under (see `docs/NUMERICS.md`).
+    pub precision: &'static str,
     /// Batches flushed by the scheduler.
     pub batches: u64,
     /// Admitted-but-not-yet-completed requests at snapshot time.
@@ -382,6 +387,7 @@ impl TelemetrySnapshot {
         format!(
             "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
              \"batches\": {}, \"queue_depth\": {}, \"health\": \"{}\", \
+             \"precision\": \"{}\", \
              \"faults\": {{\"expired\": {}, \"shed\": {}, \"degraded_quotes\": {}, \
              \"panics\": {}, \"restarts\": {}, \"watchdog_fires\": {}}}, \
              \"journal\": {{\"frames\": {}, \"bytes\": {}, \"snapshots\": {}, \
@@ -396,6 +402,7 @@ impl TelemetrySnapshot {
             self.batches,
             self.queue_depth,
             self.health.as_str(),
+            self.precision,
             self.expired,
             self.shed,
             self.degraded_quotes,

@@ -161,6 +161,51 @@ fn single_executor_greedy_gateway_matches_quote_batch_digest() {
     }
 }
 
+/// The same determinism contract holds on the quantized f32 serving path:
+/// a single-executor greedy gateway over an f32 service is outcome-
+/// identical (quotes, counters, state digest) to direct f32 `quote_batch`
+/// calls, because the f32 kernels are batch-slicing invariant just like
+/// the f64 ones. Telemetry names the precision it measured.
+#[test]
+fn single_executor_greedy_f32_gateway_matches_f32_quote_batch_digest() {
+    use vtm_serve::Precision;
+
+    let f32_config = || pressured_config().with_precision(Precision::F32);
+    let stream = request_stream(6, 13);
+
+    let reference = Arc::new(PricingService::from_snapshot(&snapshot(2), f32_config()).unwrap());
+    let mut reference_quotes = Vec::new();
+    for round in &stream {
+        reference_quotes.extend(reference.quote_batch(round).unwrap());
+    }
+    let reference_outcome = RunOutcome {
+        quotes_digest: quotes_digest(&reference_quotes),
+        service_stats: reference.stats(),
+        state_digest: reference.state_digest(),
+    };
+    assert!(reference_outcome.service_stats.evicted > 0);
+
+    for (max_batch, delay_us) in [(1, 0), (9, 1000)] {
+        let config = GatewayConfig::default()
+            .with_executors(1)
+            .with_max_batch(max_batch)
+            .with_max_delay(Duration::from_micros(delay_us));
+        assert_eq!(
+            gateway_outcome(config, f32_config(), &stream),
+            reference_outcome,
+            "f32 gateway (max_batch {max_batch}) diverged from f32 quote_batch"
+        );
+    }
+
+    // The precision mode is plumbed through to gateway telemetry.
+    let service = Arc::new(PricingService::from_snapshot(&snapshot(2), f32_config()).unwrap());
+    let gateway = Gateway::start(service, GatewayConfig::default());
+    assert_eq!(gateway.telemetry().precision, "f32");
+    let stats = gateway.shutdown();
+    assert_eq!(stats.precision, "f32");
+    assert!(stats.to_json().contains("\"precision\": \"f32\""));
+}
+
 /// A full batch flushes immediately — well before a long deadline.
 #[test]
 fn full_batches_flush_before_the_deadline() {

@@ -44,6 +44,29 @@ impl Activation {
         }
     }
 
+    /// Applies the activation to an f32 scalar (frozen-serving fast path).
+    ///
+    /// Mirrors [`Activation::apply_scalar`] with the same numerical-
+    /// stability branches, evaluated natively in f32. Used by the
+    /// [`inference`](crate::inference) kernels; training always goes
+    /// through the f64 path.
+    pub fn apply_scalar_f32(self, z: f32) -> f32 {
+        match self {
+            Activation::Linear => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => sigmoid_f32(z),
+            Activation::Softplus => softplus_f32(z),
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    z
+                } else {
+                    0.01 * z
+                }
+            }
+        }
+    }
+
     /// Derivative of the activation with respect to the pre-activation scalar `z`.
     pub fn derivative_scalar(self, z: f64) -> f64 {
         match self {
@@ -187,6 +210,27 @@ pub fn softplus(z: f64) -> f64 {
     }
 }
 
+/// Numerically stable logistic sigmoid in f32 (serving fast path).
+pub fn sigmoid_f32(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + exp(z))` in f32 (serving fast path).
+pub fn softplus_f32(z: f32) -> f32 {
+    if z > 30.0 {
+        z
+    } else if z < -30.0 {
+        z.exp()
+    } else {
+        (1.0 + z.exp()).ln()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +327,20 @@ mod tests {
             assert_eq!(Activation::from_tag(a.tag()), Some(a));
         }
         assert_eq!(Activation::from_tag(200), None);
+    }
+
+    #[test]
+    fn f32_application_tracks_f64_within_f32_epsilon_scale() {
+        for act in ALL {
+            for z in [-31.0f64, -5.0, -0.5, -1e-4, 0.0, 1e-4, 0.5, 5.0, 31.0] {
+                let wide = act.apply_scalar(z);
+                let narrow = f64::from(act.apply_scalar_f32(z as f32));
+                assert!(
+                    (wide - narrow).abs() <= 1e-6 * wide.abs().max(1.0),
+                    "{act} f32 divergence at z = {z}: {wide} vs {narrow}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`activation::Activation`] — element-wise activations and derivatives,
 //! * [`layer::Dense`] / [`mlp::Mlp`] — fully connected layers and networks
 //!   with explicit forward/backward passes,
+//! * [`inference::InferenceModel`] — a frozen network converted once to
+//!   contiguous f32 blocks for the serving fast path (training stays f64),
 //! * [`optimizer`] — SGD and Adam,
 //! * [`loss`] — MSE and Huber losses with gradients,
 //! * [`gradcheck`] — numerical gradient checking used by the test suites.
@@ -40,6 +42,7 @@
 pub mod activation;
 pub mod codec;
 pub mod gradcheck;
+pub mod inference;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -51,6 +54,7 @@ pub mod optimizer;
 pub mod prelude {
     pub use crate::activation::Activation;
     pub use crate::codec::{CodecError, PayloadReader, PayloadWriter, WeightCodec};
+    pub use crate::inference::{InferenceLayer, InferenceModel};
     pub use crate::init::Initializer;
     pub use crate::layer::{Dense, DenseGrads};
     pub use crate::matrix::{Matrix, ShapeError};

@@ -54,7 +54,8 @@ mod session;
 mod store;
 
 pub use service::{
-    InferenceMode, PricingService, Quote, QuoteRequest, ServeError, ServiceConfig, ServiceStats,
+    InferenceMode, Precision, PricingService, Quote, QuoteRequest, ServeError, ServiceConfig,
+    ServiceStats,
 };
 pub use session::Session;
 pub use store::{SessionStore, StoreConfig, StoreStats};

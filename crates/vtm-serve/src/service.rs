@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vtm_nn::codec::{fnv1a, CodecError, PayloadReader, PayloadWriter};
+use vtm_nn::inference::InferenceModel;
 use vtm_nn::matrix::ShapeError;
 use vtm_nn::mlp::Mlp;
 use vtm_rl::distribution::DiagGaussian;
@@ -106,6 +107,45 @@ pub enum InferenceMode {
     Sample,
 }
 
+/// Numeric precision of the frozen serving forward pass.
+///
+/// Training, journal replay and state digests are pinned at double
+/// precision across the whole workspace; this knob only selects how the
+/// *frozen* actor evaluates observation rows at serving time. The contract
+/// — where each mode is allowed and how f32 correctness is verified — is
+/// documented in `docs/NUMERICS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Reference double-precision path: quotes are bit-identical to the
+    /// training-side actor (`Mlp::forward_vec`) and to every determinism
+    /// pin from earlier PRs. The default.
+    #[default]
+    F64,
+    /// Quantized fast path: the actor's weights are rounded once, at
+    /// service construction, into a structure-of-arrays f32
+    /// [`InferenceModel`] and evaluated by fused f32 kernels. Greedy
+    /// decisions agree with [`Precision::F64`] within the tested error
+    /// bound; observation normalization and the action-space squash stay
+    /// f64.
+    F32,
+}
+
+impl Precision {
+    /// Human-readable name (`"f64"` / `"f32"`), used by bench JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Static configuration of a [`PricingService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
@@ -131,6 +171,8 @@ pub struct ServiceConfig {
     pub inference_threads: usize,
     /// Quote mode.
     pub mode: InferenceMode,
+    /// Forward-pass precision (f64 reference or quantized f32 fast path).
+    pub precision: Precision,
 }
 
 impl ServiceConfig {
@@ -150,6 +192,7 @@ impl ServiceConfig {
             session_ttl: 0,
             inference_threads: 1,
             mode: InferenceMode::Greedy,
+            precision: Precision::F64,
         }
     }
 
@@ -180,6 +223,22 @@ impl ServiceConfig {
     /// Overrides the inference mode.
     pub fn with_mode(mut self, mode: InferenceMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Overrides the forward-pass precision.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vtm_serve::{Precision, ServiceConfig};
+    ///
+    /// let config = ServiceConfig::new(4, 2).with_precision(Precision::F32);
+    /// assert_eq!(config.precision, Precision::F32);
+    /// assert_eq!(config.precision.name(), "f32");
+    /// ```
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -243,6 +302,11 @@ pub struct ServiceStats {
 #[derive(Debug)]
 pub struct PricingService {
     actor: Mlp,
+    /// Frozen f32 copy of the actor, converted once at construction time.
+    /// `Some` exactly when the configured precision is [`Precision::F32`];
+    /// the f64 actor stays resident either way as the reference path (and
+    /// as the source for checkpoints/fingerprints).
+    inference: Option<InferenceModel>,
     action_space: ActionSpace,
     log_std: Vec<f64>,
     obs_normalizer: Option<RunningMeanStd>,
@@ -285,8 +349,13 @@ impl PricingService {
                 .with_capacity_per_shard(config.session_capacity)
                 .with_ttl_quotes(config.session_ttl),
         );
+        let inference = match config.precision {
+            Precision::F64 => None,
+            Precision::F32 => Some(InferenceModel::from_mlp(&snapshot.actor)),
+        };
         Ok(Self {
             actor: snapshot.actor.clone(),
+            inference,
             action_space: snapshot.action_space.clone(),
             log_std: snapshot.log_std.clone(),
             obs_normalizer: snapshot.obs_normalizer.clone(),
@@ -475,6 +544,20 @@ impl PricingService {
         })
     }
 
+    /// Evaluates one contiguous chunk of observation rows through the
+    /// configured precision's forward path. Row-independent, so chunking
+    /// (and therefore the inference-thread count) never changes results.
+    fn forward_chunk(&self, chunk: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ShapeError> {
+        let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+        match &self.inference {
+            Some(model) => model.forward_rows(&refs),
+            None => {
+                let means = self.actor.forward_rows(&refs)?;
+                Ok((0..chunk.len()).map(|i| means.row(i).to_vec()).collect())
+            }
+        }
+    }
+
     /// Batched (and optionally multi-threaded) actor evaluation: one matrix
     /// forward pass per chunk instead of one row-vector pass per request.
     fn forward_means(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ServeError> {
@@ -485,24 +568,13 @@ impl PricingService {
         .min(rows.len())
         .max(1);
         if threads == 1 {
-            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
-            let means = self
-                .actor
-                .forward_rows(&refs)
-                .map_err(ServeError::Forward)?;
-            return Ok((0..rows.len()).map(|i| means.row(i).to_vec()).collect());
+            return self.forward_chunk(rows).map_err(ServeError::Forward);
         }
         let chunk_size = rows.len().div_ceil(threads);
         let chunks: Vec<Result<Vec<Vec<f64>>, ShapeError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = rows
                 .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
-                        let means = self.actor.forward_rows(&refs)?;
-                        Ok((0..chunk.len()).map(|i| means.row(i).to_vec()).collect())
-                    })
-                })
+                .map(|chunk| scope.spawn(move || self.forward_chunk(chunk)))
                 .collect();
             handles
                 .into_iter()
@@ -575,10 +647,13 @@ impl PricingService {
     /// Returns a typed [`ServeError`] for malformed feature blocks.
     pub fn quote_one(&self, request: &QuoteRequest) -> Result<Quote, ServeError> {
         let (rows, warmed, draws) = self.gather_observations(&[request])?;
-        let mean = self
-            .actor
-            .forward_vec(&rows[0])
-            .map_err(ServeError::Forward)?;
+        // Route by precision so single-request quotes stay bit-identical to
+        // batched ones in *both* modes (each path is batch-invariant).
+        let mean = match &self.inference {
+            Some(model) => model.forward_vec(&rows[0]),
+            None => self.actor.forward_vec(&rows[0]),
+        }
+        .map_err(ServeError::Forward)?;
         self.quotes_served.fetch_add(1, Ordering::Relaxed);
         let quote = self.quote_from_mean(request.session, &mean, draws[0], warmed[0]);
         self.store
@@ -861,6 +936,81 @@ mod tests {
         // The cache tracks the most recent round.
         let newer = service.quote_batch(&requests(1, 4, 2)).unwrap();
         assert_eq!(service.cached_quote(3).unwrap().action, newer[3].action);
+    }
+
+    /// Index of the largest element — the "which action wins" witness the
+    /// greedy decision-agreement contract compares across precisions.
+    fn argmax(values: &[f64]) -> usize {
+        values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    #[test]
+    fn f32_greedy_quotes_agree_with_the_f64_reference() {
+        let snap = snapshot(8, 21);
+        let reference = PricingService::from_snapshot(&snap, ServiceConfig::new(4, 2)).unwrap();
+        let quantized = PricingService::from_snapshot(
+            &snap,
+            ServiceConfig::new(4, 2).with_precision(Precision::F32),
+        )
+        .unwrap();
+        for round in 0..6 {
+            let reqs = requests(round, 9, 2);
+            let wide = reference.quote_batch(&reqs).unwrap();
+            let narrow = quantized.quote_batch(&reqs).unwrap();
+            for (w, n) in wide.iter().zip(&narrow) {
+                assert_eq!(argmax(&w.action), argmax(&n.action));
+                assert_eq!((w.session, w.warmed), (n.session, n.warmed));
+                assert!(
+                    (w.price() - n.price()).abs() < 1e-2,
+                    "round {round}: f32 price {} too far from f64 {}",
+                    n.price(),
+                    w.price()
+                );
+            }
+        }
+        // Session bookkeeping (histories, ticks, counters) is precision-
+        // independent: only the cached last actions may differ.
+        assert_eq!(reference.stats(), quantized.stats());
+    }
+
+    #[test]
+    fn f32_batched_quotes_match_f32_per_request_quotes_exactly() {
+        let snap = snapshot(8, 22);
+        let config = ServiceConfig::new(4, 2).with_precision(Precision::F32);
+        let batched = PricingService::from_snapshot(&snap, config).unwrap();
+        let sequential = PricingService::from_snapshot(&snap, config).unwrap();
+        for round in 0..5 {
+            let reqs = requests(round, 9, 2);
+            let via_batch = batched.quote_batch(&reqs).unwrap();
+            let via_single: Vec<Quote> = reqs
+                .iter()
+                .map(|r| sequential.quote_one(r).unwrap())
+                .collect();
+            assert_eq!(via_batch, via_single, "f32 round {round} diverged");
+        }
+        assert_eq!(batched.state_digest(), sequential.state_digest());
+    }
+
+    #[test]
+    fn f32_threaded_batches_match_f32_inline_batches_exactly() {
+        let snap = snapshot(8, 23);
+        let base = ServiceConfig::new(4, 2).with_precision(Precision::F32);
+        let inline = PricingService::from_snapshot(&snap, base).unwrap();
+        let threaded =
+            PricingService::from_snapshot(&snap, base.with_inference_threads(4)).unwrap();
+        for round in 0..4 {
+            let reqs = requests(round, 23, 2);
+            assert_eq!(
+                inline.quote_batch(&reqs).unwrap(),
+                threaded.quote_batch(&reqs).unwrap(),
+                "f32 round {round} diverged across inference thread counts"
+            );
+        }
     }
 
     #[test]
