@@ -27,6 +27,7 @@
 
 use vtm_bench::chaos::{run_chaos, ChaosOptions, PLANS};
 use vtm_bench::experiments::{find, manifest, ExperimentCtx};
+use vtm_bench::fabric_bench::{run_fabric_bench, FabricBenchOptions};
 use vtm_bench::gateway_bench::{run_gateway_bench, GatewayBenchOptions};
 use vtm_bench::journal_cli::{
     run_journal_demo, run_replay, JournalDemoOptions, ReplayCliOptions, SnapshotChoice,
@@ -54,6 +55,12 @@ fn usage() -> ! {
          [--duration-s S] [--sessions N] [--ingress N] [--executors N] \
          [--max-batch N] [--max-delay-us N] [--queue-capacity N] [--no-open-loop] \
          [--precision f64|f32|both]"
+    );
+    eprintln!(
+        "       experiments fabric-bench [--env <preset>] [--checkpoint <path>] \
+         [--shards N] [--arms a=90,b=10] [--duration-s S] [--sessions N] \
+         [--ingress N] [--executors N] [--max-batch N] [--max-delay-us N] \
+         [--queue-capacity N] [--no-open-loop]"
     );
     eprintln!(
         "       experiments journal-demo [--env <preset>] [--checkpoint <path>] \
@@ -342,6 +349,127 @@ fn main_gateway_bench(args: &[String]) {
     }
 }
 
+fn main_fabric_bench(args: &[String]) {
+    let mut opts = FabricBenchOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--env" => opts.env = flag_value(args, &mut i, "--env").to_string(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(flag_value(args, &mut i, "--checkpoint").into())
+            }
+            "--duration-s" => {
+                let value = flag_value(args, &mut i, "--duration-s");
+                opts.duration_s = match value.parse::<f64>() {
+                    Ok(s) if s > 0.0 => s,
+                    _ => {
+                        eprintln!("error: --duration-s needs a positive number, got `{value}`");
+                        usage();
+                    }
+                };
+            }
+            "--sessions" => {
+                opts.sessions =
+                    parse_count(flag_value(args, &mut i, "--sessions"), "--sessions").max(1)
+            }
+            "--shards" => {
+                opts.shards = parse_count(flag_value(args, &mut i, "--shards"), "--shards")
+            }
+            "--arms" => {
+                let value = flag_value(args, &mut i, "--arms");
+                opts.arms = match vtm_fabric::parse_arms(value) {
+                    Ok(arms) => arms,
+                    Err(err) => {
+                        eprintln!("error: --arms: {err}");
+                        usage();
+                    }
+                };
+            }
+            "--ingress" => {
+                opts.ingress = parse_count(flag_value(args, &mut i, "--ingress"), "--ingress")
+            }
+            "--executors" => {
+                opts.executors = parse_count(flag_value(args, &mut i, "--executors"), "--executors")
+            }
+            "--max-batch" => {
+                opts.max_batch =
+                    parse_count(flag_value(args, &mut i, "--max-batch"), "--max-batch").max(1)
+            }
+            "--max-delay-us" => {
+                opts.max_delay_us =
+                    parse_count(flag_value(args, &mut i, "--max-delay-us"), "--max-delay-us") as u64
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = parse_count(
+                    flag_value(args, &mut i, "--queue-capacity"),
+                    "--queue-capacity",
+                )
+                .max(1)
+            }
+            "--no-open-loop" => opts.open_loop_factors.clear(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown fabric-bench argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_fabric_bench(&opts) {
+        Ok(result) => {
+            let arms: Vec<String> = result
+                .arms
+                .iter()
+                .map(|a| format!("{}={}", a.name, a.percent))
+                .collect();
+            println!(
+                "fabric-bench `{}` [{}]: baseline (1 shard) {:.0} quotes/s, {} shards \
+                 {:.0} quotes/s ({:.2}x)",
+                result.env,
+                arms.join(","),
+                result.baseline_qps,
+                result.shards,
+                result.scaled_qps,
+                result.speedup
+            );
+            for run in &result.runs {
+                let offered = run
+                    .offered_qps
+                    .map_or("closed loop".to_string(), |q| format!("offered {q:.0}/s"));
+                println!(
+                    "  {:<18} {offered:>16} -> {:>8.0} quotes/s",
+                    run.label, run.achieved_qps
+                );
+                for arm in &run.fabric.arms {
+                    if arm.quotes > 0 {
+                        println!(
+                            "    arm {:<10} {:>8} quotes, p50 {} us, p95 {} us, p99 {} us, \
+                             revenue {:.1}",
+                            arm.name,
+                            arm.quotes,
+                            arm.latency_p50_us,
+                            arm.latency_p95_us,
+                            arm.latency_p99_us,
+                            arm.revenue
+                        );
+                    }
+                }
+            }
+            match result.save() {
+                Ok(path) => println!("(saved to {})", path.display()),
+                Err(err) => {
+                    eprintln!("error: could not write BENCH_fabric.json: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main_journal_demo(args: &[String]) {
     let mut opts = JournalDemoOptions::default();
     let mut i = 0;
@@ -568,6 +696,7 @@ fn main() {
         Some("train") => return main_train(&args[1..]),
         Some("serve-bench") => return main_serve_bench(&args[1..]),
         Some("gateway-bench") => return main_gateway_bench(&args[1..]),
+        Some("fabric-bench") => return main_fabric_bench(&args[1..]),
         Some("journal-demo") => return main_journal_demo(&args[1..]),
         Some("replay") => return main_replay(&args[1..]),
         Some("chaos") => return main_chaos(&args[1..]),

@@ -16,6 +16,9 @@
 //! `experiments gateway-bench` ([`gateway_bench`]) drives the concurrent
 //! online gateway (`vtm-gateway`) with closed- and open-loop load and
 //! records latency percentiles, batch-size histograms and rejects;
+//! `experiments fabric-bench` ([`fabric_bench`]) scales the same load
+//! across a sharded A/B fabric (`vtm-fabric`) and reports per-shard and
+//! per-arm percentiles plus the sharding speedup;
 //! `experiments journal-demo` / `experiments replay` ([`journal_cli`])
 //! record a journaled gateway run and reconstruct its exact service state
 //! from the audit journal (optionally resuming from a snapshot);
@@ -27,6 +30,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fabric_bench;
 pub mod gateway_bench;
 pub mod journal_cli;
 pub mod lifecycle;

@@ -24,6 +24,9 @@
 //! * [`registry`] — the named environment registry mapping preset names
 //!   (`static`, `highway`, ...) to runnable environments, shared by the
 //!   trainer and the serving layer,
+//! * [`routing`] — the deterministic session→shard hash and stream
+//!   partitioning helpers shared by the session store and the gateway
+//!   fabric,
 //! * [`config`] — the experiment parameters of §V-A.
 //!
 //! # Quickstart
@@ -54,6 +57,7 @@ pub mod mechanism;
 pub mod msp;
 pub mod multi_msp;
 pub mod registry;
+pub mod routing;
 pub mod scenario;
 pub mod schemes;
 pub mod stackelberg;
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use crate::msp::Msp;
     pub use crate::multi_msp::{CompetingMsp, CompetitionOutcome, MultiMspMarket};
     pub use crate::registry::{AnyPricingEnv, EnvBuildOptions, EnvRegistry, EnvSpec};
+    pub use crate::routing::{route_frames, session_shard, splitmix64};
     pub use crate::scenario::{
         evaluate_scenario, train_scenario_parallel, RivalMsp, Scenario, ScenarioKind,
         ScenarioTrainingRun, SimPricingEnv, SimRoundRecord, SurgeWindow, Topology,

@@ -246,7 +246,7 @@ impl EnvRegistry {
             // per-replica seed streams.
             opts.seed = options
                 .seed
-                .wrapping_add((session as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                .wrapping_add((session as u64).wrapping_mul(crate::routing::GOLDEN));
             let mut env = self.build(name, &opts)?;
             // tanh-squash of 0 is the exact midpoint of the action box.
             let midpoint = env

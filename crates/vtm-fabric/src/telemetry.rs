@@ -1,0 +1,285 @@
+//! Fabric-level telemetry: per-arm counters and the aggregated snapshot.
+//!
+//! Each gateway shard already keeps its own [`TelemetrySnapshot`]; what the
+//! fabric adds is the *arm* axis — counters that survive hot-swaps (a
+//! promotion replaces an arm's gateways, not its history) and a
+//! revenue-proxy sum so an A/B experiment can read off which policy earns
+//! more. Latencies are recorded client-side at ticket resolution into the
+//! same log₂-µs histogram the gateway uses, so per-arm percentiles follow
+//! the exact bucket convention of the per-shard ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vtm_gateway::{
+    latency_bucket, percentile_from_buckets, GatewayError, TelemetrySnapshot, LATENCY_BUCKETS,
+};
+
+/// Lock-free per-arm counters (one per arm, shared by every ticket).
+#[derive(Debug)]
+pub(crate) struct ArmTelemetry {
+    quotes: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    promotions: AtomicU64,
+    /// Bit-packed f64 sum of quoted prices (CAS loop; see `add_revenue`).
+    revenue_bits: AtomicU64,
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+    latency_sum_us: AtomicU64,
+}
+
+impl Default for ArmTelemetry {
+    fn default() -> Self {
+        Self {
+            quotes: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            revenue_bits: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ArmTelemetry {
+    /// Records a resolved quote: completion, degradation, revenue proxy
+    /// and client-observed latency.
+    pub(crate) fn record_quote(&self, price: f64, degraded: bool, latency_us: u64) {
+        self.quotes.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.add_revenue(price);
+        self.latency_us[latency_bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+    }
+
+    /// Records a typed failure, bucketed the way an experiment reads it:
+    /// load-shedding and backpressure separately from hard failures.
+    pub(crate) fn record_error(&self, error: &GatewayError) {
+        let counter = match error {
+            GatewayError::Shed { .. } => &self.shed,
+            GatewayError::Overloaded { .. } => &self.rejected,
+            _ => &self.failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed promotion (hot-swap) of this arm.
+    pub(crate) fn record_promotion(&self) {
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds a price to the revenue-proxy sum. f64 addition via a CAS loop
+    /// on the bit pattern — contention is per-arm and the loop is two
+    /// instructions, so this never serializes the quote path measurably.
+    fn add_revenue(&self, price: f64) {
+        let mut current = self.revenue_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + price).to_bits();
+            match self.revenue_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// A point-in-time copy with derived percentiles.
+    pub(crate) fn snapshot(&self, name: &str, percent: u32) -> ArmSnapshot {
+        let buckets: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quotes = self.quotes.load(Ordering::Relaxed);
+        ArmSnapshot {
+            name: name.to_string(),
+            percent,
+            quotes,
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            revenue: f64::from_bits(self.revenue_bits.load(Ordering::Relaxed)),
+            latency_p50_us: percentile_from_buckets(&buckets, 0.50),
+            latency_p95_us: percentile_from_buckets(&buckets, 0.95),
+            latency_p99_us: percentile_from_buckets(&buckets, 0.99),
+            latency_mean_us: if quotes == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / quotes as f64
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of one arm's fabric-level counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmSnapshot {
+    /// The arm's name.
+    pub name: String,
+    /// The arm's configured session share, in percent.
+    pub percent: u32,
+    /// Quotes resolved for this arm (across promotions).
+    pub quotes: u64,
+    /// Resolved quotes answered from the degraded last-quote cache.
+    pub degraded: u64,
+    /// Submissions rejected by load shedding.
+    pub shed: u64,
+    /// Submissions rejected by admission backpressure.
+    pub rejected: u64,
+    /// Tickets resolved with any other typed error.
+    pub failed: u64,
+    /// Completed hot-swap promotions of this arm.
+    pub promotions: u64,
+    /// Revenue proxy: the sum of quoted prices ([`vtm_serve::Quote::price`])
+    /// over every resolved quote — the A/B comparison metric.
+    pub revenue: f64,
+    /// Median client-observed latency (bucket upper bound, µs).
+    pub latency_p50_us: u64,
+    /// 95th-percentile client-observed latency (bucket upper bound, µs).
+    pub latency_p95_us: u64,
+    /// 99th-percentile client-observed latency (bucket upper bound, µs).
+    pub latency_p99_us: u64,
+    /// Mean client-observed latency (exact, µs).
+    pub latency_mean_us: f64,
+}
+
+impl ArmSnapshot {
+    /// Renders the arm as a JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"percent\": {}, \"quotes\": {}, \"degraded\": {}, \
+             \"shed\": {}, \"rejected\": {}, \"failed\": {}, \"promotions\": {}, \
+             \"revenue\": {:.3}, \
+             \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}}}}}",
+            self.name,
+            self.percent,
+            self.quotes,
+            self.degraded,
+            self.shed,
+            self.rejected,
+            self.failed,
+            self.promotions,
+            self.revenue,
+            self.latency_p50_us,
+            self.latency_p95_us,
+            self.latency_p99_us,
+            self.latency_mean_us,
+        )
+    }
+}
+
+/// One gateway's telemetry, tagged with its fabric coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTelemetry {
+    /// The arm the gateway belongs to.
+    pub arm: String,
+    /// The gateway's shard index within the arm.
+    pub shard: usize,
+    /// The arm generation the gateway was started under (0 = the fabric's
+    /// initial policy; each promotion of the arm increments it).
+    pub generation: u64,
+    /// The gateway's own counters, histograms and percentiles.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// A point-in-time copy of the whole fabric's telemetry: the per-arm axis
+/// plus every live (or, at shutdown, every drained) gateway's snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricSnapshot {
+    /// Shards per arm.
+    pub shards: usize,
+    /// Per-arm fabric-level counters, in arm declaration order.
+    pub arms: Vec<ArmSnapshot>,
+    /// Per-gateway snapshots, sorted by (arm declaration order,
+    /// generation, shard).
+    pub gateways: Vec<ShardTelemetry>,
+}
+
+impl FabricSnapshot {
+    /// Renders the snapshot as a JSON object (no trailing newline), in the
+    /// same hand-rolled dependency-free style as the `results/` reports.
+    pub fn to_json(&self) -> String {
+        let arms: Vec<String> = self.arms.iter().map(ArmSnapshot::to_json).collect();
+        let gateways: Vec<String> = self
+            .gateways
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"arm\": \"{}\", \"shard\": {}, \"generation\": {}, \"telemetry\": {}}}",
+                    g.arm,
+                    g.shard,
+                    g.generation,
+                    g.telemetry.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"shards\": {}, \"arms\": [{}], \"gateways\": [{}]}}",
+            self.shards,
+            arms.join(", "),
+            gateways.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_counters_accumulate_and_summarize() {
+        let telemetry = ArmTelemetry::default();
+        telemetry.record_quote(10.0, false, 100);
+        telemetry.record_quote(20.0, true, 200);
+        telemetry.record_error(&GatewayError::Shed { retry_after_us: 50 });
+        telemetry.record_error(&GatewayError::Overloaded { queue_capacity: 8 });
+        telemetry.record_error(&GatewayError::ShuttingDown);
+        telemetry.record_promotion();
+        let snap = telemetry.snapshot("a", 90);
+        assert_eq!(snap.quotes, 2);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.promotions, 1);
+        assert!((snap.revenue - 30.0).abs() < 1e-12);
+        assert_eq!(snap.latency_mean_us, 150.0);
+        assert!(snap.latency_p50_us >= 100);
+        assert!(snap.latency_p99_us >= snap.latency_p50_us);
+        let json = snap.to_json();
+        assert!(json.contains("\"revenue\": 30.000"));
+        assert!(json.contains("\"percent\": 90"));
+    }
+
+    /// The revenue CAS loop survives concurrent adders without losing
+    /// updates (the whole point of packing an f64 into an atomic).
+    #[test]
+    fn revenue_sum_is_exact_under_contention() {
+        let telemetry = ArmTelemetry::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        telemetry.record_quote(0.25, false, 1);
+                    }
+                });
+            }
+        });
+        let snap = telemetry.snapshot("a", 100);
+        assert_eq!(snap.quotes, 4000);
+        // 0.25 sums exactly in binary floating point.
+        assert_eq!(snap.revenue, 1000.0);
+    }
+}

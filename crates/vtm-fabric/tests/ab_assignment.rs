@@ -1,0 +1,221 @@
+//! Satellite: fixed-seed property loop over the A/B assignment contract.
+//!
+//! (a) A session's arm never changes across reassignment-free runs — the
+//!     assignment is a pure function of `(session, ordered percentages)`.
+//! (b) Arm split fractions converge to the configured percentages within
+//!     tolerance at 10⁴ sessions.
+//! (c) A hot swap changes quoted prices *only* for the promoted arm —
+//!     pinned by comparing per-arm FNV quote digests between a swapped and
+//!     an unswapped fabric, and by replaying the promoted arm's post-swap
+//!     stream against a fresh service built from the new snapshot.
+
+use vtm_fabric::{ArmSpec, ArmTable, Fabric, FabricConfig};
+use vtm_nn::codec::fnv1a;
+use vtm_rl::env::ActionSpace;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_serve::{PricingService, Quote, QuoteRequest, ServiceConfig};
+
+const HISTORY: usize = 4;
+const FEATURES: usize = 2;
+const SESSIONS: u64 = 10_000;
+
+fn snapshot(seed: u64) -> PolicySnapshot {
+    PpoAgent::new(
+        PpoConfig::new(HISTORY * FEATURES, 1).with_seed(seed),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+    .snapshot()
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::new(HISTORY, FEATURES)
+}
+
+fn arms_90_10() -> Vec<ArmSpec> {
+    vec![ArmSpec::new("a", 90), ArmSpec::new("b", 10)]
+}
+
+fn request(session: u64, round: usize) -> QuoteRequest {
+    QuoteRequest::new(
+        session,
+        (0..FEATURES)
+            .map(|f| ((session as usize * 13 + round * 5 + f) % 17) as f64 / 17.0)
+            .collect(),
+    )
+}
+
+fn digest_quotes(quotes: &[Quote]) -> u64 {
+    let bytes: Vec<u8> = quotes
+        .iter()
+        .flat_map(|q| {
+            q.session
+                .to_le_bytes()
+                .into_iter()
+                .chain(q.action.iter().flat_map(|a| a.to_bits().to_le_bytes()))
+        })
+        .collect();
+    fnv1a(&bytes)
+}
+
+/// Property (a): assignment is sticky. Two independently constructed
+/// tables (and a live fabric) agree on every session's arm, and repeated
+/// evaluation never flips an assignment.
+#[test]
+fn arm_assignment_is_stable_across_runs() {
+    let splits: &[&[(&str, u32)]] = &[
+        &[("a", 90), ("b", 10)],
+        &[("a", 50), ("b", 50)],
+        &[("a", 60), ("b", 30), ("c", 10)],
+    ];
+    for split in splits {
+        let spec: Vec<ArmSpec> = split.iter().map(|(n, p)| ArmSpec::new(*n, *p)).collect();
+        let run1 = ArmTable::new(spec.clone()).unwrap();
+        let run2 = ArmTable::new(spec.clone()).unwrap();
+        for session in 0..SESSIONS {
+            assert_eq!(
+                run1.arm_of(session),
+                run2.arm_of(session),
+                "session {session} flipped arms between runs ({split:?})"
+            );
+            assert_eq!(run1.arm_of(session), run1.arm_of(session));
+        }
+    }
+    // The fabric exposes the same pure function.
+    let fabric = Fabric::start(
+        &snapshot(3),
+        FabricConfig::new(1, service_config()).with_arms(arms_90_10()),
+    )
+    .unwrap();
+    let table = ArmTable::new(arms_90_10()).unwrap();
+    for session in 0..1000 {
+        let expect = &table.arms()[table.arm_of(session)].name;
+        assert_eq!(fabric.arm_of(session), expect);
+    }
+    fabric.shutdown();
+}
+
+/// Property (b): the hash split converges to the configured percentages —
+/// within ±2 percentage points at 10⁴ sequential sessions, and for a
+/// spread of session-id ranges (the hash has no favored region).
+#[test]
+fn arm_split_converges_to_configured_percentages() {
+    let table = ArmTable::new(arms_90_10()).unwrap();
+    for base in [0u64, 1 << 20, 1 << 40, u64::MAX - SESSIONS] {
+        let mut counts = [0u64; 2];
+        for session in base..base + SESSIONS {
+            counts[table.arm_of(session)] += 1;
+        }
+        let frac_a = counts[0] as f64 / SESSIONS as f64;
+        assert!(
+            (frac_a - 0.90).abs() < 0.02,
+            "base {base:#x}: arm-a fraction {frac_a:.4} not within 2% of 0.90"
+        );
+    }
+    // Three-way split converges too.
+    let table = ArmTable::new(vec![
+        ArmSpec::new("a", 60),
+        ArmSpec::new("b", 30),
+        ArmSpec::new("c", 10),
+    ])
+    .unwrap();
+    let mut counts = [0u64; 3];
+    for session in 0..SESSIONS {
+        counts[table.arm_of(session)] += 1;
+    }
+    for (i, target) in [0.60, 0.30, 0.10].iter().enumerate() {
+        let frac = counts[i] as f64 / SESSIONS as f64;
+        assert!(
+            (frac - target).abs() < 0.02,
+            "arm {i} fraction {frac:.4} not within 2% of {target}"
+        );
+    }
+}
+
+/// Property (c): a hot swap changes prices only for the promoted arm.
+///
+/// Two 2-shard fabrics replay the same fixed-seed stream; fabric 2
+/// promotes arm `b` midway. Per-arm FNV quote digests over the post-swap
+/// phase: arm `a` digests are *equal* (untouched by the swap), arm `b`
+/// digests *differ* (new policy). The promoted arm's post-swap quotes are
+/// additionally replayed against a fresh bare service built from the new
+/// snapshot — they must match bit for bit.
+#[test]
+fn hot_swap_changes_prices_only_for_promoted_arm() {
+    let old_snap = snapshot(5);
+    let new_snap = snapshot(6);
+    let config = || FabricConfig::new(2, service_config()).with_arms(arms_90_10());
+    let control = Fabric::start(&old_snap, config()).unwrap();
+    let swapped = Fabric::start(&old_snap, config()).unwrap();
+    let table = ArmTable::new(arms_90_10()).unwrap();
+
+    // Phase 1: identical warm-up on both fabrics.
+    for round in 0..3 {
+        for session in 0..400 {
+            let a = control.quote(request(session, round)).unwrap();
+            let b = swapped.quote(request(session, round)).unwrap();
+            assert_eq!(a, b, "fabrics diverged before any promotion");
+        }
+    }
+
+    swapped.promote("b", &new_snap).unwrap();
+    assert_eq!(
+        swapped.arm_fingerprints(),
+        vec![
+            ("a".to_string(), control.arm_fingerprints()[0].1),
+            (
+                "b".to_string(),
+                vtm_serve::SharedPolicy::from_snapshot(&new_snap)
+                    .unwrap()
+                    .fingerprint()
+            ),
+        ]
+    );
+
+    // Phase 2: same stream on both; split the quotes per arm.
+    let mut per_arm: [[Vec<Quote>; 2]; 2] = Default::default();
+    for round in 3..6 {
+        for session in 0..400 {
+            let arm = table.arm_of(session);
+            per_arm[0][arm].push(control.quote(request(session, round)).unwrap());
+            per_arm[1][arm].push(swapped.quote(request(session, round)).unwrap());
+        }
+    }
+    assert_eq!(
+        digest_quotes(&per_arm[0][0]),
+        digest_quotes(&per_arm[1][0]),
+        "unpromoted arm's prices changed across the swap"
+    );
+    assert_ne!(
+        digest_quotes(&per_arm[0][1]),
+        digest_quotes(&per_arm[1][1]),
+        "promoted arm's prices did not change"
+    );
+
+    // Acceptance: post-swap quotes for the promoted arm match a fresh
+    // service loaded from the new snapshot replaying the same per-session
+    // stream (the promoted gateways started with fresh session state).
+    let fresh = PricingService::from_snapshot(&new_snap, service_config()).unwrap();
+    let mut replayed = Vec::new();
+    for round in 3..6 {
+        for session in 0..400 {
+            if table.arm_of(session) == 1 {
+                replayed.push(fresh.quote_one(&request(session, round)).unwrap());
+            }
+        }
+    }
+    assert_eq!(per_arm[1][1], replayed);
+
+    control.shutdown();
+    let report = swapped.shutdown();
+    assert_eq!(report.arms[1].promotions, 1);
+    assert_eq!(report.arms[0].promotions, 0);
+    // The swapped fabric drained both generations of arm b's gateways.
+    let b_generations: Vec<u64> = report
+        .gateways
+        .iter()
+        .filter(|g| g.arm == "b")
+        .map(|g| g.generation)
+        .collect();
+    assert!(b_generations.contains(&0) && b_generations.contains(&1));
+}

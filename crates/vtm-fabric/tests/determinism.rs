@@ -1,0 +1,185 @@
+//! Fabric acceptance tests: the determinism contract.
+//!
+//! (1) A 1-shard/1-arm fabric is *bit-identical* to a bare [`Gateway`] on
+//! the same request stream (quote digests and service-state digests), so
+//! stacking the fabric on top of a gateway costs no reproducibility.
+//! (2) With journaling on, each shard's journal replays to that shard's
+//! byte-identical service state, and [`replay_fabric`] merges the per-shard
+//! digests into the fabric digest.
+
+use std::sync::Arc;
+
+use vtm_fabric::{Fabric, FabricConfig};
+use vtm_gateway::{Gateway, GatewayConfig};
+use vtm_journal::{
+    combine_shard_digests, replay_fabric, tagged_journal_path, JournalOptions, ReplayOptions,
+};
+use vtm_nn::codec::fnv1a;
+use vtm_rl::env::ActionSpace;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_serve::{PricingService, Quote, QuoteRequest, ServiceConfig};
+
+const HISTORY: usize = 4;
+const FEATURES: usize = 2;
+
+fn snapshot(seed: u64) -> PolicySnapshot {
+    PpoAgent::new(
+        PpoConfig::new(HISTORY * FEATURES, 1).with_seed(seed),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+    .snapshot()
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig::new(HISTORY, FEATURES)
+}
+
+/// The deterministic stream both sides replay, round-major.
+fn stream(rounds: usize, sessions: usize) -> Vec<QuoteRequest> {
+    (0..rounds)
+        .flat_map(|round| {
+            (0..sessions).map(move |s| {
+                QuoteRequest::new(
+                    s as u64,
+                    (0..FEATURES)
+                        .map(|f| ((round * 31 + s * 7 + f) % 13) as f64 / 13.0)
+                        .collect(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn quotes_digest(quotes: &[Quote]) -> u64 {
+    let bytes: Vec<u8> = quotes
+        .iter()
+        .flat_map(|q| {
+            q.session
+                .to_le_bytes()
+                .into_iter()
+                .chain(u64::from(q.warmed).to_le_bytes())
+                .chain(q.action.iter().flat_map(|a| a.to_bits().to_le_bytes()))
+        })
+        .collect();
+    fnv1a(&bytes)
+}
+
+/// Acceptance criterion: 1-shard/1-arm fabric ≡ bare gateway, bit for bit
+/// (quotes and end-state), submission order preserved.
+#[test]
+fn single_shard_single_arm_fabric_matches_bare_gateway_bitwise() {
+    let snap = snapshot(11);
+    let requests = stream(6, 16);
+
+    let service = Arc::new(PricingService::from_snapshot(&snap, service_config()).unwrap());
+    let gateway = Gateway::start(Arc::clone(&service), GatewayConfig::default());
+    let bare: Vec<Quote> = requests
+        .iter()
+        .map(|req| gateway.quote(req.clone()).unwrap())
+        .collect();
+    let bare_state = service.state_digest();
+    gateway.shutdown();
+
+    let fabric = Fabric::start(&snap, FabricConfig::new(1, service_config())).unwrap();
+    let fabricated: Vec<Quote> = requests
+        .iter()
+        .map(|req| fabric.quote(req.clone()).unwrap())
+        .collect();
+    let digests = fabric.shard_digests("default").unwrap();
+
+    assert_eq!(quotes_digest(&fabricated), quotes_digest(&bare));
+    assert_eq!(fabricated, bare);
+    assert_eq!(digests, vec![bare_state]);
+    assert_eq!(
+        fabric.state_digest("default").unwrap(),
+        combine_shard_digests(&[bare_state])
+    );
+    let report = fabric.shutdown();
+    assert_eq!(report.arms[0].quotes, requests.len() as u64);
+}
+
+/// A multi-shard fabric routes every session to exactly one shard and
+/// still answers the exact same per-session quotes as the 1-shard fabric
+/// (routing moves sessions between services, it never changes pricing).
+#[test]
+fn shard_count_never_changes_quote_values() {
+    let snap = snapshot(13);
+    let requests = stream(5, 24);
+
+    let one = Fabric::start(&snap, FabricConfig::new(1, service_config())).unwrap();
+    let three = Fabric::start(&snap, FabricConfig::new(3, service_config())).unwrap();
+    for req in &requests {
+        assert_eq!(
+            one.quote(req.clone()).unwrap(),
+            three.quote(req.clone()).unwrap(),
+            "session {} diverged between shard counts",
+            req.session
+        );
+    }
+    one.shutdown();
+    let report = three.shutdown();
+    // Sessions actually spread across the shards.
+    let active = report
+        .gateways
+        .iter()
+        .filter(|g| g.telemetry.completed > 0)
+        .count();
+    assert!(active >= 2, "expected ≥2 active shards, got {active}");
+}
+
+/// Acceptance criterion: per-shard journals replay to byte-identical
+/// per-shard service state, and the fabric-level merge matches the live
+/// merged digest.
+#[test]
+fn per_shard_journals_replay_to_live_shard_state() {
+    let snap = snapshot(17);
+    let shards = 2;
+    let base = std::env::temp_dir().join(format!(
+        "vtm_fabric_determinism_{}.vtmj",
+        std::process::id()
+    ));
+    let config =
+        FabricConfig::new(shards, service_config()).with_journal(JournalOptions::new(&base));
+    let fabric = Fabric::start(&snap, config).unwrap();
+    for req in stream(6, 16) {
+        fabric.quote(req).unwrap();
+    }
+    let live_digests = fabric.shard_digests("default").unwrap();
+    let journal_paths = fabric.journal_paths();
+    assert_eq!(journal_paths.len(), shards);
+    let report = fabric.shutdown(); // syncs every shard journal
+
+    // Each shard journal replays onto a fresh service to the exact state
+    // digest its live shard held.
+    let fresh: Vec<PricingService> = (0..shards)
+        .map(|_| PricingService::from_snapshot(&snap, service_config()).unwrap())
+        .collect();
+    let refs: Vec<&PricingService> = fresh.iter().collect();
+    let arm_base = tagged_journal_path(&base, "default-g0");
+    let replay = replay_fabric(&refs, &arm_base, &ReplayOptions::default()).unwrap();
+    for (shard, shard_report) in replay.shards.iter().enumerate() {
+        assert_eq!(
+            shard_report.state_digest, live_digests[shard],
+            "shard {shard} replay diverged from live state"
+        );
+        // The fabric journals exactly where it says it does.
+        assert_eq!(
+            journal_paths[shard].2,
+            vtm_journal::shard_journal_path(&arm_base, shard)
+        );
+    }
+    assert_eq!(replay.merged_digest, combine_shard_digests(&live_digests));
+    assert_eq!(
+        replay.total_frames(),
+        report
+            .gateways
+            .iter()
+            .map(|g| g.telemetry.journal_frames)
+            .sum::<u64>()
+    );
+
+    for (_, _, path) in journal_paths {
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -109,6 +109,11 @@ pub struct GatewayConfig {
     /// How often the supervisor thread checks worker liveness (executor
     /// respawn latency and scheduler-watchdog reaction time).
     pub supervisor_poll: Duration,
+    /// Which fabric shard this gateway is (0 for a standalone gateway).
+    /// Purely observational: stamped into [`TelemetrySnapshot::shard`] so a
+    /// multi-shard fabric's per-gateway telemetry stays attributable after
+    /// aggregation.
+    pub shard: usize,
 }
 
 impl Default for GatewayConfig {
@@ -129,6 +134,7 @@ impl Default for GatewayConfig {
             health: None,
             faults: None,
             supervisor_poll: Duration::from_millis(2),
+            shard: 0,
         }
     }
 }
@@ -203,6 +209,12 @@ impl GatewayConfig {
     /// Overrides the supervisor liveness-poll interval (clamped ≥ 100 µs).
     pub fn with_supervisor_poll(mut self, poll: Duration) -> Self {
         self.supervisor_poll = poll.max(Duration::from_micros(100));
+        self
+    }
+
+    /// Tags this gateway with its fabric shard id (telemetry attribution).
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = shard;
         self
     }
 }
@@ -953,6 +965,7 @@ impl Gateway {
     pub fn telemetry(&self) -> TelemetrySnapshot {
         let mut snapshot = self.shared.telemetry.snapshot();
         snapshot.precision = self.shared.service.config().precision.name();
+        snapshot.shard = self.shared.config.shard;
         if let Some(health) = &self.shared.health {
             snapshot.health = health.current();
         }
@@ -968,6 +981,7 @@ impl Gateway {
         self.shutdown_inner();
         let mut snapshot = self.shared.telemetry.snapshot();
         snapshot.precision = self.shared.service.config().precision.name();
+        snapshot.shard = self.shared.config.shard;
         if let Some(health) = &self.shared.health {
             snapshot.health = health.current();
         }

@@ -105,4 +105,7 @@ mod telemetry;
 pub use fault::FaultPlan;
 pub use gateway::{Gateway, GatewayConfig, GatewayError, JournalBypassPolicy, QuoteTicket};
 pub use health::{HealthConfig, HealthState};
-pub use telemetry::{Telemetry, TelemetrySnapshot, LATENCY_BUCKETS, MAX_TRACKED_BATCH};
+pub use telemetry::{
+    latency_bucket, percentile_from_buckets, Telemetry, TelemetrySnapshot, LATENCY_BUCKETS,
+    MAX_TRACKED_BATCH,
+};

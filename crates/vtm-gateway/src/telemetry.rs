@@ -22,8 +22,10 @@ pub const LATENCY_BUCKETS: usize = 40;
 /// in the last bucket.
 pub const MAX_TRACKED_BATCH: usize = 64;
 
-/// Which log-scale bucket a microsecond latency lands in.
-pub(crate) fn latency_bucket(us: u64) -> usize {
+/// Which log-scale bucket a microsecond latency lands in (the histogram
+/// convention shared with fabric-level aggregators; see
+/// [`percentile_from_buckets`]).
+pub fn latency_bucket(us: u64) -> usize {
     ((63 - us.max(1).leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
 }
 
@@ -261,6 +263,7 @@ impl Telemetry {
             journal_bypassed: self.journal_bypassed.load(Ordering::Relaxed),
             health: HealthState::Healthy,
             precision: "f64",
+            shard: 0,
             batches,
             queue_depth: self.in_flight.load(Ordering::Relaxed),
             journal_frames: self.journal_frames.load(Ordering::Relaxed),
@@ -289,7 +292,11 @@ impl Telemetry {
 
 /// Upper bound (µs) of the first latency bucket whose cumulative count
 /// reaches `q` of the total; 0 when the histogram is empty.
-pub(crate) fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+///
+/// Public so fabric-level aggregators can derive percentiles from their own
+/// log₂-µs histograms (built with [`latency_bucket`]) with the exact same
+/// bucket-upper-bound convention as [`TelemetrySnapshot`].
+pub fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
         return 0;
@@ -340,6 +347,9 @@ pub struct TelemetrySnapshot {
     /// copied from the service configuration so capacity reports name the
     /// numeric mode they were measured under (see `docs/NUMERICS.md`).
     pub precision: &'static str,
+    /// Fabric shard id of the gateway this snapshot came from, copied from
+    /// [`crate::GatewayConfig::shard`] (0 for a standalone gateway).
+    pub shard: usize,
     /// Batches flushed by the scheduler.
     pub batches: u64,
     /// Admitted-but-not-yet-completed requests at snapshot time.
@@ -387,7 +397,7 @@ impl TelemetrySnapshot {
         format!(
             "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
              \"batches\": {}, \"queue_depth\": {}, \"health\": \"{}\", \
-             \"precision\": \"{}\", \
+             \"precision\": \"{}\", \"shard\": {}, \
              \"faults\": {{\"expired\": {}, \"shed\": {}, \"degraded_quotes\": {}, \
              \"panics\": {}, \"restarts\": {}, \"watchdog_fires\": {}}}, \
              \"journal\": {{\"frames\": {}, \"bytes\": {}, \"snapshots\": {}, \
@@ -403,6 +413,7 @@ impl TelemetrySnapshot {
             self.queue_depth,
             self.health.as_str(),
             self.precision,
+            self.shard,
             self.expired,
             self.shed,
             self.degraded_quotes,

@@ -1,0 +1,208 @@
+//! Per-shard journal naming and fabric-level replay.
+//!
+//! A sharded gateway fabric journals each shard independently — admission
+//! order is only defined *within* a shard, so one global journal would
+//! invent an ordering that never existed. This module pins the naming
+//! contract relating a fabric's journal *base path* to its per-shard
+//! files, and provides a fabric-level replay that restores every shard
+//! and folds the per-shard state digests into one fabric digest.
+//!
+//! Naming: shard `k` of base `fab.vtmj` journals to `fab.shard<k>.vtmj`
+//! (the tag is inserted before the extension, appended when there is
+//! none). Because routing is a pure function of `(session, shard_count)`
+//! (see `vtm_core::routing::session_shard`), a restart with the same
+//! shard count replays each shard file into the exact per-session state
+//! that shard held — per-session state never crosses files.
+
+use std::path::{Path, PathBuf};
+
+use vtm_nn::codec::fnv1a;
+use vtm_serve::PricingService;
+
+use crate::error::JournalError;
+use crate::replay::{replay_journal, ReplayOptions, ReplayReport};
+
+/// Inserts `tag` into `base`'s file name, before the extension:
+/// `fab.vtmj` + `"a"` → `fab.a.vtmj`; extension-less `fab` → `fab.a`.
+///
+/// The building block for per-shard (and per-arm) journal naming; tags must
+/// not contain `.` or path separators for the mapping to stay invertible.
+pub fn tagged_journal_path(base: &Path, tag: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let name = match base.extension() {
+        Some(ext) => format!("{stem}.{tag}.{}", ext.to_string_lossy()),
+        None => format!("{stem}.{tag}"),
+    };
+    base.with_file_name(name)
+}
+
+/// The canonical journal path of fabric shard `shard` under `base`:
+/// [`tagged_journal_path`] with tag `shard<k>`.
+pub fn shard_journal_path(base: &Path, shard: usize) -> PathBuf {
+    tagged_journal_path(base, &format!("shard{shard}"))
+}
+
+/// The canonical per-shard journal paths of a `shards`-wide fabric.
+pub fn shard_journal_paths(base: &Path, shards: usize) -> Vec<PathBuf> {
+    (0..shards).map(|k| shard_journal_path(base, k)).collect()
+}
+
+/// Folds ordered per-shard state digests into one fabric-level digest:
+/// FNV-1a over the little-endian digest words, shard 0 first.
+///
+/// Order-sensitive on purpose — shard identity is part of the fabric state
+/// (swapping two shards' states is a different fabric).
+pub fn combine_shard_digests(digests: &[u64]) -> u64 {
+    let bytes: Vec<u8> = digests.iter().flat_map(|d| d.to_le_bytes()).collect();
+    fnv1a(&bytes)
+}
+
+/// What a fabric-level replay reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricReplayReport {
+    /// Per-shard replay reports, indexed by shard.
+    pub shards: Vec<ReplayReport>,
+    /// [`combine_shard_digests`] over the per-shard `state_digest`s.
+    pub merged_digest: u64,
+}
+
+impl FabricReplayReport {
+    /// Total complete frames across all shard journals.
+    pub fn total_frames(&self) -> u64 {
+        self.shards.iter().map(|r| r.total_frames).sum()
+    }
+}
+
+/// Replays every shard journal of a fabric from genesis: shard `k`'s file
+/// ([`shard_journal_path`]`(base, k)`) is replayed into `services[k]`, and
+/// the resulting per-shard digests are merged with
+/// [`combine_shard_digests`].
+///
+/// The services must be fresh (state-free) and built from the same policy
+/// snapshot and service configuration the fabric ran with; then each
+/// shard's digest is byte-identical to the state that shard held live, and
+/// `merged_digest` identifies the whole fabric state.
+///
+/// # Errors
+///
+/// Any per-shard [`replay_journal`] error, with the remaining shards left
+/// unreplayed. A shard's service state is unspecified after a mid-replay
+/// error — restart from fresh services.
+pub fn replay_fabric(
+    services: &[&PricingService],
+    base: &Path,
+    options: &ReplayOptions,
+) -> Result<FabricReplayReport, JournalError> {
+    let mut shards = Vec::with_capacity(services.len());
+    for (shard, service) in services.iter().enumerate() {
+        shards.push(replay_journal(
+            service,
+            shard_journal_path(base, shard),
+            None,
+            options,
+        )?);
+    }
+    let digests: Vec<u64> = shards.iter().map(|r| r.state_digest).collect();
+    Ok(FabricReplayReport {
+        merged_digest: combine_shard_digests(&digests),
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalWriter;
+    use vtm_core::routing::session_shard;
+    use vtm_rl::env::ActionSpace;
+    use vtm_rl::ppo::{PpoAgent, PpoConfig};
+    use vtm_serve::{QuoteRequest, ServiceConfig};
+
+    #[test]
+    fn naming_inserts_tags_before_the_extension() {
+        let base = Path::new("/tmp/fab.vtmj");
+        assert_eq!(
+            tagged_journal_path(base, "a"),
+            PathBuf::from("/tmp/fab.a.vtmj")
+        );
+        assert_eq!(
+            shard_journal_path(base, 3),
+            PathBuf::from("/tmp/fab.shard3.vtmj")
+        );
+        assert_eq!(
+            shard_journal_path(Path::new("/tmp/fab"), 0),
+            PathBuf::from("/tmp/fab.shard0")
+        );
+        assert_eq!(
+            shard_journal_paths(base, 2),
+            vec![
+                PathBuf::from("/tmp/fab.shard0.vtmj"),
+                PathBuf::from("/tmp/fab.shard1.vtmj"),
+            ]
+        );
+        // Tags compose: per-arm base, then per-shard.
+        assert_eq!(
+            shard_journal_path(&tagged_journal_path(base, "arm-b"), 1),
+            PathBuf::from("/tmp/fab.arm-b.shard1.vtmj")
+        );
+    }
+
+    #[test]
+    fn combine_shard_digests_is_order_sensitive_and_deterministic() {
+        let a = combine_shard_digests(&[1, 2]);
+        assert_eq!(a, combine_shard_digests(&[1, 2]));
+        assert_ne!(a, combine_shard_digests(&[2, 1]));
+        assert_ne!(a, combine_shard_digests(&[1, 2, 0]));
+    }
+
+    /// Two shard services journal disjoint (routed) traffic; fabric replay
+    /// reconstructs both and the merged digest matches the live states.
+    #[test]
+    fn replay_fabric_reaches_every_live_shard_digest() {
+        let snapshot = PpoAgent::new(
+            PpoConfig::new(4, 1).with_seed(77),
+            ActionSpace::scalar(5.0, 50.0),
+        )
+        .snapshot();
+        let config = ServiceConfig::new(2, 2);
+        let shards = 2;
+        let base =
+            std::env::temp_dir().join(format!("vtm_fabric_replay_{}.vtmj", std::process::id()));
+
+        let live: Vec<PricingService> = (0..shards)
+            .map(|_| PricingService::from_snapshot(&snapshot, config).unwrap())
+            .collect();
+        let mut writers: Vec<JournalWriter> = (0..shards)
+            .map(|k| JournalWriter::create(shard_journal_path(&base, k)).unwrap())
+            .collect();
+        for i in 0..60u64 {
+            let req = QuoteRequest::new(i % 11, vec![(i % 5) as f64 * 0.2, (i % 3) as f64 * 0.3]);
+            let shard = session_shard(req.session, shards);
+            writers[shard].append(&req).unwrap();
+            live[shard].quote_batch(std::slice::from_ref(&req)).unwrap();
+        }
+        for writer in &mut writers {
+            writer.sync().unwrap();
+        }
+
+        let fresh: Vec<PricingService> = (0..shards)
+            .map(|_| PricingService::from_snapshot(&snapshot, config).unwrap())
+            .collect();
+        let refs: Vec<&PricingService> = fresh.iter().collect();
+        let report = replay_fabric(&refs, &base, &ReplayOptions::default()).unwrap();
+
+        let live_digests: Vec<u64> = live.iter().map(|s| s.state_digest()).collect();
+        for (shard, shard_report) in report.shards.iter().enumerate() {
+            assert_eq!(shard_report.state_digest, live_digests[shard]);
+        }
+        assert_eq!(report.merged_digest, combine_shard_digests(&live_digests));
+        assert_eq!(report.total_frames(), 60);
+
+        for path in shard_journal_paths(&base, shards) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

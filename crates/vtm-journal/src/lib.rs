@@ -80,11 +80,16 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fabric;
 mod journal;
 mod replay;
 mod snapshot;
 
 pub use error::JournalError;
+pub use fabric::{
+    combine_shard_digests, replay_fabric, shard_journal_path, shard_journal_paths,
+    tagged_journal_path, FabricReplayReport,
+};
 pub use journal::{
     scan_journal, scan_journal_bytes, JournalFrame, JournalOptions, JournalWriter, ScanMode,
     ScannedJournal,

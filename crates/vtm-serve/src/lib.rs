@@ -55,7 +55,7 @@ mod store;
 
 pub use service::{
     InferenceMode, Precision, PricingService, Quote, QuoteRequest, ServeError, ServiceConfig,
-    ServiceStats,
+    ServiceStats, SharedPolicy,
 };
 pub use session::Session;
 pub use store::{SessionStore, StoreConfig, StoreStats};

@@ -4,6 +4,7 @@
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -297,16 +298,84 @@ pub struct ServiceStats {
     pub expired: u64,
 }
 
+/// A policy snapshot's frozen *serving side*, validated and fingerprinted
+/// once, shareable across many [`PricingService`] instances.
+///
+/// [`PricingService::from_snapshot`] re-validates the snapshot and re-hashes
+/// its canonical byte encoding on every call — fine for one service, wasteful
+/// for a sharded fabric that builds one service per gateway shard from the
+/// same snapshot. `SharedPolicy` hoists that work: validation and the FNV
+/// fingerprint happen once in [`SharedPolicy::from_snapshot`], the actor
+/// weights live behind an [`Arc`], and the frozen f32 inference model is
+/// converted lazily on first f32 use and then shared. Cloning a
+/// `SharedPolicy` or building a service from it copies no weight matrices.
+///
+/// Services built from the same `SharedPolicy` are indistinguishable from
+/// services built directly from the originating snapshot (same fingerprint,
+/// bit-identical quotes).
+#[derive(Debug, Clone)]
+pub struct SharedPolicy {
+    actor: Arc<Mlp>,
+    /// Lazily-converted frozen f32 actor, shared by every f32 service built
+    /// from this policy.
+    inference: OnceLock<Arc<InferenceModel>>,
+    action_space: ActionSpace,
+    log_std: Vec<f64>,
+    obs_normalizer: Option<RunningMeanStd>,
+    fingerprint: u64,
+}
+
+impl SharedPolicy {
+    /// Validates and fingerprints a snapshot's serving side once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Snapshot`] when the snapshot is internally
+    /// inconsistent.
+    pub fn from_snapshot(snapshot: &PolicySnapshot) -> Result<Self, ServeError> {
+        snapshot.validate()?;
+        Ok(Self {
+            actor: Arc::new(snapshot.actor.clone()),
+            inference: OnceLock::new(),
+            action_space: snapshot.action_space.clone(),
+            log_std: snapshot.log_std.clone(),
+            obs_normalizer: snapshot.obs_normalizer.clone(),
+            fingerprint: fnv1a(&snapshot.to_bytes()),
+        })
+    }
+
+    /// FNV-1a fingerprint of the originating snapshot's canonical byte
+    /// encoding — identical to what [`PricingService::policy_fingerprint`]
+    /// reports for services built from the same snapshot.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The actor network's input width (`history_length *
+    /// features_per_round` of any compatible service configuration).
+    pub fn obs_dim(&self) -> usize {
+        self.actor.input_dim()
+    }
+
+    /// The frozen f32 actor, converted on first use and shared thereafter.
+    fn inference_model(&self) -> Arc<InferenceModel> {
+        Arc::clone(
+            self.inference
+                .get_or_init(|| Arc::new(InferenceModel::from_mlp(&self.actor))),
+        )
+    }
+}
+
 /// A frozen pricing policy serving batched quote requests over sharded
 /// per-session observation state. See the crate docs for the design.
 #[derive(Debug)]
 pub struct PricingService {
-    actor: Mlp,
+    actor: Arc<Mlp>,
     /// Frozen f32 copy of the actor, converted once at construction time.
     /// `Some` exactly when the configured precision is [`Precision::F32`];
     /// the f64 actor stays resident either way as the reference path (and
     /// as the source for checkpoints/fingerprints).
-    inference: Option<InferenceModel>,
+    inference: Option<Arc<InferenceModel>>,
     action_space: ActionSpace,
     log_std: Vec<f64>,
     obs_normalizer: Option<RunningMeanStd>,
@@ -334,12 +403,26 @@ impl PricingService {
         snapshot: &PolicySnapshot,
         config: ServiceConfig,
     ) -> Result<Self, ServeError> {
-        snapshot.validate()?;
+        let shared = SharedPolicy::from_snapshot(snapshot)?;
+        Self::from_shared(&shared, config)
+    }
+
+    /// Builds a service from an already-validated [`SharedPolicy`] without
+    /// copying weights or re-hashing the snapshot — the cheap per-shard
+    /// construction path of the gateway fabric. Quotes, fingerprints and
+    /// state digests are bit-identical to [`PricingService::from_snapshot`]
+    /// on the originating snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::GeometryMismatch`] when `history_length *
+    /// features_per_round` differs from the actor's input width.
+    pub fn from_shared(policy: &SharedPolicy, config: ServiceConfig) -> Result<Self, ServeError> {
         let configured = config.history_length * config.features_per_round;
-        if configured != snapshot.actor.input_dim() {
+        if configured != policy.obs_dim() {
             return Err(ServeError::GeometryMismatch {
                 configured_obs_dim: configured,
-                policy_obs_dim: snapshot.actor.input_dim(),
+                policy_obs_dim: policy.obs_dim(),
             });
         }
         let store = SessionStore::new(
@@ -351,18 +434,18 @@ impl PricingService {
         );
         let inference = match config.precision {
             Precision::F64 => None,
-            Precision::F32 => Some(InferenceModel::from_mlp(&snapshot.actor)),
+            Precision::F32 => Some(policy.inference_model()),
         };
         Ok(Self {
-            actor: snapshot.actor.clone(),
+            actor: Arc::clone(&policy.actor),
             inference,
-            action_space: snapshot.action_space.clone(),
-            log_std: snapshot.log_std.clone(),
-            obs_normalizer: snapshot.obs_normalizer.clone(),
+            action_space: policy.action_space.clone(),
+            log_std: policy.log_std.clone(),
+            obs_normalizer: policy.obs_normalizer.clone(),
             config,
             store,
             quotes_served: AtomicU64::new(0),
-            policy_fingerprint: fnv1a(&snapshot.to_bytes()),
+            policy_fingerprint: policy.fingerprint,
         })
     }
 
@@ -1023,5 +1106,37 @@ mod tests {
             let refs: Vec<&QuoteRequest> = reqs.iter().collect();
             assert_eq!(a.quote_batch(&reqs).unwrap(), b.quote_refs(&refs).unwrap());
         }
+    }
+
+    /// `from_shared` is the fabric's cheap per-shard construction path: it
+    /// must be observationally identical to `from_snapshot` — same policy
+    /// fingerprint, bit-identical quotes and state digests in both
+    /// precisions — while sharing (not copying) the frozen weights.
+    #[test]
+    fn from_shared_services_match_from_snapshot_services_exactly() {
+        let snap = snapshot(8, 31);
+        let shared = SharedPolicy::from_snapshot(&snap).unwrap();
+        for precision in [Precision::F64, Precision::F32] {
+            let config = ServiceConfig::new(4, 2).with_precision(precision);
+            let direct = PricingService::from_snapshot(&snap, config).unwrap();
+            let cheap = PricingService::from_shared(&shared, config).unwrap();
+            let sibling = PricingService::from_shared(&shared, config).unwrap();
+            assert_eq!(shared.fingerprint(), direct.policy_fingerprint());
+            assert_eq!(cheap.policy_fingerprint(), direct.policy_fingerprint());
+            for round in 0..4 {
+                let reqs = requests(round, 9, 2);
+                let expected = direct.quote_batch(&reqs).unwrap();
+                assert_eq!(cheap.quote_batch(&reqs).unwrap(), expected);
+                assert_eq!(sibling.quote_batch(&reqs).unwrap(), expected);
+            }
+            assert_eq!(cheap.state_digest(), direct.state_digest());
+            // Sibling services share weights but never session state.
+            assert_eq!(cheap.stats().sessions, sibling.stats().sessions);
+        }
+        // Geometry mismatches stay typed errors on the shared path.
+        assert!(matches!(
+            PricingService::from_shared(&shared, ServiceConfig::new(4, 3)),
+            Err(ServeError::GeometryMismatch { .. })
+        ));
     }
 }

@@ -144,10 +144,11 @@ impl SessionStore {
         self.shards.len()
     }
 
-    /// Which shard a session id lands in.
+    /// Which shard a session id lands in: the workspace-wide
+    /// [`vtm_core::routing::session_shard`] hash, so lock sharding here and
+    /// gateway-shard routing in the fabric agree on one pure function.
     pub fn shard_of(&self, session: u64) -> usize {
-        // Golden-ratio hash so consecutive trip ids spread across shards.
-        (session.wrapping_add(1).wrapping_mul(GOLDEN) >> 32) as usize % self.shards.len()
+        vtm_core::routing::session_shard(session, self.shards.len())
     }
 
     /// Live sessions in one shard.

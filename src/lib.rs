@@ -16,6 +16,9 @@
 //!   from frozen policy checkpoints,
 //! * [`gateway`] — the concurrent online pricing gateway (dynamic
 //!   micro-batching, admission control, latency/throughput telemetry),
+//! * [`fabric`] — the sharded gateway fabric (deterministic session-hash
+//!   routing across independent gateway shards, hot-swap A/B policy arms,
+//!   per-arm telemetry),
 //! * [`journal`] — the audit-grade request journal (append-only
 //!   checksummed frames, state snapshots, deterministic replay with crash
 //!   recovery),
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use vtm_core as core;
+pub use vtm_fabric as fabric;
 pub use vtm_game as game;
 pub use vtm_gateway as gateway;
 pub use vtm_journal as journal;
@@ -55,6 +59,7 @@ pub use vtm_sim as sim;
 /// One-stop prelude re-exporting the preludes of every workspace crate.
 pub mod prelude {
     pub use vtm_core::prelude::*;
+    pub use vtm_fabric::{ArmSpec, Fabric, FabricConfig, FabricError, FabricSnapshot};
     pub use vtm_game::prelude::*;
     pub use vtm_gateway::{
         FaultPlan, Gateway, GatewayConfig, GatewayError, HealthConfig, HealthState,
