@@ -33,6 +33,9 @@ use vtm_bench::journal_cli::{
     run_journal_demo, run_replay, JournalDemoOptions, ReplayCliOptions, SnapshotChoice,
 };
 use vtm_bench::lifecycle::{describe_checkpoint, train_to_checkpoint, TrainOptions};
+use vtm_bench::obs_cli::{
+    run_metrics_dump, run_slo_check, MetricsDumpOptions, SloOptions, SloStatus,
+};
 use vtm_bench::serve_bench::{run_serve_bench, BenchPrecision, ServeBenchOptions};
 use vtm_core::registry::EnvRegistry;
 use vtm_core::scenario::ScenarioKind;
@@ -75,6 +78,14 @@ fn usage() -> ! {
     eprintln!(
         "       experiments chaos [--env <preset>] [--checkpoint <path>] \
          [--plan <name>]... [--requests N] [--sessions N] [--journal <path>]"
+    );
+    eprintln!(
+        "       experiments metrics-dump [--sessions N] [--rounds N] \
+         [--sample-every N] [--seed N] [--no-save]"
+    );
+    eprintln!(
+        "       experiments slo-check [--bench gateway|fabric]... \
+         [--current <dir>] [--baselines <dir>] [--qps-band F] [--warn-only]"
     );
     eprintln!("chaos plans: {}", PLANS.join(", "));
     eprintln!("known experiments:");
@@ -688,6 +699,120 @@ fn main_chaos(args: &[String]) {
     }
 }
 
+fn main_metrics_dump(args: &[String]) {
+    let mut opts = MetricsDumpOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sessions" => {
+                opts.sessions =
+                    parse_count(flag_value(args, &mut i, "--sessions"), "--sessions").max(1)
+            }
+            "--rounds" => {
+                opts.rounds = parse_count(flag_value(args, &mut i, "--rounds"), "--rounds").max(1)
+            }
+            "--sample-every" => {
+                opts.sample_every =
+                    parse_count(flag_value(args, &mut i, "--sample-every"), "--sample-every").max(1)
+                        as u64
+            }
+            "--seed" => {
+                opts.seed = parse_count(flag_value(args, &mut i, "--seed"), "--seed") as u64
+            }
+            "--no-save" => opts.save = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown metrics-dump argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_metrics_dump(&opts) {
+        Ok(result) => {
+            print!("{}", result.stage_report);
+            println!(
+                "windowed delta: {} of {} completions in the second half",
+                result.window_completed, result.completed
+            );
+            print!("{}", result.text);
+            for path in &result.saved {
+                println!("(saved to {})", path.display());
+            }
+            if !result.identity_ok {
+                eprintln!("error: stage decomposition identity violated");
+                std::process::exit(1);
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main_slo_check(args: &[String]) {
+    let mut opts = SloOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => opts
+                .benches
+                .push(flag_value(args, &mut i, "--bench").to_string()),
+            "--current" => opts.current_dir = flag_value(args, &mut i, "--current").into(),
+            "--baselines" => opts.baseline_dir = flag_value(args, &mut i, "--baselines").into(),
+            "--qps-band" => {
+                let value = flag_value(args, &mut i, "--qps-band");
+                opts.qps_band = match value.parse::<f64>() {
+                    Ok(f) if (0.0..1.0).contains(&f) => f,
+                    _ => {
+                        eprintln!("error: --qps-band expects a fraction in [0, 1), got `{value}`");
+                        usage();
+                    }
+                }
+            }
+            "--warn-only" => opts.warn_only = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown slo-check argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match run_slo_check(&opts) {
+        Ok(report) => {
+            for f in &report.findings {
+                let status = match f.status {
+                    SloStatus::Ok => "ok  ",
+                    SloStatus::Warn => "WARN",
+                    SloStatus::Fail => "FAIL",
+                };
+                println!(
+                    "{status} {}/{:<16} baseline {:>10.1}  current {:>10.1}  ({:+.1}%)",
+                    f.bench,
+                    f.metric,
+                    f.baseline,
+                    f.current,
+                    (f.ratio - 1.0) * 100.0
+                );
+            }
+            if report.passed() {
+                println!("slo-check: all enforced metrics within the noise band");
+            } else if opts.warn_only {
+                println!("slo-check: regressions found (warn-only mode, not failing)");
+            } else {
+                eprintln!("error: slo-check found throughput regressions beyond the band");
+                std::process::exit(1);
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -700,6 +825,8 @@ fn main() {
         Some("journal-demo") => return main_journal_demo(&args[1..]),
         Some("replay") => return main_replay(&args[1..]),
         Some("chaos") => return main_chaos(&args[1..]),
+        Some("metrics-dump") => return main_metrics_dump(&args[1..]),
+        Some("slo-check") => return main_slo_check(&args[1..]),
         _ => {}
     }
 

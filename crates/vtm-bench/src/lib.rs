@@ -23,7 +23,11 @@
 //! record a journaled gateway run and reconstruct its exact service state
 //! from the audit journal (optionally resuming from a snapshot);
 //! `experiments chaos` ([`chaos`]) injects deterministic fault plans into a
-//! live gateway and checks liveness plus post-recovery replay equivalence.
+//! live gateway and checks liveness plus post-recovery replay equivalence;
+//! `experiments metrics-dump` / `experiments slo-check` ([`obs_cli`]) render
+//! a traced gateway run's metrics registry (Prometheus text + JSON, with a
+//! deterministic logical-clock stage decomposition) and gate fresh bench
+//! reports against the committed baselines in `results/baselines/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod fabric_bench;
 pub mod gateway_bench;
 pub mod journal_cli;
 pub mod lifecycle;
+pub mod obs_cli;
 pub mod report;
 pub mod serve_bench;
 pub mod timing;

@@ -1,6 +1,17 @@
 //! Shared wall-clock measurement helpers: medians, percentiles and core
 //! detection, used by the serve/gateway load generators and the `--ignored`
-//! multi-core acceptance tests (previously copy-pasted per benchmark).
+//! multi-core acceptance tests.
+//!
+//! The sample math itself now lives in `vtm-obs` (the single home of the
+//! workspace's percentile/bucket helpers); this module re-exports it under
+//! the historical bench names and keeps the process-local core detection.
+
+/// Sorts the samples in place and returns the median (upper middle for even
+/// counts) — re-exported from `vtm-obs`, the shared home of sample math.
+pub use vtm_obs::median;
+/// Nearest-rank percentile of an already-sorted slice — re-exported from
+/// `vtm-obs` (named `percentile_sorted` there).
+pub use vtm_obs::percentile_sorted as percentile;
 
 /// Logical cores available to this process (1 when detection fails) — the
 /// gate every multi-core acceptance test keys its ≥ 4-core requirement on.
@@ -8,33 +19,13 @@ pub fn available_cores() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// Sorts the samples in place and returns the median (the upper middle for
-/// even counts, matching the previous per-bench helpers).
-///
-/// # Panics
-///
-/// Panics if `samples` is empty or contains a non-finite value.
-pub fn median(samples: &mut [f64]) -> f64 {
-    assert!(!samples.is_empty(), "median of an empty sample set");
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-    samples[samples.len() / 2]
-}
-
-/// Nearest-rank percentile (`q` in `[0, 1]`) of an already-sorted slice.
-///
-/// # Panics
-///
-/// Panics if `sorted` is empty.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample set");
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-    sorted[rank.min(sorted.len()) - 1]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The re-exports preserve the historical bench semantics (upper-middle
+    /// median, nearest-rank percentile) — pinned here so a vtm-obs change
+    /// cannot silently shift benchmark reporting.
     #[test]
     fn median_sorts_and_picks_upper_middle() {
         assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);

@@ -1,0 +1,134 @@
+//! Trace-overhead acceptance: end-to-end stage tracing at the production
+//! 1-in-64 sampling rate must cost less than 3% of closed-loop gateway
+//! throughput versus tracing disabled.
+//!
+//! Ignored by default (it is a timed benchmark); CI's bench job runs it on
+//! 4+ core runners with:
+//!
+//! ```text
+//! cargo test -p vtm-bench --release -- --ignored --nocapture
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vtm_gateway::{Gateway, GatewayConfig, GatewayError, TracerConfig};
+use vtm_rl::env::ActionSpace;
+use vtm_rl::ppo::{PpoAgent, PpoConfig};
+use vtm_rl::snapshot::PolicySnapshot;
+use vtm_serve::{PricingService, QuoteRequest, ServiceConfig};
+
+const HISTORY: usize = 4;
+const FEATURES: usize = 3;
+const SESSIONS: usize = 64;
+const INGRESS: usize = 4;
+
+fn policy() -> PolicySnapshot {
+    PpoAgent::new(
+        PpoConfig::new(HISTORY * FEATURES, 1).with_seed(11),
+        ActionSpace::scalar(5.0, 50.0),
+    )
+    .snapshot()
+}
+
+fn fresh_service(snap: &PolicySnapshot) -> Arc<PricingService> {
+    Arc::new(PricingService::from_snapshot(snap, ServiceConfig::new(HISTORY, FEATURES)).unwrap())
+}
+
+/// Closed loop: `INGRESS` threads each drive their own session slice,
+/// submit-and-wait until the deadline. Returns completed quotes per second.
+fn closed_loop_qps(
+    service: &Arc<PricingService>,
+    config: GatewayConfig,
+    duration: Duration,
+) -> f64 {
+    let gateway = Arc::new(Gateway::start(Arc::clone(service), config));
+    let start = Instant::now();
+    let deadline = start + duration;
+    let completed: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..INGRESS)
+            .map(|t| {
+                let gateway = Arc::clone(&gateway);
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    'run: for round in 0u64.. {
+                        for s in (t..SESSIONS).step_by(INGRESS) {
+                            if Instant::now() >= deadline {
+                                break 'run;
+                            }
+                            let features = (0..FEATURES)
+                                .map(|f| ((round as usize * 31 + s * 7 + f) % 97) as f64 / 97.0)
+                                .collect();
+                            match gateway.quote(QuoteRequest::new(s as u64, features)) {
+                                Ok(_) => done += 1,
+                                Err(GatewayError::Overloaded { .. }) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(err) => panic!("gateway failed: {err}"),
+                            }
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = Arc::into_inner(gateway).unwrap().shutdown();
+    assert_eq!(stats.failed, 0);
+    completed as f64 / elapsed
+}
+
+/// Paired, interleaved timing: untraced and traced runs alternate so CPU
+/// frequency drift hits both arms equally; the medians are compared.
+#[test]
+#[ignore = "timed acceptance benchmark; run with --ignored on quiet multi-core machines"]
+fn tracing_overhead_stays_under_three_percent() {
+    let snap = policy();
+    let duration = Duration::from_millis(600);
+    let base_config = GatewayConfig::default()
+        .with_executors(2)
+        .with_max_batch(16)
+        .with_max_delay(Duration::from_micros(200))
+        .with_queue_capacity(4096);
+    let traced_config = base_config
+        .clone()
+        .with_tracing(TracerConfig::default().with_sample_every(64));
+
+    // Warm-up pass (page cache, thread pools, branch predictors).
+    closed_loop_qps(&fresh_service(&snap), base_config.clone(), duration);
+
+    const REPEATS: usize = 5;
+    let mut untraced = Vec::with_capacity(REPEATS);
+    let mut traced = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        untraced.push(closed_loop_qps(
+            &fresh_service(&snap),
+            base_config.clone(),
+            duration,
+        ));
+        traced.push(closed_loop_qps(
+            &fresh_service(&snap),
+            traced_config.clone(),
+            duration,
+        ));
+    }
+
+    untraced.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    traced.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let untraced_qps = untraced[REPEATS / 2];
+    let traced_qps = traced[REPEATS / 2];
+    let overhead = 1.0 - traced_qps / untraced_qps;
+    println!(
+        "closed-loop gateway: untraced {untraced_qps:.0} quotes/s, traced(1/64) \
+         {traced_qps:.0} quotes/s, overhead {:.1}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.03,
+        "tracing overhead {:.1}% exceeds the 3% budget \
+         (untraced {untraced_qps:.0} qps, traced {traced_qps:.0} qps)",
+        overhead * 100.0
+    );
+}

@@ -40,7 +40,7 @@ use vtm_rl::snapshot::PolicySnapshot;
 use vtm_serve::{PricingService, Quote, QuoteRequest, ServeError, ServiceConfig, SharedPolicy};
 
 use crate::arms::{ArmSpec, ArmSpecError, ArmTable};
-use crate::telemetry::{ArmTelemetry, FabricSnapshot, ShardTelemetry};
+use crate::telemetry::{fold_gateway_rollups, ArmTelemetry, FabricSnapshot, ShardTelemetry};
 
 /// Typed failure modes of the fabric request and control paths.
 #[derive(Debug)]
@@ -464,13 +464,15 @@ impl Fabric {
                 }
             }
         }
+        let mut arms: Vec<_> = self
+            .arms
+            .iter()
+            .map(|arm| arm.telemetry.snapshot(&arm.spec.name, arm.spec.percent))
+            .collect();
+        fold_gateway_rollups(&mut arms, &gateways);
         FabricSnapshot {
             shards: self.shards(),
-            arms: self
-                .arms
-                .iter()
-                .map(|arm| arm.telemetry.snapshot(&arm.spec.name, arm.spec.percent))
-                .collect(),
+            arms,
             gateways,
         }
     }
@@ -539,13 +541,15 @@ impl Fabric {
                     t.shard,
                 )
             });
+            let mut arms: Vec<_> = self
+                .arms
+                .iter()
+                .map(|arm| arm.telemetry.snapshot(&arm.spec.name, arm.spec.percent))
+                .collect();
+            fold_gateway_rollups(&mut arms, &drained);
             let snapshot = FabricSnapshot {
                 shards: self.shards(),
-                arms: self
-                    .arms
-                    .iter()
-                    .map(|arm| arm.telemetry.snapshot(&arm.spec.name, arm.spec.percent))
-                    .collect(),
+                arms,
                 gateways: drained,
             };
             *done = Some(snapshot.clone());

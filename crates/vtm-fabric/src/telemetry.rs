@@ -10,12 +10,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use vtm_gateway::{
-    latency_bucket, percentile_from_buckets, GatewayError, TelemetrySnapshot, LATENCY_BUCKETS,
-};
+use vtm_gateway::{GatewayError, StageSnapshot, TelemetrySnapshot};
+use vtm_obs::{HistogramSnapshot, LogHistogram, MetricsRegistry};
 
 /// Lock-free per-arm counters (one per arm, shared by every ticket).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub(crate) struct ArmTelemetry {
     quotes: AtomicU64,
     degraded: AtomicU64,
@@ -25,24 +24,7 @@ pub(crate) struct ArmTelemetry {
     promotions: AtomicU64,
     /// Bit-packed f64 sum of quoted prices (CAS loop; see `add_revenue`).
     revenue_bits: AtomicU64,
-    latency_us: [AtomicU64; LATENCY_BUCKETS],
-    latency_sum_us: AtomicU64,
-}
-
-impl Default for ArmTelemetry {
-    fn default() -> Self {
-        Self {
-            quotes: AtomicU64::new(0),
-            degraded: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            promotions: AtomicU64::new(0),
-            revenue_bits: AtomicU64::new(0),
-            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_sum_us: AtomicU64::new(0),
-        }
-    }
+    latency: LogHistogram,
 }
 
 impl ArmTelemetry {
@@ -54,8 +36,7 @@ impl ArmTelemetry {
             self.degraded.fetch_add(1, Ordering::Relaxed);
         }
         self.add_revenue(price);
-        self.latency_us[latency_bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.latency.record(latency_us);
     }
 
     /// Records a typed failure, bucketed the way an experiment reads it:
@@ -93,32 +74,51 @@ impl ArmTelemetry {
         }
     }
 
-    /// A point-in-time copy with derived percentiles.
+    /// A point-in-time copy with derived percentiles. Gateway-side fault
+    /// counters and stage histograms start zeroed/absent here — they are
+    /// folded in from the per-gateway snapshots by [`fold_gateway_rollups`].
     pub(crate) fn snapshot(&self, name: &str, percent: u32) -> ArmSnapshot {
-        let buckets: Vec<u64> = self
-            .latency_us
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let quotes = self.quotes.load(Ordering::Relaxed);
+        let latency = self.latency.snapshot();
         ArmSnapshot {
             name: name.to_string(),
             percent,
-            quotes,
+            quotes: self.quotes.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             promotions: self.promotions.load(Ordering::Relaxed),
+            expired: 0,
+            watchdog_fires: 0,
+            journal_bypassed: 0,
             revenue: f64::from_bits(self.revenue_bits.load(Ordering::Relaxed)),
-            latency_p50_us: percentile_from_buckets(&buckets, 0.50),
-            latency_p95_us: percentile_from_buckets(&buckets, 0.95),
-            latency_p99_us: percentile_from_buckets(&buckets, 0.99),
-            latency_mean_us: if quotes == 0 {
-                0.0
-            } else {
-                self.latency_sum_us.load(Ordering::Relaxed) as f64 / quotes as f64
-            },
+            latency_p50_us: latency.p50_us(),
+            latency_p95_us: latency.p95_us(),
+            latency_p99_us: latency.p99_us(),
+            latency_mean_us: latency.mean_us(),
+            latency,
+            stages: None,
+        }
+    }
+}
+
+/// Folds per-gateway fault counters and stage histograms into the arm
+/// snapshots they belong to. The fault counters (`expired`,
+/// `watchdog_fires`, `journal_bypassed`) live in the *gateway* telemetry —
+/// the arm axis would otherwise drop them at rollup. `gateways` is whatever
+/// set the caller assembled: live slots for [`crate::Fabric::telemetry`],
+/// live plus retired generations at [`crate::Fabric::shutdown`].
+pub(crate) fn fold_gateway_rollups(arms: &mut [ArmSnapshot], gateways: &[ShardTelemetry]) {
+    for arm in arms.iter_mut() {
+        for gateway in gateways.iter().filter(|g| g.arm == arm.name) {
+            arm.expired += gateway.telemetry.expired;
+            arm.watchdog_fires += gateway.telemetry.watchdog_fires;
+            arm.journal_bypassed += gateway.telemetry.journal_bypassed;
+            if let Some(stages) = &gateway.telemetry.stages {
+                arm.stages
+                    .get_or_insert_with(StageSnapshot::default)
+                    .merge(stages);
+            }
         }
     }
 }
@@ -142,6 +142,15 @@ pub struct ArmSnapshot {
     pub failed: u64,
     /// Completed hot-swap promotions of this arm.
     pub promotions: u64,
+    /// Requests expired before batch formation, summed over the arm's
+    /// gateways (live generations for a live snapshot; retired generations
+    /// folded in at shutdown).
+    pub expired: u64,
+    /// Scheduler-watchdog activations, summed over the arm's gateways.
+    pub watchdog_fires: u64,
+    /// Admissions that bypassed the journal, summed over the arm's
+    /// gateways.
+    pub journal_bypassed: u64,
     /// Revenue proxy: the sum of quoted prices ([`vtm_serve::Quote::price`])
     /// over every resolved quote — the A/B comparison metric.
     pub revenue: f64,
@@ -153,6 +162,12 @@ pub struct ArmSnapshot {
     pub latency_p99_us: u64,
     /// Mean client-observed latency (exact, µs).
     pub latency_mean_us: f64,
+    /// The full client-observed latency histogram the percentiles above
+    /// derive from.
+    pub latency: HistogramSnapshot,
+    /// Per-stage latency decomposition merged across the arm's traced
+    /// gateways; `None` when no gateway had tracing enabled.
+    pub stages: Option<StageSnapshot>,
 }
 
 impl ArmSnapshot {
@@ -161,8 +176,10 @@ impl ArmSnapshot {
         format!(
             "{{\"name\": \"{}\", \"percent\": {}, \"quotes\": {}, \"degraded\": {}, \
              \"shed\": {}, \"rejected\": {}, \"failed\": {}, \"promotions\": {}, \
+             \"expired\": {}, \"watchdog_fires\": {}, \"journal_bypassed\": {}, \
              \"revenue\": {:.3}, \
-             \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}}}}}",
+             \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}}}, \
+             \"stages\": {}}}",
             self.name,
             self.percent,
             self.quotes,
@@ -171,12 +188,111 @@ impl ArmSnapshot {
             self.rejected,
             self.failed,
             self.promotions,
+            self.expired,
+            self.watchdog_fires,
+            self.journal_bypassed,
             self.revenue,
             self.latency_p50_us,
             self.latency_p95_us,
             self.latency_p99_us,
             self.latency_mean_us,
+            self.stages
+                .as_ref()
+                .map_or_else(|| "null".to_string(), StageSnapshot::to_json),
         )
+    }
+
+    /// Registers the arm's counters, revenue gauge and latency histogram
+    /// into `registry` under the `vtm_fabric_arm_*` namespace, labelled
+    /// with the arm name.
+    pub fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        let labels: [(&str, &str); 1] = [("arm", &self.name)];
+        let counters: [(&str, &str, u64); 9] = [
+            (
+                "vtm_fabric_arm_quotes_total",
+                "Quotes resolved for the arm.",
+                self.quotes,
+            ),
+            (
+                "vtm_fabric_arm_degraded_total",
+                "Quotes from the degraded cache.",
+                self.degraded,
+            ),
+            (
+                "vtm_fabric_arm_shed_total",
+                "Submissions shed by the health controller.",
+                self.shed,
+            ),
+            (
+                "vtm_fabric_arm_rejected_total",
+                "Submissions rejected by backpressure.",
+                self.rejected,
+            ),
+            (
+                "vtm_fabric_arm_failed_total",
+                "Tickets resolved with a hard error.",
+                self.failed,
+            ),
+            (
+                "vtm_fabric_arm_promotions_total",
+                "Completed hot-swap promotions.",
+                self.promotions,
+            ),
+            (
+                "vtm_fabric_arm_expired_total",
+                "Requests expired before batch formation.",
+                self.expired,
+            ),
+            (
+                "vtm_fabric_arm_watchdog_fires_total",
+                "Scheduler-watchdog activations.",
+                self.watchdog_fires,
+            ),
+            (
+                "vtm_fabric_arm_journal_bypassed_total",
+                "Admissions without a journal frame.",
+                self.journal_bypassed,
+            ),
+        ];
+        for (name, help, value) in counters {
+            registry.counter(name, help, &labels, value);
+        }
+        registry.gauge(
+            "vtm_fabric_arm_revenue",
+            "Sum of quoted prices resolved for the arm.",
+            &labels,
+            self.revenue,
+        );
+        registry.histogram(
+            "vtm_fabric_arm_latency_us",
+            "Client-observed ticket-resolution latency (log2 us buckets).",
+            &labels,
+            &self.latency,
+        );
+        if let Some(stages) = &self.stages {
+            registry.counter(
+                "vtm_fabric_arm_traced_total",
+                "Sampled requests folded into the arm's stage histograms.",
+                &labels,
+                stages.traced,
+            );
+            let named = [
+                ("queue_wait", &stages.queue_wait),
+                ("batch_form", &stages.batch_form),
+                ("inference", &stages.inference),
+                ("resolve", &stages.resolve),
+                ("journal_append", &stages.journal_append),
+            ];
+            for (stage, histogram) in named {
+                let stage_labels: [(&str, &str); 2] = [("arm", &self.name), ("stage", stage)];
+                registry.histogram(
+                    "vtm_fabric_arm_stage_us",
+                    "Per-stage latency decomposition aggregated over the arm (log2 us buckets).",
+                    &stage_labels,
+                    histogram,
+                );
+            }
+        }
     }
 }
 
@@ -232,6 +348,31 @@ impl FabricSnapshot {
             gateways.join(", ")
         )
     }
+
+    /// Registers the whole fabric into `registry`: per-arm rollups under
+    /// `vtm_fabric_arm_*` plus every gateway's own `vtm_gateway_*` families
+    /// labelled by fabric coordinates (arm, shard, generation).
+    pub fn register_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.gauge(
+            "vtm_fabric_shards",
+            "Configured gateway shards per arm.",
+            &[],
+            self.shards as f64,
+        );
+        for arm in &self.arms {
+            arm.register_metrics(registry);
+        }
+        for gateway in &self.gateways {
+            let shard = gateway.shard.to_string();
+            let generation = gateway.generation.to_string();
+            let labels: [(&str, &str); 3] = [
+                ("arm", &gateway.arm),
+                ("shard", &shard),
+                ("generation", &generation),
+            ];
+            gateway.telemetry.register_metrics(registry, &labels);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +422,100 @@ mod tests {
         assert_eq!(snap.quotes, 4000);
         // 0.25 sums exactly in binary floating point.
         assert_eq!(snap.revenue, 1000.0);
+    }
+
+    /// Gateway-side fault counters and stage histograms roll up into the
+    /// owning arm (and only that arm), across generations.
+    #[test]
+    fn gateway_faults_and_stages_fold_into_their_arm() {
+        let mut arms = vec![
+            ArmTelemetry::default().snapshot("a", 90),
+            ArmTelemetry::default().snapshot("b", 10),
+        ];
+        let mut shard_a = vtm_gateway::Telemetry::new().snapshot();
+        shard_a.expired = 3;
+        shard_a.watchdog_fires = 1;
+        shard_a.journal_bypassed = 7;
+        let mut stages = StageSnapshot {
+            traced: 5,
+            ..StageSnapshot::default()
+        };
+        stages.queue_wait.count = 5;
+        shard_a.stages = Some(stages);
+        let mut retired_a = vtm_gateway::Telemetry::new().snapshot();
+        retired_a.expired = 2;
+        retired_a.journal_bypassed = 1;
+        let mut shard_b = vtm_gateway::Telemetry::new().snapshot();
+        shard_b.expired = 11;
+        let gateways = vec![
+            ShardTelemetry {
+                arm: "a".into(),
+                shard: 0,
+                generation: 1,
+                telemetry: shard_a,
+            },
+            ShardTelemetry {
+                arm: "a".into(),
+                shard: 0,
+                generation: 0,
+                telemetry: retired_a,
+            },
+            ShardTelemetry {
+                arm: "b".into(),
+                shard: 0,
+                generation: 0,
+                telemetry: shard_b,
+            },
+        ];
+        fold_gateway_rollups(&mut arms, &gateways);
+        assert_eq!(arms[0].expired, 5);
+        assert_eq!(arms[0].watchdog_fires, 1);
+        assert_eq!(arms[0].journal_bypassed, 8);
+        let stages = arms[0].stages.as_ref().expect("arm a was traced");
+        assert_eq!(stages.traced, 5);
+        assert_eq!(stages.queue_wait.count, 5);
+        assert_eq!(arms[1].expired, 11);
+        assert!(arms[1].stages.is_none());
+        let json = arms[0].to_json();
+        assert!(json.contains("\"expired\": 5"), "{json}");
+        assert!(json.contains("\"watchdog_fires\": 1"), "{json}");
+        assert!(json.contains("\"journal_bypassed\": 8"), "{json}");
+        assert!(json.contains("\"stages\": {"), "{json}");
+        assert!(arms[1].to_json().contains("\"stages\": null"));
+    }
+
+    /// The fabric-level registry carries arm rollups and per-gateway
+    /// families with fabric coordinates as labels.
+    #[test]
+    fn fabric_metrics_registry_has_arm_and_gateway_families() {
+        let arm = ArmTelemetry::default();
+        arm.record_quote(12.0, false, 64);
+        let snapshot = FabricSnapshot {
+            shards: 2,
+            arms: vec![arm.snapshot("steady", 100)],
+            gateways: vec![ShardTelemetry {
+                arm: "steady".into(),
+                shard: 1,
+                generation: 3,
+                telemetry: vtm_gateway::Telemetry::new().snapshot(),
+            }],
+        };
+        let mut registry = MetricsRegistry::new();
+        snapshot.register_metrics(&mut registry);
+        let text = registry.render_text();
+        assert!(
+            text.contains("vtm_fabric_arm_quotes_total{arm=\"steady\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vtm_fabric_arm_latency_us_count{arm=\"steady\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "vtm_gateway_submitted_total{arm=\"steady\",shard=\"1\",generation=\"3\"} 0"
+            ),
+            "{text}"
+        );
     }
 }

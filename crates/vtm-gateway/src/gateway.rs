@@ -42,6 +42,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vtm_journal::{snapshot_path, JournalOptions, JournalWriter, StateSnapshot};
+use vtm_obs::{StageHistograms, StageSnapshot, TraceRecord, Tracer, TracerConfig};
 use vtm_serve::{PricingService, Quote, QuoteRequest};
 
 use crate::fault::{FaultPlan, FaultState};
@@ -114,6 +115,13 @@ pub struct GatewayConfig {
     /// multi-shard fabric's per-gateway telemetry stays attributable after
     /// aggregation.
     pub shard: usize,
+    /// Per-request stage tracing (`None` = off, zero overhead). When set,
+    /// 1-in-N sampled requests carry a [`TraceRecord`] through the pipeline
+    /// stamping admit → journal-append → enqueue → batch-formed →
+    /// execute-start → priced → resolved, published into a lock-free ring
+    /// ([`Gateway::trace_records`]) and folded into per-stage histograms
+    /// ([`TelemetrySnapshot::stages`]). See `docs/OBSERVABILITY.md`.
+    pub tracing: Option<TracerConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -135,6 +143,7 @@ impl Default for GatewayConfig {
             faults: None,
             supervisor_poll: Duration::from_millis(2),
             shard: 0,
+            tracing: None,
         }
     }
 }
@@ -215,6 +224,12 @@ impl GatewayConfig {
     /// Tags this gateway with its fabric shard id (telemetry attribution).
     pub fn with_shard(mut self, shard: usize) -> Self {
         self.shard = shard;
+        self
+    }
+
+    /// Enables per-request stage tracing (see [`GatewayConfig::tracing`]).
+    pub fn with_tracing(mut self, tracing: TracerConfig) -> Self {
+        self.tracing = Some(tracing);
         self
     }
 }
@@ -432,6 +447,10 @@ struct Pending {
     submitted: Instant,
     deadline: Option<Instant>,
     telemetry: Arc<Telemetry>,
+    /// The request's in-flight trace record when it was sampled (`Copy`,
+    /// stamped in place as the request moves through the pipeline, and
+    /// published to the ring only on successful completion).
+    trace: Option<TraceRecord>,
 }
 
 impl Pending {
@@ -672,6 +691,13 @@ struct Shared {
     /// bypassed). Disables periodic snapshots, which would otherwise
     /// claim frames the service never processed.
     pipeline_diverged: AtomicBool,
+    /// The stage tracer, when [`GatewayConfig::tracing`] is set.
+    tracer: Option<Tracer>,
+    /// Per-stage histograms fed from sampled traces at completion time.
+    stages: StageHistograms,
+    /// Per-gateway admission counter: the `seq` half of each request's
+    /// stable trace id (`trace_id(session, admission_seq)`).
+    admit_seq: AtomicU64,
     /// Wakes the supervisor out of its poll sleep at shutdown.
     gate: ShutdownGate,
     workers: Mutex<Workers>,
@@ -681,6 +707,13 @@ impl Shared {
     /// Marks live state as no longer reproducible from the journal alone.
     fn mark_diverged(&self) {
         self.pipeline_diverged.store(true, Ordering::Release);
+    }
+
+    /// A tracer-clock timestamp, or 0 when tracing is off. Only called on
+    /// paths that already hold a sampled trace record, so the logical
+    /// clock is not advanced by untraced requests.
+    fn trace_now(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, Tracer::now_us)
     }
 }
 
@@ -734,6 +767,7 @@ impl Gateway {
         let executor_count = config.executors.max(1);
         let faults = config.faults.clone().map(FaultState::new);
         let health = config.health.clone().map(HealthController::new);
+        let tracer = config.tracing.map(Tracer::new);
         let shared = Arc::new(Shared {
             service,
             config,
@@ -747,6 +781,9 @@ impl Gateway {
             shutting_down: AtomicBool::new(false),
             scheduler_failed: AtomicBool::new(false),
             pipeline_diverged: AtomicBool::new(false),
+            tracer,
+            stages: StageHistograms::new(),
+            admit_seq: AtomicU64::new(0),
             gate: ShutdownGate::default(),
             workers: Mutex::new(Workers::default()),
         });
@@ -865,15 +902,27 @@ impl Gateway {
         // queue an executor may complete it at any moment, and a snapshot
         // must never observe completed > submitted.
         self.shared.telemetry.record_submit();
+        // Sampling decision: every admission takes one seq (so trace ids
+        // are stable admission identities), but only sampled requests carry
+        // a record — untraced requests never touch the tracer clock.
+        let trace = self.shared.tracer.as_ref().and_then(|tracer| {
+            let seq = self.shared.admit_seq.fetch_add(1, Ordering::Relaxed);
+            let mut record = TraceRecord::new(request.session, seq);
+            tracer.sampled(record.trace_id).then(|| {
+                record.admit_us = tracer.now_us();
+                record
+            })
+        });
         let state = TicketState::new();
         let submitted = Instant::now();
         let deadline = self.shared.config.default_deadline.map(|d| submitted + d);
-        let pending = Pending {
+        let mut pending = Pending {
             request,
             state: Arc::clone(&state),
             submitted,
             deadline,
             telemetry: Arc::clone(&self.shared.telemetry),
+            trace,
         };
         // Journal the admission and enqueue under ONE lock, so the on-disk
         // frame order is exactly the order requests enter the pipeline
@@ -881,6 +930,13 @@ impl Gateway {
         // with bounded backoff; exhaustion is decided by the bypass policy.
         let rejected = match &self.shared.journal {
             Some(journal) => {
+                // The journal stage is stamped around the whole append
+                // critical section (lock wait + bounded retries included) —
+                // the writer-internal `AppendLatency` isolates the pure
+                // append cost for comparison.
+                if let Some(trace) = pending.trace.as_mut() {
+                    trace.journal_start_us = self.shared.trace_now();
+                }
                 let mut writer = journal.lock().expect("journal poisoned");
                 let mut outcome = self.journal_append(&mut writer, &pending.request);
                 let mut attempt = 0u32;
@@ -893,6 +949,10 @@ impl Gateway {
                 match outcome {
                     Ok(bytes) => {
                         self.shared.telemetry.record_journal_append(bytes);
+                        if let Some(trace) = pending.trace.as_mut() {
+                            trace.journal_end_us = self.shared.trace_now();
+                            trace.enqueue_us = self.shared.trace_now();
+                        }
                         self.shared.ingress.push(pending)
                     }
                     Err(message) => match self.shared.config.journal_policy {
@@ -906,12 +966,24 @@ impl Gateway {
                         JournalBypassPolicy::DegradeWithoutJournal => {
                             self.shared.telemetry.record_journal_bypass();
                             self.shared.mark_diverged();
+                            if let Some(trace) = pending.trace.as_mut() {
+                                // No frame was written: a zero journal_start
+                                // is the "not journaled" marker.
+                                trace.journal_start_us = 0;
+                                trace.journal_end_us = 0;
+                                trace.enqueue_us = self.shared.trace_now();
+                            }
                             self.shared.ingress.push(pending)
                         }
                     },
                 }
             }
-            None => self.shared.ingress.push(pending),
+            None => {
+                if let Some(trace) = pending.trace.as_mut() {
+                    trace.enqueue_us = self.shared.trace_now();
+                }
+                self.shared.ingress.push(pending)
+            }
         };
         if let Some(pending) = rejected {
             let err = if self.shared.scheduler_failed.load(Ordering::Acquire) {
@@ -961,15 +1033,61 @@ impl Gateway {
     }
 
     /// A point-in-time telemetry snapshot (counters, queue depth, health
-    /// state, latency/batch-size histograms with p50/p95/p99).
+    /// state, latency/batch-size histograms with p50/p95/p99, plus the
+    /// per-stage decomposition and journal append cost when available).
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        let mut snapshot = self.shared.telemetry.snapshot();
+        self.enrich_snapshot(self.shared.telemetry.snapshot())
+    }
+
+    /// Stamps the service/health/tracing context onto a raw counter
+    /// snapshot (shared by [`Gateway::telemetry`] and [`Gateway::shutdown`]).
+    fn enrich_snapshot(&self, mut snapshot: TelemetrySnapshot) -> TelemetrySnapshot {
         snapshot.precision = self.shared.service.config().precision.name();
         snapshot.shard = self.shared.config.shard;
         if let Some(health) = &self.shared.health {
             snapshot.health = health.current();
         }
+        if self.shared.tracer.is_some() {
+            snapshot.stages = Some(self.shared.stages.snapshot());
+        }
+        if let Some(journal) = &self.shared.journal {
+            if let Ok(writer) = journal.lock() {
+                let append = writer.append_latency();
+                snapshot.journal_append_mean_us = append.mean_us();
+                snapshot.journal_append_max_us = append.max_us;
+            }
+        }
         snapshot
+    }
+
+    /// The sampled trace records currently in the tracer's ring, sorted by
+    /// admit time (empty when tracing is disabled). Only successfully
+    /// completed requests are published — shed, expired and failed
+    /// requests never reach the ring.
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.shared
+            .tracer
+            .as_ref()
+            .map_or_else(Vec::new, Tracer::records)
+    }
+
+    /// The per-stage latency decomposition accumulated from sampled traces
+    /// (`None` when tracing is disabled).
+    pub fn stage_snapshot(&self) -> Option<StageSnapshot> {
+        self.shared
+            .tracer
+            .as_ref()
+            .map(|_| self.shared.stages.snapshot())
+    }
+
+    /// `(published, dropped)` trace-ring counters (both 0 when tracing is
+    /// disabled): how many sampled records reached the ring and how many
+    /// were lost to writer-side slot contention.
+    pub fn trace_counters(&self) -> (u64, u64) {
+        self.shared
+            .tracer
+            .as_ref()
+            .map_or((0, 0), |t| (t.published(), t.dropped()))
     }
 
     /// Stops accepting new requests, drains or fails every in-flight
@@ -979,13 +1097,7 @@ impl Gateway {
     /// implicitly on drop.
     pub fn shutdown(mut self) -> TelemetrySnapshot {
         self.shutdown_inner();
-        let mut snapshot = self.shared.telemetry.snapshot();
-        snapshot.precision = self.shared.service.config().precision.name();
-        snapshot.shard = self.shared.config.shard;
-        if let Some(health) = &self.shared.health {
-            snapshot.health = health.current();
-        }
-        snapshot
+        self.enrich_snapshot(self.shared.telemetry.snapshot())
     }
 
     fn shutdown_inner(&mut self) {
@@ -1086,6 +1198,18 @@ fn scheduler_loop(shared: &Shared) {
             continue;
         }
         shared.telemetry.record_batch(batch.len());
+        // One batch-formed stamp shared by every traced request in the
+        // batch (they left the queue together); untraced batches never
+        // touch the tracer clock.
+        let mut formed_ts = 0u64;
+        for pending in batch.iter_mut() {
+            if let Some(trace) = pending.trace.as_mut() {
+                if formed_ts == 0 {
+                    formed_ts = shared.trace_now();
+                }
+                trace.batch_formed_us = formed_ts;
+            }
+        }
         shared.batches.push(Batch {
             index: next_index,
             items: batch,
@@ -1110,10 +1234,24 @@ fn executor_loop(shared: &Shared) {
 }
 
 /// Prices one batch; `false` when the executor must die (batch panicked).
-fn run_batch(shared: &Shared, batch: Batch) -> bool {
+fn run_batch(shared: &Shared, mut batch: Batch) -> bool {
     if let Some(faults) = &shared.faults {
         if let Some(delay) = faults.batch_delay(batch.index) {
             std::thread::sleep(delay);
+        }
+    }
+    // One execute-start stamp for the whole batch, taken only when the
+    // batch actually carries a traced request.
+    let execute_ts = if batch.items.iter().any(|p| p.trace.is_some()) {
+        shared.trace_now()
+    } else {
+        0
+    };
+    if execute_ts > 0 {
+        for pending in batch.items.iter_mut() {
+            if let Some(trace) = pending.trace.as_mut() {
+                trace.execute_start_us = execute_ts;
+            }
         }
     }
     let priced = catch_unwind(AssertUnwindSafe(|| {
@@ -1128,8 +1266,24 @@ fn run_batch(shared: &Shared, batch: Batch) -> bool {
     match priced {
         Ok(Ok(quotes)) => {
             let processed = batch.items.len();
-            for (pending, quote) in batch.items.into_iter().zip(quotes) {
+            // One priced stamp for the whole batch (the forward pass ended
+            // for every request at once); resolved is stamped per ticket.
+            let priced_ts = if execute_ts > 0 {
+                shared.trace_now()
+            } else {
+                0
+            };
+            for (mut pending, quote) in batch.items.into_iter().zip(quotes) {
                 let latency_us = pending.submitted.elapsed().as_micros() as u64;
+                if let Some(trace) = pending.trace.as_mut() {
+                    trace.priced_us = priced_ts;
+                    trace.resolved_us = shared.trace_now();
+                    trace.set_batch(processed, shared.config.shard);
+                    shared.stages.record(trace);
+                    if let Some(tracer) = &shared.tracer {
+                        tracer.publish(trace);
+                    }
+                }
                 // Record before completing the ticket: a caller that submits
                 // again the instant `wait` returns must already see this
                 // completion in the telemetry/health latency window. The

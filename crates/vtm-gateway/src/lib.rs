@@ -27,7 +27,14 @@
 //! * **telemetry** — atomic counters plus fixed-bucket log-scale
 //!   histograms yield p50/p95/p99 latency, queue depth, batch-size
 //!   distribution and reject counts as a [`TelemetrySnapshot`], with no
-//!   lock on the request path.
+//!   lock on the request path;
+//! * **stage tracing** — with [`GatewayConfig::with_tracing`], 1-in-N
+//!   sampled requests carry a `Copy` trace record through the pipeline,
+//!   decomposing end-to-end latency into admission / queue-wait /
+//!   batch-form / inference / resolve stages
+//!   ([`TelemetrySnapshot::stages`], [`Gateway::trace_records`]); a
+//!   logical-clock mode makes the decomposition bit-reproducible in tests
+//!   (see `docs/OBSERVABILITY.md`).
 //!
 //! # Fault model
 //!
@@ -109,3 +116,6 @@ pub use telemetry::{
     latency_bucket, percentile_from_buckets, Telemetry, TelemetrySnapshot, LATENCY_BUCKETS,
     MAX_TRACKED_BATCH,
 };
+// Tracing vocabulary, re-exported so gateway users configure tracing
+// without a direct vtm-obs dependency.
+pub use vtm_obs::{StageBreakdown, StageSnapshot, TraceRecord, TracerConfig};

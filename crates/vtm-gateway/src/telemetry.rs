@@ -12,22 +12,18 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use vtm_obs::{HistogramSnapshot, LogHistogram, MetricsRegistry, StageSnapshot};
+
 use crate::health::HealthState;
 
-/// Log-scale latency buckets: `[2^b, 2^(b+1))` µs for `b` in `0..40`
-/// (covers 1 µs up to ~12.7 days, far beyond any sane quote latency).
-pub const LATENCY_BUCKETS: usize = 40;
+// The bucket math lives in `vtm-obs` (one copy for gateway, fabric and the
+// benches); re-exported here so existing `vtm_gateway::latency_bucket`-style
+// callers keep compiling.
+pub use vtm_obs::{latency_bucket, percentile_from_buckets, LATENCY_BUCKETS};
 
 /// Linear batch-size buckets `1..=MAX_TRACKED_BATCH`; larger batches land
 /// in the last bucket.
 pub const MAX_TRACKED_BATCH: usize = 64;
-
-/// Which log-scale bucket a microsecond latency lands in (the histogram
-/// convention shared with fabric-level aggregators; see
-/// [`percentile_from_buckets`]).
-pub fn latency_bucket(us: u64) -> usize {
-    ((63 - us.max(1).leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
-}
 
 /// The live, shared telemetry sink (one per gateway, behind an `Arc`).
 #[derive(Debug)]
@@ -72,9 +68,7 @@ pub struct Telemetry {
     journal_bytes: AtomicU64,
     /// Periodic state snapshots written next to the journal.
     snapshots: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS],
-    latency_sum_us: AtomicU64,
-    latency_max_us: AtomicU64,
+    latency: LogHistogram,
     batch_sizes: [AtomicU64; MAX_TRACKED_BATCH],
     batch_size_sum: AtomicU64,
     batch_size_max: AtomicU64,
@@ -107,9 +101,7 @@ impl Telemetry {
             journal_frames: AtomicU64::new(0),
             journal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_sum_us: AtomicU64::new(0),
-            latency_max_us: AtomicU64::new(0),
+            latency: LogHistogram::new(),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_size_sum: AtomicU64::new(0),
             batch_size_max: AtomicU64::new(0),
@@ -157,9 +149,7 @@ impl Telemetry {
     pub(crate) fn record_completion(&self, latency_us: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.latency[latency_bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
-        self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
+        self.latency.record(latency_us);
     }
 
     pub(crate) fn record_failure(&self) {
@@ -212,10 +202,7 @@ impl Telemetry {
     /// A lock-free copy of the cumulative latency histogram (the health
     /// controller differences consecutive copies into completion windows).
     pub(crate) fn latency_buckets_now(&self) -> Vec<u64> {
-        self.latency
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
+        self.latency.buckets_now()
     }
 
     /// Records one admission appended to the journal (`bytes` framed).
@@ -236,11 +223,7 @@ impl Telemetry {
 
     /// A point-in-time copy of every counter plus derived percentiles.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let latency: Vec<u64> = self
-            .latency
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let latency = self.latency.snapshot();
         let batch_sizes: Vec<u64> = self
             .batch_sizes
             .iter()
@@ -269,47 +252,24 @@ impl Telemetry {
             journal_frames: self.journal_frames.load(Ordering::Relaxed),
             journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
-            latency_p50_us: percentile_from_buckets(&latency, 0.50),
-            latency_p95_us: percentile_from_buckets(&latency, 0.95),
-            latency_p99_us: percentile_from_buckets(&latency, 0.99),
-            latency_mean_us: if completed == 0 {
-                0.0
-            } else {
-                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
-            },
-            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+            latency_p50_us: latency.p50_us(),
+            latency_p95_us: latency.p95_us(),
+            latency_p99_us: latency.p99_us(),
+            latency_mean_us: latency.mean_us(),
+            latency_max_us: latency.max_us,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
                 self.batch_size_sum.load(Ordering::Relaxed) as f64 / batches as f64
             },
             max_batch_size: self.batch_size_max.load(Ordering::Relaxed),
-            latency_buckets: latency,
+            latency_buckets: latency.buckets,
             batch_size_buckets: batch_sizes,
+            stages: None,
+            journal_append_mean_us: 0.0,
+            journal_append_max_us: 0,
         }
     }
-}
-
-/// Upper bound (µs) of the first latency bucket whose cumulative count
-/// reaches `q` of the total; 0 when the histogram is empty.
-///
-/// Public so fabric-level aggregators can derive percentiles from their own
-/// log₂-µs histograms (built with [`latency_bucket`]) with the exact same
-/// bucket-upper-bound convention as [`TelemetrySnapshot`].
-pub fn percentile_from_buckets(buckets: &[u64], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (b, &count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return 1u64 << (b + 1);
-        }
-    }
-    1u64 << buckets.len()
 }
 
 /// A point-in-time view of the gateway's counters and histograms.
@@ -379,6 +339,14 @@ pub struct TelemetrySnapshot {
     pub latency_buckets: Vec<u64>,
     /// Raw batch-size bucket counts (size `i+1`; last bucket = larger).
     pub batch_size_buckets: Vec<u64>,
+    /// Per-stage latency decomposition from sampled trace records (`None`
+    /// when tracing is disabled; see `docs/OBSERVABILITY.md`).
+    pub stages: Option<StageSnapshot>,
+    /// Mean journal append cost measured inside the writer (µs, exact over
+    /// *every* append, not just sampled ones; 0 when not journaling).
+    pub journal_append_mean_us: f64,
+    /// Slowest single journal append (µs; 0 when not journaling).
+    pub journal_append_max_us: u64,
 }
 
 impl TelemetrySnapshot {
@@ -401,9 +369,11 @@ impl TelemetrySnapshot {
              \"faults\": {{\"expired\": {}, \"shed\": {}, \"degraded_quotes\": {}, \
              \"panics\": {}, \"restarts\": {}, \"watchdog_fires\": {}}}, \
              \"journal\": {{\"frames\": {}, \"bytes\": {}, \"snapshots\": {}, \
-             \"retries\": {}, \"bypassed\": {}}}, \
+             \"retries\": {}, \"bypassed\": {}, \"append_mean_us\": {:.1}, \
+             \"append_max_us\": {}}}, \
              \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}}}, \
              \"batch_size\": {{\"mean\": {:.2}, \"max\": {}}}, \
+             \"stages\": {}, \
              \"latency_buckets\": {}, \"batch_size_buckets\": {}}}",
             self.submitted,
             self.completed,
@@ -425,6 +395,8 @@ impl TelemetrySnapshot {
             self.snapshots,
             self.journal_retries,
             self.journal_bypassed,
+            self.journal_append_mean_us,
+            self.journal_append_max_us,
             self.latency_p50_us,
             self.latency_p95_us,
             self.latency_p99_us,
@@ -432,9 +404,159 @@ impl TelemetrySnapshot {
             self.latency_max_us,
             self.mean_batch_size,
             self.max_batch_size,
+            self.stages
+                .as_ref()
+                .map_or_else(|| "null".to_string(), StageSnapshot::to_json),
             nonzero(&self.latency_buckets, "log2_us"),
             nonzero(&self.batch_size_buckets, "size_minus_1"),
         )
+    }
+
+    /// The end-to-end completion-latency histogram as a shared
+    /// [`HistogramSnapshot`] (for [`MetricsRegistry`] exposition and
+    /// cross-shard merging). The sum is reconstructed from the exact mean.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.completed,
+            sum_us: (self.latency_mean_us * self.completed as f64).round() as u64,
+            max_us: self.latency_max_us,
+            buckets: self.latency_buckets.clone(),
+        }
+    }
+
+    /// Registers every counter, gauge and histogram of this snapshot into a
+    /// [`MetricsRegistry`] under the `vtm_gateway_` namespace, tagging each
+    /// sample with `labels` (plus `stage` for the per-stage histograms).
+    pub fn register_metrics(&self, registry: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        let counters: [(&str, &str, u64); 15] = [
+            (
+                "vtm_gateway_submitted_total",
+                "Requests admitted past admission control.",
+                self.submitted,
+            ),
+            (
+                "vtm_gateway_completed_total",
+                "Requests completed with a quote.",
+                self.completed,
+            ),
+            (
+                "vtm_gateway_rejected_total",
+                "Requests rejected with backpressure.",
+                self.rejected,
+            ),
+            (
+                "vtm_gateway_failed_total",
+                "Requests failed by a service error.",
+                self.failed,
+            ),
+            (
+                "vtm_gateway_expired_total",
+                "Requests expired before batch formation.",
+                self.expired,
+            ),
+            (
+                "vtm_gateway_shed_total",
+                "Submissions shed by the health controller.",
+                self.shed,
+            ),
+            (
+                "vtm_gateway_degraded_quotes_total",
+                "Quotes served from the degraded cache.",
+                self.degraded_quotes,
+            ),
+            (
+                "vtm_gateway_panics_total",
+                "Executor batch panics caught.",
+                self.panics,
+            ),
+            (
+                "vtm_gateway_restarts_total",
+                "Executor threads respawned.",
+                self.restarts,
+            ),
+            (
+                "vtm_gateway_watchdog_fires_total",
+                "Scheduler-watchdog activations.",
+                self.watchdog_fires,
+            ),
+            (
+                "vtm_gateway_journal_retries_total",
+                "Journal append retries.",
+                self.journal_retries,
+            ),
+            (
+                "vtm_gateway_journal_bypassed_total",
+                "Admissions without a journal frame.",
+                self.journal_bypassed,
+            ),
+            (
+                "vtm_gateway_batches_total",
+                "Batches flushed by the scheduler.",
+                self.batches,
+            ),
+            (
+                "vtm_gateway_journal_frames_total",
+                "Admissions appended to the journal.",
+                self.journal_frames,
+            ),
+            (
+                "vtm_gateway_journal_bytes_total",
+                "Journal bytes written.",
+                self.journal_bytes,
+            ),
+        ];
+        for (name, help, value) in counters {
+            registry.counter(name, help, labels, value);
+        }
+        registry.gauge(
+            "vtm_gateway_queue_depth",
+            "Admitted-but-not-yet-completed requests.",
+            labels,
+            self.queue_depth as f64,
+        );
+        registry.gauge(
+            "vtm_gateway_mean_batch_size",
+            "Mean flushed batch size.",
+            labels,
+            self.mean_batch_size,
+        );
+        registry.gauge(
+            "vtm_gateway_journal_append_mean_us",
+            "Mean journal append cost measured inside the writer (us).",
+            labels,
+            self.journal_append_mean_us,
+        );
+        registry.histogram(
+            "vtm_gateway_latency_us",
+            "End-to-end completion latency (log2 us buckets).",
+            labels,
+            &self.latency_histogram(),
+        );
+        if let Some(stages) = &self.stages {
+            registry.counter(
+                "vtm_gateway_traced_total",
+                "Sampled requests folded into the stage histograms.",
+                labels,
+                stages.traced,
+            );
+            let named: [(&str, &HistogramSnapshot); 5] = [
+                ("queue_wait", &stages.queue_wait),
+                ("batch_form", &stages.batch_form),
+                ("inference", &stages.inference),
+                ("resolve", &stages.resolve),
+                ("journal_append", &stages.journal_append),
+            ];
+            for (stage, histogram) in named {
+                let mut stage_labels: Vec<(&str, &str)> = labels.to_vec();
+                stage_labels.push(("stage", stage));
+                registry.histogram(
+                    "vtm_gateway_stage_us",
+                    "Per-stage latency decomposition from sampled traces (log2 us buckets).",
+                    &stage_labels,
+                    histogram,
+                );
+            }
+        }
     }
 }
 

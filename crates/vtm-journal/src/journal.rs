@@ -3,6 +3,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use vtm_nn::codec::{CodecError, PayloadReader, PayloadWriter, WeightCodec, KIND_JOURNAL_FRAME};
 use vtm_serve::QuoteRequest;
@@ -117,6 +118,34 @@ pub struct JournalWriter {
     bytes_written: u64,
     appends_since_flush: u64,
     flush_every: u64,
+    appends_timed: u64,
+    append_sum_us: u64,
+    append_max_us: u64,
+}
+
+/// Cumulative wall-clock cost of [`JournalWriter::append`] calls, measured
+/// inside the writer (encode + buffered write + any automatic flush) so
+/// hosts can report journal overhead without instrumenting their own call
+/// sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppendLatency {
+    /// Appends measured by this writer instance.
+    pub appends: u64,
+    /// Total time spent appending (µs).
+    pub sum_us: u64,
+    /// Slowest single append (µs).
+    pub max_us: u64,
+}
+
+impl AppendLatency {
+    /// Mean append cost (µs); 0.0 — never NaN — before the first append.
+    pub fn mean_us(&self) -> f64 {
+        if self.appends == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.appends as f64
+        }
+    }
 }
 
 impl JournalWriter {
@@ -135,6 +164,9 @@ impl JournalWriter {
             bytes_written: 0,
             appends_since_flush: 0,
             flush_every: 1,
+            appends_timed: 0,
+            append_sum_us: 0,
+            append_max_us: 0,
         })
     }
 
@@ -160,6 +192,9 @@ impl JournalWriter {
             bytes_written: valid_len,
             appends_since_flush: 0,
             flush_every: 1,
+            appends_timed: 0,
+            append_sum_us: 0,
+            append_max_us: 0,
         })
     }
 
@@ -177,6 +212,7 @@ impl JournalWriter {
     ///
     /// Returns [`JournalError::Io`] when the write fails.
     pub fn append(&mut self, request: &QuoteRequest) -> Result<u64, JournalError> {
+        let started = Instant::now();
         let seq = self.next_seq;
         let frame = WeightCodec::encode(KIND_JOURNAL_FRAME, &JournalFrame::payload(seq, request));
         self.file.write_all(&frame)?;
@@ -186,7 +222,22 @@ impl JournalWriter {
         if self.flush_every > 0 && self.appends_since_flush >= self.flush_every {
             self.flush()?;
         }
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.appends_timed += 1;
+        self.append_sum_us += elapsed_us;
+        self.append_max_us = self.append_max_us.max(elapsed_us);
         Ok(seq)
+    }
+
+    /// Cumulative append-path wall-clock cost of the appends *this writer
+    /// instance* performed (a recovered writer does not claim the cost of
+    /// frames written before the crash); see [`AppendLatency`].
+    pub fn append_latency(&self) -> AppendLatency {
+        AppendLatency {
+            appends: self.appends_timed,
+            sum_us: self.append_sum_us,
+            max_us: self.append_max_us,
+        }
     }
 
     /// Flushes buffered frames to the operating system.

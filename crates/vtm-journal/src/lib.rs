@@ -91,8 +91,8 @@ pub use fabric::{
     tagged_journal_path, FabricReplayReport,
 };
 pub use journal::{
-    scan_journal, scan_journal_bytes, JournalFrame, JournalOptions, JournalWriter, ScanMode,
-    ScannedJournal,
+    scan_journal, scan_journal_bytes, AppendLatency, JournalFrame, JournalOptions, JournalWriter,
+    ScanMode, ScannedJournal,
 };
 pub use replay::{replay_frames, replay_journal, ReplayOptions, ReplayReport};
 pub use snapshot::{find_latest_snapshot, find_snapshots, snapshot_path, StateSnapshot};

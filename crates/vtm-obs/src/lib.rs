@@ -1,0 +1,36 @@
+//! `vtm-obs` — std-only observability primitives for the serving stack.
+//!
+//! Four small pieces, no dependencies, shared by every layer above:
+//!
+//! - histograms: the single copy of the log₂-µs bucket math previously
+//!   duplicated across `vtm-gateway`, `vtm-fabric` and `vtm-bench`, plus
+//!   the lock-free [`LogHistogram`] and its mergeable snapshot.
+//! - tracing: per-request stage tracing — a seqlock ring of fixed-size
+//!   [`TraceRecord`]s with deterministic 1-in-N sampling, a logical-clock
+//!   mode for bit-reproducible tests, and per-stage histograms.
+//! - metrics: a [`MetricsRegistry`] with Prometheus text + JSON
+//!   exposition and a rotating [`DeltaWindow`] for per-window rates.
+//! - json: a minimal JSON reader so the SLO pipeline can parse the
+//!   workspace's hand-rolled reports back without external crates.
+//!
+//! See `docs/OBSERVABILITY.md` for the trace-event vocabulary, stage
+//! boundaries, sampling semantics and the SLO-baseline update procedure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod json;
+mod metrics;
+mod trace;
+
+pub use hist::{
+    bucket_upper_bound_us, latency_bucket, median, percentile_from_buckets, percentile_sorted,
+    HistogramSnapshot, LogHistogram, LATENCY_BUCKETS,
+};
+pub use json::{escape_json, JsonError, JsonValue};
+pub use metrics::{DeltaWindow, MetricFamily, MetricValue, MetricsRegistry, Sample};
+pub use trace::{
+    trace_id, StageBreakdown, StageHistograms, StageSnapshot, TraceRecord, Tracer, TracerConfig,
+    TRACE_WORDS,
+};

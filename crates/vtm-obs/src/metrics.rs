@@ -1,0 +1,446 @@
+//! A small metrics registry with Prometheus-style text exposition, JSON
+//! rendering and time-windowed deltas.
+//!
+//! The registry is a rebuild-per-scrape value type: callers assemble a
+//! fresh [`MetricsRegistry`] from telemetry snapshots each time they want
+//! an exposition, then optionally run it through a [`DeltaWindow`] to get
+//! per-window rates instead of process-lifetime cumulative counts. Family
+//! and sample order is insertion order, so the rendered output is stable
+//! for golden-file tests. Non-finite gauge values are clamped to 0 —
+//! neither exposition format ever emits `NaN` or `inf`.
+
+use crate::hist::{bucket_upper_bound_us, HistogramSnapshot};
+use crate::json::escape_json;
+
+/// A metric sample's value; determines the family's exposition type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone cumulative count.
+    Counter(u64),
+    /// Instantaneous value (non-finite values render as 0).
+    Gauge(f64),
+    /// A log₂-µs histogram, exposed with cumulative `le` buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labelled sample inside a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label pairs in insertion order (rendered verbatim).
+    pub labels: Vec<(String, String)>,
+    /// The sample's value.
+    pub value: MetricValue,
+}
+
+/// A named metric with help text and one sample per label set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Metric name (`snake_case`, conventionally `vtm_`-prefixed).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Samples in insertion order.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricFamily {
+    fn kind(&self) -> &'static str {
+        match self.samples.first().map(|s| &s.value) {
+            Some(MetricValue::Counter(_)) => "counter",
+            Some(MetricValue::Gauge(_)) => "gauge",
+            Some(MetricValue::Histogram(_)) => "histogram",
+            None => "untyped",
+        }
+    }
+}
+
+/// An insertion-ordered collection of metric families.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    families: Vec<MetricFamily>,
+}
+
+fn format_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_json(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn format_gauge(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The families registered so far, in insertion order.
+    pub fn families(&self) -> &[MetricFamily] {
+        &self.families
+    }
+
+    fn push(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: MetricValue) {
+        let sample = Sample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        };
+        if let Some(family) = self.families.iter_mut().find(|f| f.name == name) {
+            family.samples.push(sample);
+        } else {
+            self.families.push(MetricFamily {
+                name: name.to_string(),
+                help: help.to_string(),
+                samples: vec![sample],
+            });
+        }
+    }
+
+    /// Registers a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, labels, MetricValue::Counter(value));
+    }
+
+    /// Registers a gauge sample (non-finite values render as 0).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, labels, MetricValue::Gauge(value));
+    }
+
+    /// Registers a histogram sample.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    ) {
+        self.push(name, help, labels, MetricValue::Histogram(snapshot.clone()));
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative `le` histogram buckets up
+    /// to the highest nonzero bucket, then `+Inf`, `_sum` and `_count`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind()));
+            for sample in &family.samples {
+                let labels = format_labels(&sample.labels);
+                match &sample.value {
+                    MetricValue::Counter(v) => {
+                        out.push_str(&format!("{}{} {}\n", family.name, labels, v));
+                    }
+                    MetricValue::Gauge(v) => {
+                        out.push_str(&format!("{}{} {}\n", family.name, labels, format_gauge(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        let highest = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |b| b + 1);
+                        let mut cumulative = 0u64;
+                        for (b, &count) in h.buckets.iter().take(highest).enumerate() {
+                            cumulative += count;
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                family.name,
+                                with_le(&sample.labels, &bucket_upper_bound_us(b).to_string()),
+                                cumulative,
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            family.name,
+                            with_le(&sample.labels, "+Inf"),
+                            h.count,
+                        ));
+                        out.push_str(&format!("{}_sum{} {}\n", family.name, labels, h.sum_us));
+                        out.push_str(&format!("{}_count{} {}\n", family.name, labels, h.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object (`{"families": [...]}`), with
+    /// histogram samples expanded via [`HistogramSnapshot::to_json`].
+    pub fn render_json(&self) -> String {
+        let families: Vec<String> = self
+            .families
+            .iter()
+            .map(|family| {
+                let samples: Vec<String> = family
+                    .samples
+                    .iter()
+                    .map(|sample| {
+                        let labels: Vec<String> = sample
+                            .labels
+                            .iter()
+                            .map(|(k, v)| format!("\"{}\": \"{}\"", escape_json(k), escape_json(v)))
+                            .collect();
+                        let value = match &sample.value {
+                            MetricValue::Counter(v) => v.to_string(),
+                            MetricValue::Gauge(v) => format_gauge(*v),
+                            MetricValue::Histogram(h) => h.to_json(),
+                        };
+                        format!(
+                            "{{\"labels\": {{{}}}, \"value\": {}}}",
+                            labels.join(", "),
+                            value
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"name\": \"{}\", \"help\": \"{}\", \"type\": \"{}\", \"samples\": [{}]}}",
+                    escape_json(&family.name),
+                    escape_json(&family.help),
+                    family.kind(),
+                    samples.join(", "),
+                )
+            })
+            .collect();
+        format!("{{\"families\": [{}]}}", families.join(", "))
+    }
+
+    /// The delta of this registry against an earlier one: counters and
+    /// histograms are differenced by `(name, labels)` (saturating, so a
+    /// restarted source clamps to 0 instead of underflowing); gauges and
+    /// unmatched samples pass through unchanged. Histogram `max_us` cannot
+    /// be differenced and keeps the current cumulative value.
+    pub fn delta_since(&self, previous: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for family in &self.families {
+            let prev_family = previous.families.iter().find(|f| f.name == family.name);
+            let mut delta = MetricFamily {
+                name: family.name.clone(),
+                help: family.help.clone(),
+                samples: Vec::new(),
+            };
+            for sample in &family.samples {
+                let prev =
+                    prev_family.and_then(|f| f.samples.iter().find(|s| s.labels == sample.labels));
+                let value = match (&sample.value, prev.map(|s| &s.value)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        let mut h = HistogramSnapshot {
+                            count: now.count.saturating_sub(then.count),
+                            sum_us: now.sum_us.saturating_sub(then.sum_us),
+                            max_us: now.max_us,
+                            buckets: now.buckets.clone(),
+                        };
+                        for (b, bucket) in h.buckets.iter_mut().enumerate() {
+                            *bucket =
+                                bucket.saturating_sub(then.buckets.get(b).copied().unwrap_or(0));
+                        }
+                        MetricValue::Histogram(h)
+                    }
+                    (value, _) => value.clone(),
+                };
+                delta.samples.push(Sample {
+                    labels: sample.labels.clone(),
+                    value,
+                });
+            }
+            out.families.push(delta);
+        }
+        out
+    }
+}
+
+fn with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_json(v)))
+        .collect();
+    parts.push(format!("le=\"{le}\""));
+    format!("{{{}}}", parts.join(","))
+}
+
+/// A rotating delta window: feed it the current cumulative registry each
+/// scrape and it returns the delta against the previous scrape (the first
+/// rotation returns the cumulative registry itself).
+#[derive(Debug, Default)]
+pub struct DeltaWindow {
+    previous: Option<MetricsRegistry>,
+}
+
+impl DeltaWindow {
+    /// A window with no previous scrape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rotates the window: returns `current − previous` and stores
+    /// `current` as the new baseline.
+    pub fn rotate(&mut self, current: MetricsRegistry) -> MetricsRegistry {
+        let delta = match &self.previous {
+            Some(previous) => current.delta_since(previous),
+            None => current.clone(),
+        };
+        self.previous = Some(current);
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    fn counter_value(reg: &MetricsRegistry, name: &str) -> u64 {
+        match reg
+            .families()
+            .iter()
+            .find(|f| f.name == name)
+            .and_then(|f| f.samples.first())
+            .map(|s| &s.value)
+        {
+            Some(MetricValue::Counter(v)) => *v,
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_exposition_has_help_type_and_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("vtm_quotes_total", "Quotes served.", &[("arm", "a")], 7);
+        reg.counter("vtm_quotes_total", "Quotes served.", &[("arm", "b")], 3);
+        reg.gauge("vtm_queue_depth", "In-flight requests.", &[], 2.0);
+        let text = reg.render_text();
+        assert!(text.contains("# HELP vtm_quotes_total Quotes served.\n"));
+        assert!(text.contains("# TYPE vtm_quotes_total counter\n"));
+        assert!(text.contains("vtm_quotes_total{arm=\"a\"} 7\n"));
+        assert!(text.contains("vtm_quotes_total{arm=\"b\"} 3\n"));
+        assert!(text.contains("# TYPE vtm_queue_depth gauge\n"));
+        assert!(text.contains("vtm_queue_depth 2\n"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_with_inf() {
+        let h = LogHistogram::new();
+        h.record(3); // bucket 1, le=4
+        h.record(3);
+        h.record(100); // bucket 6, le=128
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("vtm_latency_us", "End-to-end latency.", &[], &h.snapshot());
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE vtm_latency_us histogram\n"));
+        assert!(text.contains("vtm_latency_us_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("vtm_latency_us_bucket{le=\"128\"} 3\n"));
+        assert!(text.contains("vtm_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("vtm_latency_us_sum 106\n"));
+        assert!(text.contains("vtm_latency_us_count 3\n"));
+        // Buckets past the highest nonzero one are not emitted.
+        assert!(!text.contains("le=\"256\""));
+    }
+
+    #[test]
+    fn empty_histogram_and_nonfinite_gauge_never_leak_nan_or_inf() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram(
+            "vtm_empty_us",
+            "Never recorded.",
+            &[],
+            &HistogramSnapshot::empty(),
+        );
+        reg.gauge("vtm_bad_mean", "A 0/0 mean.", &[], f64::NAN);
+        reg.gauge("vtm_bad_ratio", "A 1/0 ratio.", &[], f64::INFINITY);
+        // The only "Inf" allowed anywhere is the +Inf bucket *label*; no
+        // rendered *value* may be NaN or infinite.
+        for rendered in [reg.render_text(), reg.render_json()] {
+            assert!(!rendered.contains("NaN"), "{rendered}");
+            assert!(!rendered.contains(" inf"), "{rendered}");
+            assert!(!rendered.contains(": inf"), "{rendered}");
+        }
+        let text = reg.render_text();
+        assert!(text.contains("vtm_empty_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("vtm_bad_mean 0\n"));
+        assert!(text.contains("vtm_bad_ratio 0\n"));
+    }
+
+    #[test]
+    fn json_exposition_parses_back() {
+        let h = LogHistogram::new();
+        h.record(10);
+        let mut reg = MetricsRegistry::new();
+        reg.counter("vtm_total", "Total.", &[("shard", "0")], 5);
+        reg.histogram("vtm_lat_us", "Latency.", &[], &h.snapshot());
+        let parsed = crate::json::JsonValue::parse(&reg.render_json()).expect("valid JSON");
+        let families = parsed.get("families").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(families.len(), 2);
+        assert_eq!(
+            families[0].get("name").and_then(|n| n.as_str()),
+            Some("vtm_total")
+        );
+        assert_eq!(
+            families[1]
+                .get("samples")
+                .and_then(|s| s.as_array())
+                .and_then(|s| s[0].get("value"))
+                .and_then(|v| v.get("count"))
+                .and_then(|c| c.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn delta_window_differences_counters_and_histograms() {
+        let mut window = DeltaWindow::new();
+        let mut first = MetricsRegistry::new();
+        first.counter("vtm_total", "Total.", &[], 10);
+        let h1 = LogHistogram::new();
+        h1.record(8);
+        first.histogram("vtm_lat_us", "Latency.", &[], &h1.snapshot());
+        // First rotation passes the cumulative registry through.
+        assert_eq!(counter_value(&window.rotate(first), "vtm_total"), 10);
+
+        let mut second = MetricsRegistry::new();
+        second.counter("vtm_total", "Total.", &[], 25);
+        h1.record(8);
+        h1.record(16);
+        second.histogram("vtm_lat_us", "Latency.", &[], &h1.snapshot());
+        let delta = window.rotate(second);
+        assert_eq!(counter_value(&delta, "vtm_total"), 15);
+        match &delta.families()[1].samples[0].value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum_us, 24);
+                assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+
+        // A restarted (lower) counter clamps to 0 instead of underflowing.
+        let mut third = MetricsRegistry::new();
+        third.counter("vtm_total", "Total.", &[], 3);
+        assert_eq!(counter_value(&window.rotate(third), "vtm_total"), 0);
+    }
+
+    #[test]
+    fn delta_matches_samples_by_labels() {
+        let mut a = MetricsRegistry::new();
+        a.counter("vtm_total", "Total.", &[("arm", "a")], 4);
+        a.counter("vtm_total", "Total.", &[("arm", "b")], 9);
+        let mut b = MetricsRegistry::new();
+        b.counter("vtm_total", "Total.", &[("arm", "b")], 12);
+        b.counter("vtm_total", "Total.", &[("arm", "a")], 5);
+        let delta = b.delta_since(&a);
+        let family = &delta.families()[0];
+        assert_eq!(family.samples[0].value, MetricValue::Counter(3)); // b: 12-9
+        assert_eq!(family.samples[1].value, MetricValue::Counter(1)); // a: 5-4
+    }
+}

@@ -298,6 +298,41 @@ pub struct ServiceStats {
     pub expired: u64,
 }
 
+impl ServiceStats {
+    /// Registers the counters into `registry` under the `vtm_serve_*`
+    /// namespace (live sessions as a gauge — it goes down on eviction).
+    pub fn register_metrics(
+        &self,
+        registry: &mut vtm_obs::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        registry.gauge(
+            "vtm_serve_sessions",
+            "Live sessions across all shards.",
+            labels,
+            self.sessions as f64,
+        );
+        registry.counter(
+            "vtm_serve_quotes_total",
+            "Quotes served since construction.",
+            labels,
+            self.quotes,
+        );
+        registry.counter(
+            "vtm_serve_sessions_evicted_total",
+            "Sessions evicted because their shard hit capacity.",
+            labels,
+            self.evicted,
+        );
+        registry.counter(
+            "vtm_serve_sessions_expired_total",
+            "Sessions purged past the idle TTL.",
+            labels,
+            self.expired,
+        );
+    }
+}
+
 /// A policy snapshot's frozen *serving side*, validated and fingerprinted
 /// once, shareable across many [`PricingService`] instances.
 ///

@@ -22,6 +22,8 @@
 //! * [`journal`] — the audit-grade request journal (append-only
 //!   checksummed frames, state snapshots, deterministic replay with crash
 //!   recovery),
+//! * [`obs`] — the observability substrate (log₂-µs histograms,
+//!   per-request stage tracing, the Prometheus/JSON metrics registry),
 //! * [`nn`] — the neural-network substrate,
 //! * [`game`] — the generic Stackelberg game-theory substrate.
 //!
@@ -52,6 +54,7 @@ pub use vtm_game as game;
 pub use vtm_gateway as gateway;
 pub use vtm_journal as journal;
 pub use vtm_nn as nn;
+pub use vtm_obs as obs;
 pub use vtm_rl as rl;
 pub use vtm_serve as serve;
 pub use vtm_sim as sim;
